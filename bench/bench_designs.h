@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Paper-sized design instantiations shared by the benchmark binaries
+ * (Table 2 data sizes: ellpack n=494 m=10, stencil-2d img=128^2 f=3^2,
+ * radix n=2048 m=16, kmp n=32000 m=4, merge n=2048).
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baseline/hls_workloads.h"
+#include "designs/accel.h"
+#include "designs/priority_queue.h"
+#include "designs/systolic.h"
+#include "support/rng.h"
+
+namespace assassyn {
+namespace bench {
+
+/** One accelerator workload: its Assassyn and HLS builders. */
+struct AccelPair {
+    std::string name;
+    std::function<designs::AccelDesign()> assassyn;
+    std::function<baseline::HlsDesign()> hls;
+};
+
+/** The five Table-2 accelerators at paper data sizes. */
+inline std::vector<AccelPair>
+paperAccels()
+{
+    using namespace designs;
+    std::vector<AccelPair> out;
+    out.push_back({"kmp",
+                   [] { return buildKmpAccel(makeKmpData(32000, 5)); },
+                   [] {
+                       auto d = makeKmpData(32000, 5);
+                       return baseline::generateHls(baseline::hlsKmp(d),
+                                                    d.memory);
+                   }});
+    out.push_back({"spmv",
+                   [] { return buildSpmvAccel(makeSpmvData(494, 10, 6)); },
+                   [] {
+                       auto d = makeSpmvData(494, 10, 6);
+                       return baseline::generateHls(baseline::hlsSpmv(d),
+                                                    d.memory);
+                   }});
+    out.push_back({"merge",
+                   [] {
+                       return buildMergeSortAccel(makeMergeSortData(2048, 7));
+                   },
+                   [] {
+                       auto d = makeMergeSortData(2048, 7);
+                       return baseline::generateHls(
+                           baseline::hlsMergeSort(d), d.memory);
+                   }});
+    out.push_back({"radix",
+                   [] {
+                       return buildRadixSortAccel(makeRadixSortData(2048, 8));
+                   },
+                   [] {
+                       auto d = makeRadixSortData(2048, 8);
+                       return baseline::generateHls(
+                           baseline::hlsRadixSort(d), d.memory);
+                   }});
+    out.push_back({"st-2d",
+                   [] {
+                       return buildStencilAccel(makeStencilData(128, 128, 9));
+                   },
+                   [] {
+                       auto d = makeStencilData(128, 128, 9);
+                       return baseline::generateHls(baseline::hlsStencil(d),
+                                                    d.memory);
+                   }});
+    return out;
+}
+
+/**
+ * The fft workload appears only in the paper's Fig. 14 area comparison,
+ * so it is kept out of paperAccels() (whose order mirrors Fig. 15b).
+ */
+inline AccelPair
+paperFft()
+{
+    using namespace designs;
+    return {"fft",
+            [] { return buildFftAccel(makeFftData(256, 10)); },
+            [] {
+                auto d = makeFftData(256, 10);
+                return baseline::generateHls(baseline::hlsFft(d), d.memory);
+            }};
+}
+
+/** A representative priority-queue run (II = 1, 8 slots). */
+inline designs::PqDesign
+paperPq()
+{
+    Rng rng(99);
+    std::vector<designs::PqOp> script;
+    size_t depth = 0;
+    for (size_t i = 0; i < 4096; ++i) {
+        bool push = depth == 0 || (depth < 8 && rng.below(3) != 0);
+        if (push) {
+            script.push_back({designs::PqCmd::kPush,
+                              uint32_t(rng.below(1 << 20))});
+            ++depth;
+        } else {
+            script.push_back({designs::PqCmd::kPop, 0});
+            --depth;
+        }
+    }
+    while (depth--)
+        script.push_back({designs::PqCmd::kPop, 0});
+    return designs::buildPriorityQueue(8, script);
+}
+
+/** A 4x4 systolic matmul. */
+inline designs::SystolicDesign
+paperSystolic()
+{
+    Rng rng(41);
+    std::vector<uint32_t> a(16), b(16);
+    for (auto &v : a)
+        v = uint32_t(rng.below(100));
+    for (auto &v : b)
+        v = uint32_t(rng.below(100));
+    return designs::buildSystolic(4, a, b);
+}
+
+} // namespace bench
+} // namespace assassyn

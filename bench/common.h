@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries: run-to-finish
+ * timing on both simulation backends, area estimation, LoC counting, and
+ * the paper's published reference numbers (used as comparison baselines
+ * where the paper compared against artifacts we reproduce only by their
+ * reported values, e.g. Chipyard reference RTL).
+ */
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/ir/system.h"
+#include "rtl/netlist.h"
+#include "rtl/netlist_sim.h"
+#include "sim/simulator.h"
+#include "synth/area.h"
+
+namespace assassyn {
+namespace bench {
+
+/** Wall-time + cycle result of one simulated run. */
+struct TimedRun {
+    uint64_t cycles = 0;
+    double seconds = 0;
+
+    double kcps() const { return cycles / seconds / 1e3; }
+};
+
+/** Run the event-driven (Assassyn-generated) simulator to finish(). */
+inline TimedRun
+runEventSim(const System &sys, uint64_t max_cycles = 50'000'000)
+{
+    sim::SimOptions opts;
+    opts.capture_logs = false;
+    auto t0 = std::chrono::steady_clock::now();
+    sim::Simulator s(sys, opts);
+    s.run(max_cycles);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!s.finished())
+        fatal("benchmark design did not finish");
+    TimedRun r;
+    r.cycles = s.cycle();
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+/** Run the netlist-level simulator (the Verilator stand-in). */
+inline TimedRun
+runNetlistSim(const System &sys, uint64_t max_cycles = 50'000'000)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    rtl::Netlist nl(sys);
+    rtl::NetlistSim s(nl, /*capture_logs=*/false);
+    s.run(max_cycles);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!s.finished())
+        fatal("benchmark design did not finish (netlist)");
+    TimedRun r;
+    r.cycles = s.cycle();
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return r;
+}
+
+/** Cycle count only (event simulator, logs off). */
+inline uint64_t
+cyclesOf(const System &sys, uint64_t max_cycles = 50'000'000)
+{
+    return runEventSim(sys, max_cycles).cycles;
+}
+
+/** Estimate the design's synthesized area. */
+inline synth::AreaReport
+areaOf(const System &sys)
+{
+    rtl::Netlist nl(sys);
+    return synth::estimateArea(nl);
+}
+
+/** Count non-blank, non-comment lines of a source file. */
+inline size_t
+countLoc(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        fatal("cannot open '", path, "' for LoC counting");
+    size_t loc = 0;
+    char line[4096];
+    bool in_block_comment = false;
+    while (std::fgets(line, sizeof line, f)) {
+        std::string s(line);
+        // Strip leading whitespace.
+        size_t b = s.find_first_not_of(" \t\r\n");
+        if (b == std::string::npos)
+            continue;
+        s = s.substr(b);
+        if (in_block_comment) {
+            size_t end = s.find("*/");
+            if (end == std::string::npos)
+                continue;
+            s = s.substr(end + 2);
+            in_block_comment = false;
+            if (s.find_first_not_of(" \t\r\n") == std::string::npos)
+                continue;
+        }
+        if (s.rfind("//", 0) == 0 || s.rfind("#", 0) == 0)
+            continue;
+        if (s.rfind("/*", 0) == 0) {
+            if (s.find("*/", 2) == std::string::npos)
+                in_block_comment = true;
+            continue;
+        }
+        if (s.rfind("*", 0) == 0) // doxygen block body
+            continue;
+        ++loc;
+    }
+    std::fclose(f);
+    return loc;
+}
+
+/** Repository source directory (set by CMake). */
+inline std::string
+sourceDir()
+{
+#ifdef ASSASSYN_SOURCE_DIR
+    return ASSASSYN_SOURCE_DIR;
+#else
+    return ".";
+#endif
+}
+
+/** Geometric mean. */
+inline double
+gmean(const std::vector<double> &xs)
+{
+    double acc = 1.0;
+    for (double x : xs)
+        acc *= x;
+    return std::pow(acc, 1.0 / double(xs.size()));
+}
+
+// ---------------------------------------------------------------------------
+// Reference numbers reported by the paper (used where the paper compared
+// against third-party artifacts: handcrafted Chipyard RTL areas/LoC and
+// Sodor IPC). See EXPERIMENTS.md for the provenance of each constant.
+// ---------------------------------------------------------------------------
+
+/** Fig. 14, handcrafted reference areas in um^2 (pq, systolic PE, CPU). */
+inline constexpr double kRefAreaPq = 257.0;
+inline constexpr double kRefAreaPe = 152.0;
+inline constexpr double kRefAreaCpu = 1042.0;
+
+/** Fig. 11, reference LoC (handcrafted RTL / MachSuite C). */
+inline constexpr int kRefLocCpu = 1293;
+inline constexpr int kRefLocPe = 132;
+inline constexpr int kRefLocPq = 200;
+inline constexpr int kRefLocKmp = 89;
+inline constexpr int kRefLocSpmv = 85;
+inline constexpr int kRefLocMerge = 112;
+inline constexpr int kRefLocRadix = 154;
+inline constexpr int kRefLocStencil = 103;
+
+/** Fig. 15(a), Sodor reference IPC per workload. */
+struct SodorIpc {
+    const char *name;
+    double ipc;
+};
+inline constexpr SodorIpc kSodorIpc[] = {
+    {"median", 0.65}, {"multiply", 0.63}, {"qsort", 0.71},
+    {"rsort", 0.94},  {"towers", 0.88},   {"vvadd", 0.80},
+};
+
+} // namespace bench
+} // namespace assassyn

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Design explorer: build any named design from the repository, then dump
+ * whichever artifacts you ask for — lowered IR, generated SystemVerilog,
+ * a synthesis area report, or a VCD waveform of the full run. The
+ * command-line equivalent of the end-to-end flow in paper Fig. 3.
+ *
+ *   build/examples/explore <design> [--ir] [--sv FILE] [--area]
+ *                          [--vcd FILE] [--run]
+ *   designs: pq, systolic, cpu-base, cpu-bpf, cpu-bpt, ooo,
+ *            kmp, spmv, merge, radix, stencil, fft,
+ *            hls-kmp, hls-spmv, hls-merge, hls-radix, hls-stencil,
+ *            hls-fft
+ */
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "baseline/hls_workloads.h"
+#include "core/ir/printer.h"
+#include "designs/accel.h"
+#include "designs/cpu.h"
+#include "designs/ooo.h"
+#include "designs/priority_queue.h"
+#include "designs/systolic.h"
+#include "isa/workloads.h"
+#include "rtl/netlist.h"
+#include "rtl/verilog.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "synth/area.h"
+
+using namespace assassyn;
+
+namespace {
+
+std::unique_ptr<System>
+buildDesign(const std::string &name)
+{
+    using namespace designs;
+    if (name == "pq") {
+        std::vector<PqOp> script;
+        Rng rng(1);
+        for (int k = 0; k < 32; ++k)
+            script.push_back({PqCmd::kPush, uint32_t(rng.below(1000))});
+        for (int k = 0; k < 32; ++k)
+            script.push_back({PqCmd::kPop, 0});
+        return buildPriorityQueue(8, script).sys;
+    }
+    if (name == "systolic") {
+        std::vector<uint32_t> a(16, 2), b(16, 3);
+        return buildSystolic(4, a, b).sys;
+    }
+    if (name.rfind("cpu-", 0) == 0 || name == "ooo") {
+        auto image = isa::buildMemoryImage(isa::workload("towers"));
+        if (name == "ooo")
+            return buildOoo(image).sys;
+        BranchPolicy p = name == "cpu-base" ? BranchPolicy::kInterlock
+                         : name == "cpu-bpf" ? BranchPolicy::kNotTaken
+                                             : BranchPolicy::kTaken;
+        return buildCpu(p, image).sys;
+    }
+    if (name == "kmp")
+        return buildKmpAccel(makeKmpData(2000, 5)).sys;
+    if (name == "spmv")
+        return buildSpmvAccel(makeSpmvData(64, 10, 6)).sys;
+    if (name == "merge")
+        return buildMergeSortAccel(makeMergeSortData(256, 7)).sys;
+    if (name == "radix")
+        return buildRadixSortAccel(makeRadixSortData(256, 8)).sys;
+    if (name == "stencil")
+        return buildStencilAccel(makeStencilData(16, 16, 9)).sys;
+    if (name == "fft")
+        return buildFftAccel(makeFftData(64, 10)).sys;
+    if (name.rfind("hls-", 0) == 0) {
+        std::string base = name.substr(4);
+        if (base == "kmp") {
+            auto d = makeKmpData(2000, 5);
+            return baseline::generateHls(baseline::hlsKmp(d), d.memory).sys;
+        }
+        if (base == "spmv") {
+            auto d = makeSpmvData(64, 10, 6);
+            return baseline::generateHls(baseline::hlsSpmv(d), d.memory).sys;
+        }
+        if (base == "merge") {
+            auto d = makeMergeSortData(256, 7);
+            return baseline::generateHls(baseline::hlsMergeSort(d),
+                                         d.memory).sys;
+        }
+        if (base == "radix") {
+            auto d = makeRadixSortData(256, 8);
+            return baseline::generateHls(baseline::hlsRadixSort(d),
+                                         d.memory).sys;
+        }
+        if (base == "stencil") {
+            auto d = makeStencilData(16, 16, 9);
+            return baseline::generateHls(baseline::hlsStencil(d),
+                                         d.memory).sys;
+        }
+        if (base == "fft") {
+            auto d = makeFftData(64, 10);
+            return baseline::generateHls(baseline::hlsFft(d), d.memory).sys;
+        }
+    }
+    fatal("unknown design '", name, "'; see --help");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2 || std::strcmp(argv[1], "--help") == 0) {
+        std::printf("usage: explore <design> [--ir] [--sv FILE] [--area] "
+                    "[--vcd FILE] [--dot FILE] [--run]\n");
+        return argc < 2;
+    }
+    auto sys = buildDesign(argv[1]);
+
+    bool any = false;
+    for (int i = 2; i < argc; ++i) {
+        std::string flag = argv[i];
+        any = true;
+        if (flag == "--ir") {
+            std::printf("%s", printSystem(*sys).c_str());
+        } else if (flag == "--dot" && i + 1 < argc) {
+            std::ofstream(argv[++i]) << dumpDot(*sys);
+            std::printf("wrote stage graph to %s\n", argv[i]);
+        } else if (flag == "--sv" && i + 1 < argc) {
+            rtl::Netlist nl(*sys);
+            std::ofstream(argv[++i]) << rtl::emitVerilog(nl);
+            std::printf("wrote SystemVerilog to %s\n", argv[i]);
+        } else if (flag == "--area") {
+            rtl::Netlist nl(*sys);
+            auto rep = synth::estimateArea(nl);
+            std::printf("area: %.1f um^2 (func %.1f, fifo %.1f, sm %.1f; "
+                        "seq %.1f, comb %.1f)\n",
+                        rep.total(), rep.func, rep.fifo, rep.sm, rep.seq,
+                        rep.comb);
+        } else if (flag == "--vcd" && i + 1 < argc) {
+            sim::SimOptions opts;
+            opts.vcd_path = argv[++i];
+            sim::Simulator s(*sys, opts);
+            s.run(1'000'000);
+            std::printf("ran %llu cycles; waveform in %s\n",
+                        (unsigned long long)s.cycle(), argv[i]);
+        } else if (flag == "--run") {
+            sim::Simulator s(*sys);
+            s.run(10'000'000);
+            std::printf("ran %llu cycles (%s)\n",
+                        (unsigned long long)s.cycle(),
+                        s.finished() ? "finished" : "cycle limit");
+            for (const auto &line : s.logOutput())
+                std::printf("  %s\n", line.c_str());
+        } else {
+            fatal("unknown flag '", flag, "'");
+        }
+    }
+    if (!any) {
+        sim::Simulator s(*sys);
+        s.run(10'000'000);
+        std::printf("%s: %llu cycles (%s)\n", argv[1],
+                    (unsigned long long)s.cycle(),
+                    s.finished() ? "finished" : "cycle limit");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Systolic-array matrix multiply: the running example of paper Fig. 5.
+ * A 4x4 output-stationary array is instantiated by a higher-order C++
+ * constructor (Sec. 3.6); each PE forwards its west operand with an
+ * async call and feeds its south neighbor through a bind (Sec. 3.7).
+ *
+ *   build/examples/systolic_matmul
+ */
+#include <cstdio>
+
+#include "designs/systolic.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "synth/area.h"
+#include "rtl/netlist.h"
+
+using namespace assassyn;
+
+int
+main()
+{
+    const size_t n = 4;
+    Rng rng(2024);
+    std::vector<uint32_t> a(n * n), b(n * n);
+    for (auto &v : a)
+        v = uint32_t(rng.below(10));
+    for (auto &v : b)
+        v = uint32_t(rng.below(10));
+
+    auto design = designs::buildSystolic(n, a, b);
+    sim::Simulator s(*design.sys);
+    s.run(1000);
+    std::printf("finished in %llu cycles\n",
+                (unsigned long long)s.cycle());
+
+    auto print_matrix = [&](const char *name, auto get) {
+        std::printf("%s =\n", name);
+        for (size_t i = 0; i < n; ++i) {
+            std::printf("  ");
+            for (size_t j = 0; j < n; ++j)
+                std::printf("%6llu",
+                            (unsigned long long)get(i, j));
+            std::printf("\n");
+        }
+    };
+    print_matrix("A", [&](size_t i, size_t j) { return a[i * n + j]; });
+    print_matrix("B", [&](size_t i, size_t j) { return b[i * n + j]; });
+    print_matrix("C = A*B (from the PE accumulators)",
+                 [&](size_t i, size_t j) {
+                     return s.readArray(design.acc[i * n + j], 0);
+                 });
+
+    // Check against software matmul.
+    bool ok = true;
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            uint32_t want = 0;
+            for (size_t k = 0; k < n; ++k)
+                want += a[i * n + k] * b[k * n + j];
+            ok &= s.readArray(design.acc[i * n + j], 0) == want;
+        }
+    }
+    std::printf("golden check: %s\n", ok ? "PASS" : "FAIL");
+
+    rtl::Netlist nl(*design.sys);
+    auto area = synth::estimateArea(nl);
+    std::printf("array area: %.1f um^2 (%.1f per PE)\n", area.total(),
+                area.total() / double(n * n));
+    return ok ? 0 : 1;
+}

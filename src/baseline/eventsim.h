@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A generic event-driven simulation engine, the classic architecture-
+ * modeling style the paper sketches in Fig. 2(b): a priority queue keyed
+ * by timestamp, each event carrying a handler that may enqueue further
+ * events. The gem5-like CPU timing model is built on this engine; it is
+ * also usable standalone (and unit-tested as such).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace assassyn {
+namespace baseline {
+
+/** A timestamp-ordered event queue. */
+class EventQueue {
+  public:
+    using Handler = std::function<void()>;
+
+    /** Schedule @p handler at absolute time @p when. */
+    void
+    schedule(uint64_t when, Handler handler)
+    {
+        heap_.push(Entry{when, seq_++, std::move(handler)});
+    }
+
+    /** Schedule @p delta ticks after the current time. */
+    void
+    scheduleIn(uint64_t delta, Handler handler)
+    {
+        schedule(now_ + delta, std::move(handler));
+    }
+
+    uint64_t now() const { return now_; }
+    bool empty() const { return heap_.empty(); }
+    size_t pending() const { return heap_.size(); }
+
+    /**
+     * Pop-and-run until the queue drains or time exceeds @p horizon.
+     * Events scheduled at equal times run in scheduling order.
+     * @return the time of the last executed event.
+     */
+    uint64_t
+    run(uint64_t horizon = ~uint64_t(0))
+    {
+        while (!heap_.empty() && heap_.top().when <= horizon) {
+            Entry e = heap_.top();
+            heap_.pop();
+            now_ = e.when;
+            e.handler();
+        }
+        return now_;
+    }
+
+  private:
+    struct Entry {
+        uint64_t when;
+        uint64_t seq;
+        Handler handler;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            return when != other.when ? when > other.when : seq > other.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    uint64_t now_ = 0;
+    uint64_t seq_ = 0;
+};
+
+} // namespace baseline
+} // namespace assassyn

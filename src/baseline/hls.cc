@@ -1,0 +1,248 @@
+#include "baseline/hls.h"
+
+#include <map>
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+#include "support/logging.h"
+
+namespace assassyn {
+namespace baseline {
+
+using namespace dsl;
+
+void
+HlsBuilder::label(const std::string &name)
+{
+    for (const auto &[existing, pos] : labels_)
+        if (existing == name)
+            fatal("HLS program '", prog_.name, "': duplicate label '", name,
+                  "'");
+    labels_.emplace_back(name, int(prog_.insts.size()));
+}
+
+HlsProgram
+HlsBuilder::finish()
+{
+    for (const auto &[inst_idx, label] : fixups_) {
+        int target = -1;
+        for (const auto &[name, pos] : labels_)
+            if (name == label)
+                target = pos;
+        if (target < 0)
+            fatal("HLS program '", prog_.name, "': undefined label '", label,
+                  "'");
+        prog_.insts[size_t(inst_idx)].target = target;
+    }
+    fixups_.clear();
+    return std::move(prog_);
+}
+
+namespace {
+
+bool
+isMemOp(const HlsInst &inst)
+{
+    return inst.kind == HlsInst::Kind::kLoad ||
+           inst.kind == HlsInst::Kind::kStore;
+}
+
+bool
+isControl(const HlsInst &inst)
+{
+    return inst.kind == HlsInst::Kind::kBr ||
+           inst.kind == HlsInst::Kind::kJmp ||
+           inst.kind == HlsInst::Kind::kHalt;
+}
+
+} // namespace
+
+HlsDesign
+generateHls(const HlsProgram &prog, const std::vector<uint32_t> &memory_image)
+{
+    if (prog.insts.empty())
+        fatal("HLS program '", prog.name, "' is empty");
+
+    // ---- State partitioning ----------------------------------------------
+    // A new state starts at every branch target, after every control
+    // statement, and before a memory access when the current state
+    // already holds one (exclusive scalar memory). Pure statements chain.
+    std::vector<bool> is_target(prog.insts.size(), false);
+    for (const HlsInst &inst : prog.insts)
+        if (inst.target >= 0)
+            is_target[size_t(inst.target)] = true;
+
+    std::vector<int> state_of(prog.insts.size(), 0);
+    int state = 0;
+    bool state_has_mem = false;
+    bool state_open = false;
+    for (size_t i = 0; i < prog.insts.size(); ++i) {
+        const HlsInst &inst = prog.insts[i];
+        bool need_new = !state_open || is_target[i] ||
+                        (isMemOp(inst) && state_has_mem);
+        if (need_new && state_open) {
+            ++state;
+            state_has_mem = false;
+        }
+        state_open = true;
+        state_of[i] = state;
+        state_has_mem |= isMemOp(inst);
+        if (isControl(inst)) {
+            ++state;
+            state_has_mem = false;
+            state_open = false;
+        }
+    }
+    int num_states = state + (state_open ? 1 : 0);
+
+    // ---- Elaboration -------------------------------------------------------
+    SysBuilder sb("hls_" + prog.name);
+    HlsDesign out;
+    out.num_states = size_t(num_states);
+
+    std::vector<uint64_t> image(memory_image.begin(), memory_image.end());
+    Arr mem = sb.mem("mem", uintType(32), image.size(), image);
+    unsigned idx_bits = std::max(1u, log2ceil(image.size()));
+    unsigned state_bits = std::max(1u, log2ceil(uint64_t(num_states)));
+    Reg state_reg = sb.reg("fsm_state", uintType(state_bits));
+    std::vector<Reg> vregs;
+    for (int i = 0; i < prog.num_vregs; ++i)
+        vregs.push_back(sb.reg("v" + std::to_string(i), uintType(32)));
+
+    Stage fsm = sb.driver("fsm");
+    {
+        StageScope scope(fsm);
+        Val cur = state_reg.read();
+
+        size_t i = 0;
+        while (i < prog.insts.size()) {
+            int s = state_of[i];
+            size_t end = i;
+            while (end < prog.insts.size() && state_of[end] == s)
+                ++end;
+
+            when(cur == uint64_t(s), [&] {
+                // Symbolic evaluation within the state: chained pure ops
+                // see each other's results; register commits happen once
+                // at the state boundary.
+                std::map<int, Val> local;
+                auto read = [&](int vr) {
+                    auto it = local.find(vr);
+                    return it != local.end() ? it->second : vregs[size_t(vr)]
+                                                                .read();
+                };
+                Val next;
+                bool finished = false;
+                for (size_t k = i; k < end; ++k) {
+                    const HlsInst &inst = prog.insts[k];
+                    switch (inst.kind) {
+                      case HlsInst::Kind::kConst:
+                        local[inst.dst] = lit(uint64_t(inst.imm), 32);
+                        break;
+                      case HlsInst::Kind::kBin:
+                      case HlsInst::Kind::kBinImm: {
+                        Val a = read(inst.a);
+                        Val b = inst.kind == HlsInst::Kind::kBin
+                                    ? read(inst.b)
+                                    : lit(uint64_t(inst.imm), 32);
+                        Val r;
+                        switch (inst.bop) {
+                          case BinOpcode::kLt:
+                          case BinOpcode::kLe:
+                          case BinOpcode::kGt:
+                          case BinOpcode::kGe: {
+                            // C-style signed comparison.
+                            Val sa = a.as(intType(32));
+                            Val sb2 = b.as(intType(32));
+                            Val c = inst.bop == BinOpcode::kLt   ? sa < sb2
+                                    : inst.bop == BinOpcode::kLe ? sa <= sb2
+                                    : inst.bop == BinOpcode::kGt ? sa > sb2
+                                                                 : sa >= sb2;
+                            r = c.zext(32);
+                            break;
+                          }
+                          case BinOpcode::kEq:
+                            r = (a == b).zext(32);
+                            break;
+                          case BinOpcode::kNe:
+                            r = (a != b).zext(32);
+                            break;
+                          case BinOpcode::kShl:
+                            r = a << b.trunc(6);
+                            break;
+                          case BinOpcode::kShr:
+                            // C semantics: >> on int is arithmetic.
+                            r = (a.as(intType(32)) >> b.trunc(6))
+                                    .as(uintType(32));
+                            break;
+                          default: {
+                            Val tmp;
+                            switch (inst.bop) {
+                              case BinOpcode::kAdd: tmp = a + b; break;
+                              case BinOpcode::kSub: tmp = a - b; break;
+                              case BinOpcode::kMul: tmp = a * b; break;
+                              case BinOpcode::kDiv: tmp = a / b; break;
+                              case BinOpcode::kMod: tmp = a % b; break;
+                              case BinOpcode::kAnd: tmp = a & b; break;
+                              case BinOpcode::kOr:  tmp = a | b; break;
+                              case BinOpcode::kXor: tmp = a ^ b; break;
+                              default:
+                                fatal("HLS: unsupported binary op");
+                            }
+                            r = tmp;
+                            break;
+                          }
+                        }
+                        local[inst.dst] = r;
+                        break;
+                      }
+                      case HlsInst::Kind::kLoad:
+                        local[inst.dst] =
+                            mem.read(read(inst.a).trunc(idx_bits));
+                        break;
+                      case HlsInst::Kind::kStore:
+                        mem.write(read(inst.a).trunc(idx_bits),
+                                  read(inst.b));
+                        break;
+                      case HlsInst::Kind::kBr: {
+                        Val cond = read(inst.a).orReduce();
+                        next = select(
+                            cond,
+                            lit(uint64_t(state_of[size_t(inst.target)]),
+                                state_bits),
+                            lit(uint64_t(s + 1), state_bits));
+                        break;
+                      }
+                      case HlsInst::Kind::kJmp:
+                        next = lit(
+                            uint64_t(state_of[size_t(inst.target)]),
+                            state_bits);
+                        break;
+                      case HlsInst::Kind::kHalt:
+                        finish();
+                        finished = true;
+                        break;
+                    }
+                }
+                // Commit modified virtual registers.
+                for (const auto &[vr, val] : local)
+                    vregs[size_t(vr)].write(val);
+                if (!finished) {
+                    if (!next.valid())
+                        next = lit(uint64_t(s + 1), state_bits);
+                    state_reg.write(next);
+                }
+            });
+            i = end;
+        }
+    }
+
+    compile(sb.sys());
+    out.mem = mem.array();
+    out.fsm = fsm.mod();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace baseline
+} // namespace assassyn

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A miniature high-level-synthesis flow: this repo's stand-in for the
+ * Bambu HLS baseline of the paper (Sec. 6).
+ *
+ * Input is a tiny three-address "C-like" program over virtual registers
+ * and one unified memory. The generator produces an Assassyn System the
+ * way a classic HLS tool would: a single finite-state machine with
+ *  - operator chaining: consecutive pure operations fuse into one state;
+ *  - exclusive scalar memory: at most ONE memory access per state (the
+ *    paper's stated assumption for its HLS baseline);
+ *  - a state boundary at every branch (no cross-iteration pipelining);
+ *  - dedicated functional units per statement (no resource sharing),
+ *    which is where HLS's area inflation comes from (paper Q3).
+ *
+ * Both the cycle counts and the synthesized area of the generated FSM
+ * therefore carry the cost structure the paper attributes to HLS output.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ir/instruction.h"
+#include "core/ir/system.h"
+
+namespace assassyn {
+namespace baseline {
+
+/** One three-address statement. */
+struct HlsInst {
+    enum class Kind : uint8_t {
+        kConst, ///< dst = imm
+        kBin,   ///< dst = a (op) b
+        kBinImm,///< dst = a (op) imm
+        kLoad,  ///< dst = mem[a]     (word address in a)
+        kStore, ///< mem[a] = b
+        kBr,    ///< if (a != 0) goto target
+        kJmp,   ///< goto target
+        kHalt,  ///< finish
+    };
+
+    Kind kind;
+    BinOpcode bop = BinOpcode::kAdd;
+    int dst = -1;
+    int a = -1;
+    int b = -1;
+    int64_t imm = 0;
+    int target = -1; ///< statement index for kBr/kJmp
+};
+
+/** A program plus its register count. */
+struct HlsProgram {
+    std::string name;
+    int num_vregs = 0;
+    std::vector<HlsInst> insts;
+};
+
+/** Convenience builder with labels. */
+class HlsBuilder {
+  public:
+    explicit HlsBuilder(std::string name) { prog_.name = std::move(name); }
+
+    /** Allocate a fresh virtual register. */
+    int vreg() { return prog_.num_vregs++; }
+
+    int
+    constant(int dst, int64_t value)
+    {
+        return push({HlsInst::Kind::kConst, BinOpcode::kAdd, dst, -1, -1,
+                     value, -1});
+    }
+
+    int
+    bin(BinOpcode op, int dst, int a, int b)
+    {
+        return push({HlsInst::Kind::kBin, op, dst, a, b, 0, -1});
+    }
+
+    int
+    binImm(BinOpcode op, int dst, int a, int64_t imm)
+    {
+        return push({HlsInst::Kind::kBinImm, op, dst, a, -1, imm, -1});
+    }
+
+    int
+    load(int dst, int addr)
+    {
+        return push({HlsInst::Kind::kLoad, BinOpcode::kAdd, dst, addr, -1,
+                     0, -1});
+    }
+
+    int
+    store(int addr, int value)
+    {
+        return push({HlsInst::Kind::kStore, BinOpcode::kAdd, -1, addr,
+                     value, 0, -1});
+    }
+
+    /** Branch to a label resolved later. */
+    int
+    br(int cond, const std::string &label)
+    {
+        fixups_.emplace_back(int(prog_.insts.size()), label);
+        return push({HlsInst::Kind::kBr, BinOpcode::kAdd, -1, cond, -1, 0,
+                     -1});
+    }
+
+    int
+    jmp(const std::string &label)
+    {
+        fixups_.emplace_back(int(prog_.insts.size()), label);
+        return push({HlsInst::Kind::kJmp, BinOpcode::kAdd, -1, -1, -1, 0,
+                     -1});
+    }
+
+    int halt() { return push({HlsInst::Kind::kHalt, BinOpcode::kAdd, -1,
+                              -1, -1, 0, -1}); }
+
+    /** Define a label at the next statement. */
+    void label(const std::string &name);
+
+    /** Resolve labels and return the program. */
+    HlsProgram finish();
+
+  private:
+    int
+    push(HlsInst inst)
+    {
+        prog_.insts.push_back(inst);
+        return int(prog_.insts.size()) - 1;
+    }
+
+    HlsProgram prog_;
+    std::vector<std::pair<int, std::string>> fixups_;
+    std::vector<std::pair<std::string, int>> labels_;
+};
+
+/** A generated HLS design. */
+struct HlsDesign {
+    std::unique_ptr<System> sys;
+    RegArray *mem = nullptr;
+    Module *fsm = nullptr;
+    size_t num_states = 0;
+};
+
+/**
+ * Generate (and compile) the FSM design for @p prog over a unified
+ * memory initialized with @p memory_image.
+ */
+HlsDesign generateHls(const HlsProgram &prog,
+                      const std::vector<uint32_t> &memory_image);
+
+} // namespace baseline
+} // namespace assassyn

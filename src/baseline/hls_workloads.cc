@@ -1,0 +1,433 @@
+#include "baseline/hls_workloads.h"
+
+namespace assassyn {
+namespace baseline {
+
+using designs::KmpData;
+using designs::SortData;
+using designs::SpmvData;
+using designs::StencilData;
+
+HlsProgram
+hlsKmp(const KmpData &data)
+{
+    HlsBuilder hb("kmp");
+    const int64_t text = data.text_base;
+    const int64_t pat = data.pattern_base;
+    const int64_t fail = data.result_addr + 1;
+
+    int k = hb.vreg(), q = hb.vreg(), i = hb.vreg(), t = hb.vreg();
+    int pv = hb.vreg(), matches = hb.vreg(), addr = hb.vreg();
+    int c = hb.vreg(), zero = hb.vreg();
+
+    // ---- CPF: compute the failure table --------------------------------
+    hb.constant(k, 0);
+    hb.constant(zero, 0);
+    hb.constant(addr, fail);
+    hb.store(addr, zero); // fail[0] = 0
+    hb.constant(q, 1);
+    hb.label("cpf_loop");
+    hb.binImm(BinOpcode::kAdd, addr, q, pat);
+    hb.load(pv, addr); // pv = pattern[q]
+    hb.label("cpf_while");
+    hb.binImm(BinOpcode::kLe, c, k, 0);
+    hb.br(c, "cpf_endw");
+    hb.binImm(BinOpcode::kAdd, addr, k, pat);
+    hb.load(t, addr); // t = pattern[k]
+    hb.bin(BinOpcode::kEq, c, t, pv);
+    hb.br(c, "cpf_endw");
+    hb.binImm(BinOpcode::kAdd, addr, k, fail - 1);
+    hb.load(k, addr); // k = fail[k-1]
+    hb.jmp("cpf_while");
+    hb.label("cpf_endw");
+    hb.binImm(BinOpcode::kAdd, addr, k, pat);
+    hb.load(t, addr);
+    hb.bin(BinOpcode::kNe, c, t, pv);
+    hb.br(c, "cpf_skip");
+    hb.binImm(BinOpcode::kAdd, k, k, 1);
+    hb.label("cpf_skip");
+    hb.binImm(BinOpcode::kAdd, addr, q, fail);
+    hb.store(addr, k); // fail[q] = k
+    hb.binImm(BinOpcode::kAdd, q, q, 1);
+    hb.binImm(BinOpcode::kLt, c, q, data.m);
+    hb.br(c, "cpf_loop");
+
+    // ---- Match ------------------------------------------------------------
+    hb.constant(q, 0);
+    hb.constant(matches, 0);
+    hb.constant(i, 0);
+    hb.label("m_loop");
+    hb.binImm(BinOpcode::kAdd, addr, i, text);
+    hb.load(t, addr); // t = text[i]
+    hb.label("m_while");
+    hb.binImm(BinOpcode::kLe, c, q, 0);
+    hb.br(c, "m_endw");
+    hb.binImm(BinOpcode::kAdd, addr, q, pat);
+    hb.load(pv, addr);
+    hb.bin(BinOpcode::kEq, c, pv, t);
+    hb.br(c, "m_endw");
+    hb.binImm(BinOpcode::kAdd, addr, q, fail - 1);
+    hb.load(q, addr);
+    hb.jmp("m_while");
+    hb.label("m_endw");
+    hb.binImm(BinOpcode::kAdd, addr, q, pat);
+    hb.load(pv, addr);
+    hb.bin(BinOpcode::kNe, c, pv, t);
+    hb.br(c, "m_noadv");
+    hb.binImm(BinOpcode::kAdd, q, q, 1);
+    hb.label("m_noadv");
+    hb.binImm(BinOpcode::kNe, c, q, data.m);
+    hb.br(c, "m_next");
+    hb.binImm(BinOpcode::kAdd, matches, matches, 1);
+    hb.binImm(BinOpcode::kAdd, addr, q, fail - 1);
+    hb.load(q, addr);
+    hb.label("m_next");
+    hb.binImm(BinOpcode::kAdd, i, i, 1);
+    hb.binImm(BinOpcode::kLt, c, i, data.n);
+    hb.br(c, "m_loop");
+    hb.constant(addr, data.result_addr);
+    hb.store(addr, matches);
+    hb.halt();
+    return hb.finish();
+}
+
+HlsProgram
+hlsSpmv(const SpmvData &data)
+{
+    HlsBuilder hb("spmv");
+    int i = hb.vreg(), j = hb.vreg(), sum = hb.vreg();
+    int v = hb.vreg(), cidx = hb.vreg(), xv = hb.vreg();
+    int addr = hb.vreg(), nz = hb.vreg(), c = hb.vreg(), prod = hb.vreg();
+
+    hb.constant(i, 0);
+    hb.label("row");
+    hb.constant(sum, 0);
+    hb.constant(j, 0);
+    hb.binImm(BinOpcode::kMul, nz, i, data.m); // row base, recomputed as
+                                               // the C code writes it
+    hb.label("nz");
+    hb.bin(BinOpcode::kAdd, addr, nz, j);
+    hb.binImm(BinOpcode::kAdd, addr, addr, data.val_base);
+    hb.load(v, addr);
+    hb.bin(BinOpcode::kAdd, addr, nz, j);
+    hb.binImm(BinOpcode::kAdd, addr, addr, data.col_base);
+    hb.load(cidx, addr);
+    hb.binImm(BinOpcode::kAdd, addr, cidx, data.x_base);
+    hb.load(xv, addr);
+    hb.bin(BinOpcode::kMul, prod, v, xv);
+    hb.bin(BinOpcode::kAdd, sum, sum, prod);
+    hb.binImm(BinOpcode::kAdd, j, j, 1);
+    hb.binImm(BinOpcode::kLt, c, j, data.m);
+    hb.br(c, "nz");
+    hb.binImm(BinOpcode::kAdd, addr, i, data.y_base);
+    hb.store(addr, sum);
+    hb.binImm(BinOpcode::kAdd, i, i, 1);
+    hb.binImm(BinOpcode::kLt, c, i, data.n);
+    hb.br(c, "row");
+    hb.halt();
+    return hb.finish();
+}
+
+HlsProgram
+hlsMergeSort(const SortData &data)
+{
+    HlsBuilder hb("merge");
+    const int64_t n = data.n;
+    int w = hb.vreg(), srcb = hb.vreg(), dstb = hb.vreg();
+    int lo = hb.vreg(), mid = hb.vreg(), hi = hb.vreg();
+    int i = hb.vreg(), j = hb.vreg(), o = hb.vreg();
+    int li = hb.vreg(), rj = hb.vreg(), addr = hb.vreg();
+    int c = hb.vreg(), c2 = hb.vreg(), c3 = hb.vreg(), tmp = hb.vreg();
+
+    hb.constant(w, 1);
+    hb.constant(srcb, data.a_base);
+    hb.constant(dstb, data.aux_base);
+    hb.label("pass");
+    hb.constant(lo, 0);
+    hb.label("seg");
+    hb.bin(BinOpcode::kAdd, mid, lo, w);
+    hb.binImm(BinOpcode::kGt, c, mid, n);
+    hb.br(c, "clamp_mid");
+    hb.jmp("mid_ok");
+    hb.label("clamp_mid");
+    hb.constant(mid, n);
+    hb.label("mid_ok");
+    hb.bin(BinOpcode::kAdd, hi, mid, w);
+    hb.binImm(BinOpcode::kGt, c, hi, n);
+    hb.br(c, "clamp_hi");
+    hb.jmp("hi_ok");
+    hb.label("clamp_hi");
+    hb.constant(hi, n);
+    hb.label("hi_ok");
+    hb.bin(BinOpcode::kOr, i, lo, lo); // i = lo
+    hb.bin(BinOpcode::kOr, j, mid, mid);
+    hb.bin(BinOpcode::kOr, o, lo, lo);
+    hb.label("merge");
+    hb.bin(BinOpcode::kAdd, addr, srcb, i);
+    hb.load(li, addr);
+    hb.bin(BinOpcode::kAdd, addr, srcb, j);
+    hb.load(rj, addr);
+    // take_left = (i < mid) && (j >= hi || li <= rj), evaluated
+    // arithmetically so one branch decides.
+    hb.bin(BinOpcode::kLt, c, i, mid);
+    hb.bin(BinOpcode::kGe, c2, j, hi);
+    hb.bin(BinOpcode::kLe, c3, li, rj);
+    hb.bin(BinOpcode::kOr, c2, c2, c3);
+    hb.bin(BinOpcode::kAnd, c, c, c2);
+    hb.br(c, "take_left");
+    hb.bin(BinOpcode::kAdd, addr, dstb, o);
+    hb.store(addr, rj);
+    hb.binImm(BinOpcode::kAdd, j, j, 1);
+    hb.jmp("cont");
+    hb.label("take_left");
+    hb.bin(BinOpcode::kAdd, addr, dstb, o);
+    hb.store(addr, li);
+    hb.binImm(BinOpcode::kAdd, i, i, 1);
+    hb.label("cont");
+    hb.binImm(BinOpcode::kAdd, o, o, 1);
+    hb.bin(BinOpcode::kLt, c, o, hi);
+    hb.br(c, "merge");
+    hb.bin(BinOpcode::kAdd, lo, lo, w);
+    hb.bin(BinOpcode::kAdd, lo, lo, w);
+    hb.binImm(BinOpcode::kLt, c, lo, n);
+    hb.br(c, "seg");
+    hb.bin(BinOpcode::kAdd, w, w, w); // width *= 2
+    hb.bin(BinOpcode::kOr, tmp, srcb, srcb);
+    hb.bin(BinOpcode::kOr, srcb, dstb, dstb);
+    hb.bin(BinOpcode::kOr, dstb, tmp, tmp);
+    hb.binImm(BinOpcode::kLt, c, w, n);
+    hb.br(c, "pass");
+    hb.halt();
+    return hb.finish();
+}
+
+HlsProgram
+hlsRadixSort(const SortData &data)
+{
+    HlsBuilder hb("radix");
+    const int64_t n = data.n;
+    const int64_t counts = data.scratch_base;
+    int i = hb.vreg(), shift = hb.vreg(), srcb = hb.vreg(),
+        dstb = hb.vreg();
+    int v = hb.vreg(), d = hb.vreg(), cnt = hb.vreg(), pos = hb.vreg();
+    int addr = hb.vreg(), c = hb.vreg(), tmp = hb.vreg(), run = hb.vreg();
+
+    hb.constant(shift, 0);
+    hb.constant(srcb, data.a_base);
+    hb.constant(dstb, data.aux_base);
+    hb.label("pass");
+    // clear counts
+    hb.constant(i, 0);
+    hb.label("clear");
+    hb.binImm(BinOpcode::kAdd, addr, i, counts);
+    hb.constant(v, 0);
+    hb.store(addr, v);
+    hb.binImm(BinOpcode::kAdd, i, i, 1);
+    hb.binImm(BinOpcode::kLt, c, i, 16);
+    hb.br(c, "clear");
+    // histogram
+    hb.constant(i, 0);
+    hb.label("hist");
+    hb.bin(BinOpcode::kAdd, addr, srcb, i);
+    hb.load(v, addr);
+    hb.bin(BinOpcode::kShr, d, v, shift);
+    hb.binImm(BinOpcode::kAnd, d, d, 15);
+    hb.binImm(BinOpcode::kAdd, addr, d, counts);
+    hb.load(cnt, addr);
+    hb.binImm(BinOpcode::kAdd, cnt, cnt, 1);
+    hb.binImm(BinOpcode::kAdd, addr, d, counts);
+    hb.store(addr, cnt);
+    hb.binImm(BinOpcode::kAdd, i, i, 1);
+    hb.binImm(BinOpcode::kLt, c, i, n);
+    hb.br(c, "hist");
+    // exclusive prefix sum
+    hb.constant(i, 0);
+    hb.constant(run, 0);
+    hb.label("prefix");
+    hb.binImm(BinOpcode::kAdd, addr, i, counts);
+    hb.load(cnt, addr);
+    hb.store(addr, run);
+    hb.bin(BinOpcode::kAdd, run, run, cnt);
+    hb.binImm(BinOpcode::kAdd, i, i, 1);
+    hb.binImm(BinOpcode::kLt, c, i, 16);
+    hb.br(c, "prefix");
+    // scatter
+    hb.constant(i, 0);
+    hb.label("scatter");
+    hb.bin(BinOpcode::kAdd, addr, srcb, i);
+    hb.load(v, addr);
+    hb.bin(BinOpcode::kShr, d, v, shift);
+    hb.binImm(BinOpcode::kAnd, d, d, 15);
+    hb.binImm(BinOpcode::kAdd, addr, d, counts);
+    hb.load(pos, addr);
+    hb.binImm(BinOpcode::kAdd, cnt, pos, 1);
+    hb.binImm(BinOpcode::kAdd, addr, d, counts);
+    hb.store(addr, cnt);
+    hb.bin(BinOpcode::kAdd, addr, dstb, pos);
+    hb.store(addr, v);
+    hb.binImm(BinOpcode::kAdd, i, i, 1);
+    hb.binImm(BinOpcode::kLt, c, i, n);
+    hb.br(c, "scatter");
+    // next pass: swap buffers, shift += 4
+    hb.bin(BinOpcode::kOr, tmp, srcb, srcb);
+    hb.bin(BinOpcode::kOr, srcb, dstb, dstb);
+    hb.bin(BinOpcode::kOr, dstb, tmp, tmp);
+    hb.binImm(BinOpcode::kAdd, shift, shift, 4);
+    hb.binImm(BinOpcode::kLt, c, shift, 16);
+    hb.br(c, "pass");
+    hb.halt();
+    return hb.finish();
+}
+
+HlsProgram
+hlsStencil(const StencilData &data)
+{
+    HlsBuilder hb("stencil");
+    const int64_t cols = data.cols;
+    const int64_t rows = data.rows;
+    int r = hb.vreg(), cc = hb.vreg(), base = hb.vreg(), acc = hb.vreg();
+    int px = hb.vreg(), addr = hb.vreg(), c = hb.vreg(), prod = hb.vreg();
+    std::vector<int> f;
+    for (int k = 0; k < 9; ++k)
+        f.push_back(hb.vreg());
+
+    // The filter is small and constant: HLS promotes it to registers.
+    for (int64_t k = 0; k < 9; ++k) {
+        hb.constant(addr, data.filt_base + k);
+        hb.load(f[size_t(k)], addr);
+    }
+    const int64_t offs[9] = {-cols - 1, -cols, -cols + 1, -1, 0, 1,
+                             cols - 1,  cols,  cols + 1};
+    hb.constant(r, 1);
+    hb.label("row");
+    hb.constant(cc, 1);
+    hb.label("col");
+    hb.binImm(BinOpcode::kMul, base, r, cols);
+    hb.bin(BinOpcode::kAdd, base, base, cc);
+    hb.constant(acc, 0);
+    for (int k = 0; k < 9; ++k) {
+        hb.binImm(BinOpcode::kAdd, addr, base,
+                  data.img_base + offs[size_t(k)]);
+        hb.load(px, addr);
+        hb.bin(BinOpcode::kMul, prod, px, f[size_t(k)]);
+        hb.bin(BinOpcode::kAdd, acc, acc, prod);
+    }
+    hb.binImm(BinOpcode::kAdd, addr, base, data.out_base);
+    hb.store(addr, acc);
+    hb.binImm(BinOpcode::kAdd, cc, cc, 1);
+    hb.binImm(BinOpcode::kLt, c, cc, cols - 1);
+    hb.br(c, "col");
+    hb.binImm(BinOpcode::kAdd, r, r, 1);
+    hb.binImm(BinOpcode::kLt, c, r, rows - 1);
+    hb.br(c, "row");
+    hb.halt();
+    return hb.finish();
+}
+
+HlsProgram
+hlsFft(const designs::FftData &data)
+{
+    HlsBuilder hb("fft");
+    const int64_t n = data.n;
+    unsigned idx_bits = 0;
+    while ((1u << idx_bits) < data.n)
+        ++idx_bits;
+
+    int i = hb.vreg(), j = hb.vreg(), tmp = hb.vreg(), c = hb.vreg();
+    int len = hb.vreg(), half = hb.vreg(), stride = hb.vreg();
+    int base = hb.vreg(), top = hb.vreg(), bot = hb.vreg();
+    int twj = hb.vreg(), addr = hb.vreg();
+    int ur = hb.vreg(), ui = hb.vreg(), vr = hb.vreg(), vi = hb.vreg();
+    int wr = hb.vreg(), wi = hb.vreg(), tr = hb.vreg(), ti = hb.vreg();
+    int p1 = hb.vreg(), p2 = hb.vreg();
+
+    // ---- Bit-reversal permutation (rev computed by a shift loop, the
+    // way the C code writes it; fully unrolled pure chain) --------------
+    hb.constant(i, 0);
+    hb.label("br_loop");
+    hb.constant(j, 0);
+    hb.bin(BinOpcode::kOr, tmp, i, i);
+    for (unsigned b = 0; b < idx_bits; ++b) {
+        hb.binImm(BinOpcode::kShl, j, j, 1);
+        hb.binImm(BinOpcode::kAnd, c, tmp, 1);
+        hb.bin(BinOpcode::kOr, j, j, c);
+        hb.binImm(BinOpcode::kShr, tmp, tmp, 1);
+    }
+    hb.bin(BinOpcode::kLe, c, j, i);
+    hb.br(c, "br_next");
+    // Swap re[i] <-> re[j] and im[i] <-> im[j].
+    for (int64_t region : {int64_t(data.re_base), int64_t(data.im_base)}) {
+        hb.binImm(BinOpcode::kAdd, addr, i, region);
+        hb.load(ur, addr);
+        hb.binImm(BinOpcode::kAdd, addr, j, region);
+        hb.load(ui, addr);
+        hb.binImm(BinOpcode::kAdd, addr, i, region);
+        hb.store(addr, ui);
+        hb.binImm(BinOpcode::kAdd, addr, j, region);
+        hb.store(addr, ur);
+    }
+    hb.label("br_next");
+    hb.binImm(BinOpcode::kAdd, i, i, 1);
+    hb.binImm(BinOpcode::kLt, c, i, n);
+    hb.br(c, "br_loop");
+
+    // ---- Butterflies -----------------------------------------------------
+    hb.constant(len, 2);
+    hb.label("len_loop");
+    hb.binImm(BinOpcode::kShr, half, len, 1);
+    hb.constant(stride, n);
+    hb.bin(BinOpcode::kDiv, stride, stride, len);
+    hb.constant(base, 0);
+    hb.label("base_loop");
+    hb.constant(j, 0);
+    hb.label("j_loop");
+    hb.bin(BinOpcode::kAdd, top, base, j);
+    hb.bin(BinOpcode::kAdd, bot, top, half);
+    hb.bin(BinOpcode::kMul, twj, j, stride);
+    hb.binImm(BinOpcode::kAdd, addr, top, data.re_base);
+    hb.load(ur, addr);
+    hb.binImm(BinOpcode::kAdd, addr, top, data.im_base);
+    hb.load(ui, addr);
+    hb.binImm(BinOpcode::kAdd, addr, bot, data.re_base);
+    hb.load(vr, addr);
+    hb.binImm(BinOpcode::kAdd, addr, bot, data.im_base);
+    hb.load(vi, addr);
+    hb.binImm(BinOpcode::kAdd, addr, twj, data.twr_base);
+    hb.load(wr, addr);
+    hb.binImm(BinOpcode::kAdd, addr, twj, data.twi_base);
+    hb.load(wi, addr);
+    hb.bin(BinOpcode::kMul, p1, vr, wr);
+    hb.bin(BinOpcode::kMul, p2, vi, wi);
+    hb.bin(BinOpcode::kSub, tr, p1, p2);
+    hb.binImm(BinOpcode::kShr, tr, tr, 14);
+    hb.bin(BinOpcode::kMul, p1, vr, wi);
+    hb.bin(BinOpcode::kMul, p2, vi, wr);
+    hb.bin(BinOpcode::kAdd, ti, p1, p2);
+    hb.binImm(BinOpcode::kShr, ti, ti, 14);
+    hb.bin(BinOpcode::kAdd, tmp, ur, tr);
+    hb.binImm(BinOpcode::kAdd, addr, top, data.re_base);
+    hb.store(addr, tmp);
+    hb.bin(BinOpcode::kAdd, tmp, ui, ti);
+    hb.binImm(BinOpcode::kAdd, addr, top, data.im_base);
+    hb.store(addr, tmp);
+    hb.bin(BinOpcode::kSub, tmp, ur, tr);
+    hb.binImm(BinOpcode::kAdd, addr, bot, data.re_base);
+    hb.store(addr, tmp);
+    hb.bin(BinOpcode::kSub, tmp, ui, ti);
+    hb.binImm(BinOpcode::kAdd, addr, bot, data.im_base);
+    hb.store(addr, tmp);
+    hb.binImm(BinOpcode::kAdd, j, j, 1);
+    hb.bin(BinOpcode::kLt, c, j, half);
+    hb.br(c, "j_loop");
+    hb.bin(BinOpcode::kAdd, base, base, len);
+    hb.binImm(BinOpcode::kLt, c, base, n);
+    hb.br(c, "base_loop");
+    hb.binImm(BinOpcode::kShl, len, len, 1);
+    hb.binImm(BinOpcode::kLe, c, len, n);
+    hb.br(c, "len_loop");
+    hb.halt();
+    return hb.finish();
+}
+
+} // namespace baseline
+} // namespace assassyn

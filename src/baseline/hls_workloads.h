@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Mechanical "C-like" translations of the five MachSuite workloads for
+ * the mini-HLS flow — this repo's stand-in for the Bambu-generated
+ * baselines of the paper. Each program operates over the same memory
+ * image as the corresponding hand-written Assassyn accelerator, so both
+ * cycle counts and results compare directly.
+ */
+#pragma once
+
+#include "baseline/hls.h"
+#include "designs/accel_data.h"
+
+namespace assassyn {
+namespace baseline {
+
+/** The classic KMP algorithm with an in-memory failure table. */
+HlsProgram hlsKmp(const designs::KmpData &data);
+
+/** Row-major ELLPACK spmv. */
+HlsProgram hlsSpmv(const designs::SpmvData &data);
+
+/** Bottom-up merge sort with in-memory runs. */
+HlsProgram hlsMergeSort(const designs::SortData &data);
+
+/** LSD radix sort with in-memory bucket counters. */
+HlsProgram hlsRadixSort(const designs::SortData &data);
+
+/** 3x3 stencil with the filter promoted to registers. */
+HlsProgram hlsStencil(const designs::StencilData &data);
+
+/** Iterative radix-2 fixed-point FFT (bit reversal + butterflies). */
+HlsProgram hlsFft(const designs::FftData &data);
+
+} // namespace baseline
+} // namespace assassyn

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Analysis passes: cross-reference resolution, structural verification,
+ * and the combinational topological sort of paper Sec. 4.1.
+ */
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "core/compiler/pass.h"
+#include "core/compiler/walk.h"
+
+namespace assassyn {
+
+void
+resolveCrossRefs(System &sys)
+{
+    for (const auto &mod : sys.modules()) {
+        for (const auto &node : mod->nodes()) {
+            if (node->valueKind() != Value::Kind::kCrossRef)
+                continue;
+            auto *ref = static_cast<CrossRef *>(node.get());
+            if (ref->resolved())
+                continue;
+            Value *target = ref->producer()->exposedOrNull(ref->exported());
+            if (!target)
+                fatal("module '", mod->name(), "' references '",
+                      ref->producer()->name(), ".", ref->exported(),
+                      "', which is not exposed");
+            bool is_bind =
+                target->valueKind() == Value::Kind::kInstr &&
+                static_cast<Instruction *>(target)->opcode() == Opcode::kBind;
+            if (!is_bind && target->type().bits() != ref->type().bits())
+                fatal("cross-stage reference '", ref->producer()->name(),
+                      ".", ref->exported(), "' declared as ",
+                      ref->type().toString(), " but exposed as ",
+                      target->type().toString());
+            ref->setResolved(target);
+        }
+    }
+}
+
+namespace {
+
+/** True when @p val is combinational: its value is defined within a cycle. */
+bool
+isCombinational(const Value *val)
+{
+    switch (val->valueKind()) {
+      case Value::Kind::kConst:
+        return true;
+      case Value::Kind::kCrossRef:
+        return true; // refers to whatever it resolves to; handled by edges
+      case Value::Kind::kInstr: {
+        const auto *inst = static_cast<const Instruction *>(val);
+        // A FifoPop's value is the FIFO head: a combinational read of
+        // sequential state, exactly like an ArrayRead.
+        return inst->isPure() || inst->opcode() == Opcode::kFifoPop;
+      }
+    }
+    return false;
+}
+
+} // namespace
+
+void
+verifySystem(const System &sys)
+{
+    for (const auto &mod : sys.modules()) {
+        if (mod->isDriver() && mod->numPorts() > 0)
+            fatal("driver stage '", mod->name(),
+                  "' must not have input ports");
+        // Guards hold pure logic only: they are evaluated speculatively
+        // every cycle the stage has a pending event.
+        forEachInst(mod->guard(), [&](Instruction *inst) {
+            if (!inst->isPure())
+                fatal("stage '", mod->name(),
+                      "' has a side effect inside its wait_until guard");
+        });
+        // Exposures must be combinational values or bind handles.
+        for (const auto &[name, val] : mod->exposures()) {
+            bool is_bind =
+                val->valueKind() == Value::Kind::kInstr &&
+                static_cast<const Instruction *>(val)->opcode() ==
+                    Opcode::kBind;
+            if (!is_bind && !isCombinational(val))
+                fatal("exposure '", mod->name(), ".", name,
+                      "' is neither combinational logic nor a bind handle");
+        }
+        // Every value a module exposes must belong to that module.
+        for (const auto &[name, val] : mod->exposures()) {
+            if (val->parent() && val->parent() != mod.get())
+                fatal("exposure '", mod->name(), ".", name,
+                      "' names a value owned by '", val->parent()->name(),
+                      "'");
+        }
+    }
+}
+
+void
+topoSortStages(System &sys)
+{
+    // Build the stage dependency graph of Sec. 4.1: an edge from the
+    // referencing stage to the referenced stage for every cross-stage
+    // *combinational* reference. async_call and bind are sequential and
+    // contribute no edges.
+    std::map<const Module *, std::set<const Module *>> producers_of;
+    for (const auto &mod : sys.modules())
+        producers_of[mod.get()]; // ensure every module is a vertex
+
+    for (const auto &mod : sys.modules()) {
+        for (const auto &node : mod->nodes()) {
+            if (node->valueKind() != Value::Kind::kCrossRef)
+                continue;
+            auto *ref = static_cast<CrossRef *>(node.get());
+            Value *target = ref->resolved();
+            if (!target)
+                fatal("unresolved cross-stage reference in '", mod->name(),
+                      "'; run resolveCrossRefs first");
+            bool is_bind =
+                target->valueKind() == Value::Kind::kInstr &&
+                static_cast<Instruction *>(target)->opcode() == Opcode::kBind;
+            if (is_bind || !isCombinational(target))
+                continue;
+            if (ref->producer() == mod.get())
+                continue;
+            producers_of[mod.get()].insert(ref->producer());
+        }
+    }
+
+    // Kahn's algorithm, stable in module declaration order (Sec. 4.1).
+    std::vector<Module *> order;
+    std::set<const Module *> placed;
+    const size_t total = sys.modules().size();
+    while (order.size() < total) {
+        bool progressed = false;
+        for (const auto &mod : sys.modules()) {
+            if (placed.count(mod.get()))
+                continue;
+            bool ready = true;
+            for (const Module *dep : producers_of[mod.get()]) {
+                if (!placed.count(dep)) {
+                    ready = false;
+                    break;
+                }
+            }
+            if (ready) {
+                order.push_back(mod.get());
+                placed.insert(mod.get());
+                progressed = true;
+            }
+        }
+        if (!progressed) {
+            std::ostringstream cyc;
+            for (const auto &mod : sys.modules())
+                if (!placed.count(mod.get()))
+                    cyc << ' ' << mod->name();
+            fatal("cyclic combinational dependence among stages:", cyc.str());
+        }
+    }
+    sys.setTopoOrder(std::move(order));
+}
+
+} // namespace assassyn

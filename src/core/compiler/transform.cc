@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Transformation passes of paper Sec. 4.2: the implicit wait_until timing
+ * transform, and arbiter generation for stages whose ports are supplied
+ * by multiple callers.
+ */
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/compiler/pass.h"
+#include "core/compiler/walk.h"
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+
+void
+injectTiming(System &sys)
+{
+    for (const auto &mod : sys.modules()) {
+        if (mod->isStaticTiming() || mod->hasExplicitWait() ||
+            mod->isDriver()) {
+            continue;
+        }
+        // Gather the ports this stage actually consumes.
+        std::vector<Port *> consumed;
+        for (const auto &port : mod->ports())
+            if (mod->popOfOrNull(port.get()))
+                consumed.push_back(port.get());
+        if (consumed.empty())
+            continue;
+        // Guard: wait_until AND over fifo.valid of every consumed port
+        // (Fig. 7 b.1).
+        Value *cond = nullptr;
+        for (Port *port : consumed) {
+            auto *valid = mod->create<FifoValid>(port);
+            mod->guard().append(valid);
+            if (!cond) {
+                cond = valid;
+            } else {
+                auto *conj = mod->create<BinOp>(BinOpcode::kAnd, uintType(1),
+                                                cond, valid);
+                mod->guard().append(conj);
+                cond = conj;
+            }
+        }
+        mod->setWaitCond(cond, /*user_specified=*/false);
+    }
+}
+
+namespace {
+
+/** A stage that supplies data to some port of a callee. */
+struct Supplier {
+    Module *caller;
+    std::vector<AsyncCall *> calls; ///< direct full calls (rewritable)
+    bool via_bind_or_handle = false;
+};
+
+} // namespace
+
+void
+generateArbiters(System &sys)
+{
+    // Snapshot: generated arbiters are appended while iterating.
+    std::vector<Module *> mods;
+    for (const auto &mod : sys.modules())
+        mods.push_back(mod.get());
+
+    for (Module *callee : mods) {
+        if (callee->numPorts() == 0)
+            continue;
+
+        // Collect, per port, the set of stages supplying it, plus the
+        // direct-call sites per caller.
+        std::vector<std::set<Module *>> pushers(callee->numPorts());
+        std::map<Module *, Supplier> suppliers;
+        for (const auto &mod : sys.modules()) {
+            forEachInst(*mod, [&](Instruction *inst) {
+                if (inst->opcode() == Opcode::kAsyncCall) {
+                    auto *call = static_cast<AsyncCall *>(inst);
+                    if (call->callee() == callee) {
+                        auto &sup = suppliers[mod.get()];
+                        sup.caller = mod.get();
+                        sup.calls.push_back(call);
+                        for (size_t k = 0; k < call->args().size(); ++k)
+                            if (call->args()[k])
+                                pushers[k].insert(mod.get());
+                    } else if (!call->callee()) {
+                        Value *h = chaseRef(call->bindHandle());
+                        if (h->valueKind() == Value::Kind::kInstr &&
+                            static_cast<Instruction *>(h)->opcode() ==
+                                Opcode::kBind &&
+                            static_cast<Bind *>(h)->callee() == callee) {
+                            auto &sup = suppliers[mod.get()];
+                            sup.caller = mod.get();
+                            sup.via_bind_or_handle = true;
+                            for (const auto &[name, arg] : call->namedArgs())
+                                pushers[callee->port(name)->index()]
+                                    .insert(mod.get());
+                        }
+                    }
+                } else if (inst->opcode() == Opcode::kBind) {
+                    auto *b = static_cast<Bind *>(inst);
+                    if (b->callee() != callee || b->isAbsorbed())
+                        return;
+                    auto &sup = suppliers[mod.get()];
+                    sup.caller = mod.get();
+                    sup.via_bind_or_handle = true;
+                    for (size_t k = 0; k < b->boundArgs().size(); ++k)
+                        if (b->boundArgs()[k])
+                            pushers[k].insert(mod.get());
+                }
+            });
+        }
+
+        // Arbitration is required when some port has multiple distinct
+        // suppliers; disjoint multi-source dataflow (the systolic pattern)
+        // needs none, because the event counter gathers activations by
+        // addition (Fig. 10b).
+        bool contended = std::any_of(pushers.begin(), pushers.end(),
+                                     [](const std::set<Module *> &s) {
+                                         return s.size() > 1;
+                                     });
+        if (!contended)
+            continue;
+
+        // Stable caller order: module declaration order.
+        std::vector<Supplier *> callers;
+        for (const auto &mod : sys.modules()) {
+            auto it = suppliers.find(mod.get());
+            if (it != suppliers.end())
+                callers.push_back(&it->second);
+        }
+        for (const Supplier *sup : callers) {
+            if (sup->via_bind_or_handle)
+                fatal("stage '", callee->name(),
+                      "' needs an arbiter, but caller '",
+                      sup->caller->name(),
+                      "' invokes it through a bind; this is unsupported");
+            for (const AsyncCall *call : sup->calls)
+                for (Value *arg : call->args())
+                    if (!arg)
+                        fatal("partial async_call from '",
+                              sup->caller->name(), "' to arbitrated stage '",
+                              callee->name(), "'");
+        }
+
+        // Priority order (highest first), defaulting to declaration order.
+        std::vector<size_t> prio(callers.size());
+        for (size_t i = 0; i < prio.size(); ++i)
+            prio[i] = i;
+        ArbiterPolicy policy = callee->arbiterPolicy();
+        if (policy == ArbiterPolicy::kNone)
+            policy = ArbiterPolicy::kRoundRobin;
+        if (policy == ArbiterPolicy::kPriority &&
+            !callee->priorityOrder().empty()) {
+            if (callee->priorityOrder().size() != callers.size())
+                fatal("#priority_arbiter on '", callee->name(), "' lists ",
+                      callee->priorityOrder().size(), " callers but ",
+                      callers.size(), " call it");
+            for (size_t i = 0; i < callers.size(); ++i) {
+                const std::string &want = callee->priorityOrder()[i];
+                auto it = std::find_if(
+                    callers.begin(), callers.end(),
+                    [&](Supplier *s) { return s->caller->name() == want; });
+                if (it == callers.end())
+                    fatal("#priority_arbiter on '", callee->name(),
+                          "' names unknown caller '", want, "'");
+                prio[i] = static_cast<size_t>(it - callers.begin());
+            }
+        }
+
+        // Build the arbiter stage (Fig. 8c): one private port set per
+        // caller, a wait_until over "any caller fully valid", and a grant
+        // that forwards exactly one caller's operands per cycle.
+        const size_t num_callers = callers.size();
+        const size_t num_ports = callee->numPorts();
+        Module *arb = sys.addModule(callee->name() + "__arbiter");
+        arb->setGenerated(true);
+        for (const Supplier *sup : callers) {
+            for (size_t k = 0; k < num_ports; ++k) {
+                Port *p = callee->port(k);
+                Port *ap = arb->addPort(
+                    sup->caller->name() + "__" + p->name(), p->type());
+                ap->setDepth(p->depth());
+            }
+        }
+
+        const unsigned gbits = std::max(1u, log2ceil(num_callers));
+        dsl::Reg last_reg;
+        if (policy == ArbiterPolicy::kRoundRobin) {
+            last_reg = dsl::Reg(sys.addArray(
+                arb->name() + "__last", uintType(gbits), 1));
+        }
+
+        {
+            dsl::Stage astage(arb);
+            dsl::StageScope scope(astage);
+
+            std::vector<dsl::Val> caller_valid(num_callers);
+            dsl::waitUntil([&] {
+                dsl::Val any;
+                for (size_t c = 0; c < num_callers; ++c) {
+                    dsl::Val v;
+                    for (size_t k = 0; k < num_ports; ++k) {
+                        dsl::Val pv = astage.argValid(
+                            arb->port(c * num_ports + k)->name());
+                        v = v.valid() ? (v & pv) : pv;
+                    }
+                    caller_valid[c] = v;
+                    any = any.valid() ? (any | v) : v;
+                }
+                return any;
+            });
+
+            // Grant: first fully-valid caller in priority order; for round
+            // robin, the order rotates past the previously granted caller.
+            auto chain = [&](const std::vector<size_t> &order) {
+                dsl::Val g = dsl::lit(order.back(), gbits);
+                for (size_t i = order.size() - 1; i-- > 0;) {
+                    g = dsl::select(caller_valid[order[i]],
+                                    dsl::lit(order[i], gbits), g);
+                }
+                return g;
+            };
+
+            dsl::Val grant;
+            if (policy == ArbiterPolicy::kRoundRobin && num_callers > 1) {
+                dsl::Val last = last_reg.read();
+                for (size_t r = 0; r < num_callers; ++r) {
+                    std::vector<size_t> order;
+                    for (size_t i = 1; i <= num_callers; ++i)
+                        order.push_back((r + i) % num_callers);
+                    dsl::Val g_r = chain(order);
+                    grant = grant.valid()
+                                ? dsl::select(last == r, g_r, grant)
+                                : g_r;
+                }
+                last_reg.write(grant);
+            } else {
+                grant = chain(prio);
+            }
+            grant.named("grant");
+
+            for (size_t c = 0; c < num_callers; ++c) {
+                dsl::when(grant == c, [&] {
+                    std::vector<dsl::Val> fwd;
+                    for (size_t k = 0; k < num_ports; ++k)
+                        fwd.push_back(astage.pop(
+                            arb->port(c * num_ports + k)->name()));
+                    dsl::asyncCall(dsl::Stage(callee), fwd);
+                });
+            }
+        }
+
+        // Retarget every caller's call sites to its private arbiter ports.
+        for (size_t c = 0; c < num_callers; ++c) {
+            for (AsyncCall *call : callers[c]->calls) {
+                std::vector<Value *> args(arb->numPorts(), nullptr);
+                for (size_t k = 0; k < num_ports; ++k)
+                    args[c * num_ports + k] = call->args()[k];
+                auto *fresh = callers[c]->caller->create<AsyncCall>(
+                    arb, std::move(args));
+                call->block()->replace(call, fresh);
+            }
+        }
+    }
+}
+
+} // namespace assassyn

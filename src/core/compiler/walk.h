@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Internal traversal helpers shared by the compiler passes and backends.
+ */
+#pragma once
+
+#include <functional>
+
+#include "core/ir/module.h"
+
+namespace assassyn {
+
+/** Pre-order walk over every instruction in a block tree. */
+template <typename F>
+void
+forEachInst(const Block &block, F &&fn)
+{
+    for (auto *inst : block.insts()) {
+        fn(inst);
+        if (inst->opcode() == Opcode::kCondBlock)
+            forEachInst(*static_cast<CondBlock *>(inst)->body(), fn);
+    }
+}
+
+/** Walk the guard then the body of a module. */
+template <typename F>
+void
+forEachInst(const Module &mod, F &&fn)
+{
+    forEachInst(mod.guard(), fn);
+    forEachInst(mod.body(), fn);
+}
+
+/** Follow a cross-stage reference to its resolved value (or itself). */
+inline Value *
+chaseRef(Value *val)
+{
+    while (val && val->valueKind() == Value::Kind::kCrossRef) {
+        auto *ref = static_cast<CrossRef *>(val);
+        if (!ref->resolved())
+            return val;
+        val = ref->resolved();
+    }
+    return val;
+}
+
+} // namespace assassyn

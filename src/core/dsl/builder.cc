@@ -1,0 +1,612 @@
+#include "core/dsl/builder.h"
+
+#include <algorithm>
+
+namespace assassyn {
+namespace dsl {
+
+// --------------------------------------------------------------------------
+// ModuleCtx scope stack
+// --------------------------------------------------------------------------
+
+namespace {
+thread_local std::vector<ModuleCtx *> ctx_stack;
+} // namespace
+
+ModuleCtx &
+ModuleCtx::current()
+{
+    if (ctx_stack.empty())
+        fatal("DSL operation outside of a StageScope");
+    return *ctx_stack.back();
+}
+
+void
+ModuleCtx::enter(ModuleCtx *ctx)
+{
+    ctx_stack.push_back(ctx);
+}
+
+void
+ModuleCtx::exit(ModuleCtx *ctx)
+{
+    if (ctx_stack.empty() || ctx_stack.back() != ctx)
+        panic("unbalanced StageScope nesting");
+    ctx_stack.pop_back();
+}
+
+// --------------------------------------------------------------------------
+// Elaboration helpers
+// --------------------------------------------------------------------------
+
+namespace {
+
+Module &
+mod()
+{
+    return *ModuleCtx::current().mod();
+}
+
+/** Append an already-created instruction to the current block. */
+template <typename T>
+T *
+emit(T *inst)
+{
+    ModuleCtx::current().currentBlock()->append(inst);
+    return inst;
+}
+
+/** Create and append a pure instruction in the current module. */
+template <typename T, typename... Args>
+Val
+pure(Args &&...args)
+{
+    return Val(emit(mod().create<T>(std::forward<Args>(args)...)));
+}
+
+Value *
+constNode(uint64_t value, DataType type)
+{
+    return mod().create<ConstInt>(type, value);
+}
+
+/** Extend @p v to @p bits; implicit narrowing is a design error. */
+Value *
+extendTo(Value *v, unsigned bits)
+{
+    unsigned have = v->type().bits();
+    if (have == bits)
+        return v;
+    if (have > bits)
+        fatal("implicit truncation from ", have, " to ", bits,
+              " bits; use trunc()");
+    auto cast_mode = v->type().isSigned() ? Cast::Mode::kSExt
+                                          : Cast::Mode::kZExt;
+    DataType to(v->type().kind(), bits);
+    auto *inst = mod().create<Cast>(cast_mode, to, v);
+    ModuleCtx::current().currentBlock()->append(inst);
+    return inst;
+}
+
+bool
+isComparisonOp(BinOpcode op)
+{
+    switch (op) {
+      case BinOpcode::kEq: case BinOpcode::kNe:
+      case BinOpcode::kLt: case BinOpcode::kLe:
+      case BinOpcode::kGt: case BinOpcode::kGe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+Val
+binOp(BinOpcode op, Val lhs, Val rhs)
+{
+    if (!lhs.valid() || !rhs.valid())
+        fatal("binary operator on an empty Val");
+    Value *l = lhs.node();
+    Value *r = rhs.node();
+    bool is_shift = op == BinOpcode::kShl || op == BinOpcode::kShr;
+    if (!is_shift) {
+        unsigned w = std::max(l->type().bits(), r->type().bits());
+        l = extendTo(l, w);
+        r = extendTo(r, w);
+    }
+    DataType result = isComparisonOp(op) ? uintType(1) : l->type();
+    return pure<BinOp>(op, result, l, r);
+}
+
+} // namespace
+
+// --------------------------------------------------------------------------
+// Val operators
+// --------------------------------------------------------------------------
+
+Val Val::operator+(Val rhs) const { return binOp(BinOpcode::kAdd, *this, rhs); }
+Val Val::operator-(Val rhs) const { return binOp(BinOpcode::kSub, *this, rhs); }
+Val Val::operator*(Val rhs) const { return binOp(BinOpcode::kMul, *this, rhs); }
+Val Val::operator/(Val rhs) const { return binOp(BinOpcode::kDiv, *this, rhs); }
+Val Val::operator%(Val rhs) const { return binOp(BinOpcode::kMod, *this, rhs); }
+Val Val::operator&(Val rhs) const { return binOp(BinOpcode::kAnd, *this, rhs); }
+Val Val::operator|(Val rhs) const { return binOp(BinOpcode::kOr, *this, rhs); }
+Val Val::operator^(Val rhs) const { return binOp(BinOpcode::kXor, *this, rhs); }
+Val Val::operator<<(Val rhs) const { return binOp(BinOpcode::kShl, *this, rhs); }
+Val Val::operator>>(Val rhs) const { return binOp(BinOpcode::kShr, *this, rhs); }
+Val Val::operator==(Val rhs) const { return binOp(BinOpcode::kEq, *this, rhs); }
+Val Val::operator!=(Val rhs) const { return binOp(BinOpcode::kNe, *this, rhs); }
+Val Val::operator<(Val rhs) const { return binOp(BinOpcode::kLt, *this, rhs); }
+Val Val::operator<=(Val rhs) const { return binOp(BinOpcode::kLe, *this, rhs); }
+Val Val::operator>(Val rhs) const { return binOp(BinOpcode::kGt, *this, rhs); }
+Val Val::operator>=(Val rhs) const { return binOp(BinOpcode::kGe, *this, rhs); }
+
+Val
+Val::operator~() const
+{
+    return pure<UnOp>(UnOpcode::kNot, type(), node_);
+}
+
+Val
+Val::operator!() const
+{
+    if (bits() != 1)
+        fatal("logical not on a ", bits(), "-bit value; use orReduce first");
+    return pure<UnOp>(UnOpcode::kNot, uintType(1), node_);
+}
+
+Val
+Val::operator-() const
+{
+    return pure<UnOp>(UnOpcode::kNeg, type(), node_);
+}
+
+Val
+Val::slice(unsigned hi, unsigned lo) const
+{
+    if (hi < lo || hi >= bits())
+        fatal("slice [", lo, ":", hi, "] out of range for ", bits(),
+              "-bit value");
+    return pure<Slice>(node_, hi, lo);
+}
+
+Val
+Val::bit(unsigned idx) const
+{
+    return slice(idx, idx);
+}
+
+Val
+Val::concat(Val lsb) const
+{
+    if (bits() + lsb.bits() > kMaxBits)
+        fatal("concat result exceeds ", kMaxBits, " bits");
+    return pure<Concat>(node_, lsb.node());
+}
+
+Val
+Val::zext(unsigned to_bits) const
+{
+    if (to_bits < bits())
+        fatal("zext to a narrower width");
+    if (to_bits == bits())
+        return *this;
+    return pure<Cast>(Cast::Mode::kZExt, DataType(type().kind(), to_bits),
+                      node_);
+}
+
+Val
+Val::sext(unsigned to_bits) const
+{
+    if (to_bits < bits())
+        fatal("sext to a narrower width");
+    if (to_bits == bits())
+        return *this;
+    return pure<Cast>(Cast::Mode::kSExt, intType(to_bits), node_);
+}
+
+Val
+Val::trunc(unsigned to_bits) const
+{
+    if (to_bits > bits())
+        fatal("trunc to a wider width");
+    if (to_bits == bits())
+        return *this;
+    return pure<Cast>(Cast::Mode::kTrunc, DataType(type().kind(), to_bits),
+                      node_);
+}
+
+Val
+Val::as(DataType t) const
+{
+    if (t.bits() != bits())
+        fatal("as() must preserve width; use zext/sext/trunc");
+    if (t == type())
+        return *this;
+    return pure<Cast>(Cast::Mode::kBitcast, t, node_);
+}
+
+Val
+Val::orReduce() const
+{
+    return pure<UnOp>(UnOpcode::kRedOr, uintType(1), node_);
+}
+
+Val
+Val::andReduce() const
+{
+    return pure<UnOp>(UnOpcode::kRedAnd, uintType(1), node_);
+}
+
+// --------------------------------------------------------------------------
+// Literals and free functions
+// --------------------------------------------------------------------------
+
+Val
+lit(uint64_t value, DataType type)
+{
+    return Val(constNode(value, type));
+}
+
+Val
+lit(uint64_t value, unsigned bits)
+{
+    return Val(constNode(value, uintType(bits)));
+}
+
+Val litTrue() { return lit(1, 1); }
+Val litFalse() { return lit(0, 1); }
+
+Val
+select(Val cond, Val on_true, Val on_false)
+{
+    if (cond.bits() != 1)
+        fatal("select condition must be 1 bit");
+    unsigned w = std::max(on_true.bits(), on_false.bits());
+    Value *t = extendTo(on_true.node(), w);
+    Value *f = extendTo(on_false.node(), w);
+    return pure<Select>(cond.node(), t, f);
+}
+
+namespace {
+Val
+litLike(Val like, uint64_t value)
+{
+    return Val(constNode(value, like.type()));
+}
+} // namespace
+
+Val operator+(Val lhs, uint64_t rhs) { return lhs + litLike(lhs, rhs); }
+Val operator-(Val lhs, uint64_t rhs) { return lhs - litLike(lhs, rhs); }
+Val operator*(Val lhs, uint64_t rhs) { return lhs * litLike(lhs, rhs); }
+Val operator&(Val lhs, uint64_t rhs) { return lhs & litLike(lhs, rhs); }
+Val operator|(Val lhs, uint64_t rhs) { return lhs | litLike(lhs, rhs); }
+Val operator^(Val lhs, uint64_t rhs) { return lhs ^ litLike(lhs, rhs); }
+Val operator<<(Val lhs, unsigned rhs) { return lhs << lit(rhs, 7); }
+Val operator>>(Val lhs, unsigned rhs) { return lhs >> lit(rhs, 7); }
+Val operator==(Val lhs, uint64_t rhs) { return lhs == litLike(lhs, rhs); }
+Val operator!=(Val lhs, uint64_t rhs) { return lhs != litLike(lhs, rhs); }
+Val operator<(Val lhs, uint64_t rhs) { return lhs < litLike(lhs, rhs); }
+Val operator<=(Val lhs, uint64_t rhs) { return lhs <= litLike(lhs, rhs); }
+Val operator>(Val lhs, uint64_t rhs) { return lhs > litLike(lhs, rhs); }
+Val operator>=(Val lhs, uint64_t rhs) { return lhs >= litLike(lhs, rhs); }
+
+// --------------------------------------------------------------------------
+// Registers and arrays
+// --------------------------------------------------------------------------
+
+Val
+Reg::read() const
+{
+    return pure<ArrayRead>(array_, constNode(0, uintType(1)));
+}
+
+void
+Reg::write(Val val) const
+{
+    Value *v = extendTo(val.node(), array_->elemType().bits());
+    emit(mod().create<ArrayWrite>(array_, constNode(0, uintType(1)), v));
+}
+
+Val
+Arr::read(Val index) const
+{
+    return pure<ArrayRead>(array_, index.node());
+}
+
+Val
+Arr::read(size_t index) const
+{
+    if (index >= array_->size())
+        fatal("index ", index, " out of range for array '", array_->name(),
+              "'");
+    unsigned idx_bits = std::max(1u, log2ceil(array_->size()));
+    return pure<ArrayRead>(array_, constNode(index, uintType(idx_bits)));
+}
+
+void
+Arr::write(Val index, Val val) const
+{
+    Value *v = extendTo(val.node(), array_->elemType().bits());
+    emit(mod().create<ArrayWrite>(array_, index.node(), v));
+}
+
+void
+Arr::write(size_t index, Val val) const
+{
+    if (index >= array_->size())
+        fatal("index ", index, " out of range for array '", array_->name(),
+              "'");
+    unsigned idx_bits = std::max(1u, log2ceil(array_->size()));
+    Value *v = extendTo(val.node(), array_->elemType().bits());
+    emit(mod().create<ArrayWrite>(array_, constNode(index, uintType(idx_bits)),
+                                  v));
+}
+
+// --------------------------------------------------------------------------
+// Stage accessors
+// --------------------------------------------------------------------------
+
+Val
+Stage::arg(const std::string &port_name) const
+{
+    if (mod_ != ModuleCtx::current().mod())
+        fatal("arg('", port_name, "') used outside of stage '", name(), "'");
+    return Val(mod_->popOf(mod_->port(port_name)));
+}
+
+Val
+Stage::argValid(const std::string &port_name) const
+{
+    Port *p = mod_->port(port_name);
+    return pure<FifoValid>(p);
+}
+
+Val
+Stage::pop(const std::string &port_name) const
+{
+    if (mod_ != ModuleCtx::current().mod())
+        fatal("pop('", port_name, "') used outside of stage '", name(), "'");
+    FifoPop *node = mod_->popOf(mod_->port(port_name));
+    if (node->block())
+        fatal("port '", port_name, "' of '", name(), "' popped twice");
+    return Val(emit(node));
+}
+
+Val
+Stage::exposed(const std::string &exposed_name, DataType type) const
+{
+    Module *consumer = ModuleCtx::current().mod();
+    auto *ref = consumer->create<CrossRef>(mod_, exposed_name, type);
+    return Val(ref);
+}
+
+BindHandle
+Stage::exposedBind(const std::string &exposed_name) const
+{
+    Module *consumer = ModuleCtx::current().mod();
+    auto *ref = consumer->create<CrossRef>(mod_, exposed_name, uintType(1));
+    return BindHandle(ref);
+}
+
+void
+Stage::fifoDepth(const std::string &port_name, unsigned depth) const
+{
+    mod_->port(port_name)->setDepth(depth);
+}
+
+void
+Stage::fifoDepthAll(unsigned depth) const
+{
+    for (const auto &p : mod_->ports())
+        p->setDepth(depth);
+}
+
+// --------------------------------------------------------------------------
+// Control constructs
+// --------------------------------------------------------------------------
+
+void
+when(Val cond, const std::function<void()> &body)
+{
+    if (cond.bits() != 1)
+        fatal("when() condition must be 1 bit");
+    auto *blk = emit(mod().create<CondBlock>(cond.node()));
+    ModuleCtx::current().pushBlock(blk->body());
+    body();
+    ModuleCtx::current().popBlock();
+}
+
+void
+waitUntil(const std::function<Val()> &guard)
+{
+    Module &m = mod();
+    if (m.waitCond())
+        fatal("stage '", m.name(), "' already has a wait_until");
+    ModuleCtx::current().pushBlock(&m.guard());
+    Val cond = guard();
+    ModuleCtx::current().popBlock();
+    if (cond.bits() != 1)
+        fatal("wait_until condition must be 1 bit");
+    m.setWaitCond(cond.node(), /*user_specified=*/true);
+}
+
+void
+asyncCall(Stage callee, std::vector<Val> args)
+{
+    Module *target = callee.mod();
+    if (args.size() != target->numPorts())
+        fatal("async_call to '", target->name(), "' expects ",
+              target->numPorts(), " args, got ", args.size());
+    std::vector<Value *> ir_args;
+    for (size_t i = 0; i < args.size(); ++i)
+        ir_args.push_back(
+            extendTo(args[i].node(), target->port(i)->type().bits()));
+    emit(mod().create<AsyncCall>(target, std::move(ir_args)));
+}
+
+void
+asyncCallNamed(Stage callee, std::vector<NamedArg> args)
+{
+    Module *target = callee.mod();
+    std::vector<Value *> ir_args(target->numPorts(), nullptr);
+    for (const auto &a : args) {
+        Port *p = target->port(a.name);
+        if (ir_args[p->index()])
+            fatal("duplicate argument '", a.name, "' in async_call to '",
+                  target->name(), "'");
+        ir_args[p->index()] = extendTo(a.value.node(), p->type().bits());
+    }
+    emit(mod().create<AsyncCall>(target, std::move(ir_args)));
+}
+
+void
+asyncCall(BindHandle handle, std::vector<NamedArg> args)
+{
+    if (!handle.valid())
+        fatal("async_call through an empty bind handle");
+    std::vector<std::pair<std::string, Value *>> named;
+    for (const auto &a : args)
+        named.emplace_back(a.name, a.value.node());
+    emit(mod().create<AsyncCall>(handle.node(), std::move(named)));
+}
+
+BindHandle
+bind(Stage callee, std::vector<NamedArg> args)
+{
+    Module *target = callee.mod();
+    std::vector<Value *> bound(target->numPorts(), nullptr);
+    for (const auto &a : args) {
+        Port *p = target->port(a.name);
+        if (bound[p->index()])
+            fatal("duplicate bind of '", a.name, "' on '", target->name(),
+                  "'");
+        bound[p->index()] = extendTo(a.value.node(), p->type().bits());
+    }
+    return BindHandle(emit(mod().create<Bind>(target, std::move(bound))));
+}
+
+BindHandle
+bind(BindHandle handle, std::vector<NamedArg> args)
+{
+    if (!handle.valid())
+        fatal("bind() on an empty handle");
+    Value *node = handle.node();
+    if (node->valueKind() == Value::Kind::kCrossRef)
+        fatal("cannot re-bind an unresolved cross-stage bind handle; "
+              "async_call it with the remaining arguments instead");
+    auto *prev = static_cast<Bind *>(node);
+    Module *target = prev->callee();
+    // Chained binds are flattened at construction (paper Sec. 4.3 keeps a
+    // unified single-operand-bind view in the compiler; flattening here is
+    // semantically identical and keeps the IR small). The parent bind is
+    // absorbed so its arguments are not pushed twice.
+    prev->setAbsorbed(true);
+    std::vector<Value *> bound = prev->boundArgs();
+    for (const auto &a : args) {
+        Port *p = target->port(a.name);
+        if (bound[p->index()])
+            fatal("port '", a.name, "' of '", target->name(),
+                  "' is already bound");
+        bound[p->index()] = extendTo(a.value.node(), p->type().bits());
+    }
+    return BindHandle(emit(mod().create<Bind>(target, std::move(bound))));
+}
+
+void
+expose(const std::string &name, Val val)
+{
+    mod().expose(name, val.node());
+}
+
+void
+expose(const std::string &name, BindHandle handle)
+{
+    mod().expose(name, handle.node());
+}
+
+void
+log(const std::string &fmt, std::vector<Val> args)
+{
+    size_t placeholders = 0;
+    for (size_t i = 0; i + 1 < fmt.size(); ++i)
+        if (fmt[i] == '{' && fmt[i + 1] == '}')
+            ++placeholders;
+    if (placeholders != args.size())
+        fatal("log format '", fmt, "' expects ", placeholders,
+              " args, got ", args.size());
+    std::vector<Value *> ir_args;
+    for (const auto &a : args)
+        ir_args.push_back(a.node());
+    emit(mod().create<Log>(fmt, std::move(ir_args)));
+}
+
+void
+check(Val cond, const std::string &msg)
+{
+    if (cond.bits() != 1)
+        fatal("check() condition must be 1 bit");
+    emit(mod().create<AssertInst>(cond.node(), msg));
+}
+
+void
+finish()
+{
+    emit(mod().create<Finish>());
+}
+
+// --------------------------------------------------------------------------
+// Struct views (Sec. 3.10)
+// --------------------------------------------------------------------------
+
+StructType::StructType(std::initializer_list<Field> fields)
+{
+    for (const auto &f : fields) {
+        for (const auto &[name, layout] : fields_)
+            if (name == f.name)
+                fatal("duplicate struct field '", f.name, "'");
+        fields_.emplace_back(f.name, Layout{total_bits_, f.bits});
+        total_bits_ += f.bits;
+    }
+    if (total_bits_ == 0 || total_bits_ > kMaxBits)
+        fatal("struct width ", total_bits_, " unsupported");
+}
+
+Val
+StructType::field(Val packed, const std::string &name) const
+{
+    if (packed.bits() != total_bits_)
+        fatal("struct view over a ", packed.bits(), "-bit value; expected ",
+              total_bits_);
+    for (const auto &[fname, layout] : fields_)
+        if (fname == name)
+            return packed.slice(layout.lo + layout.bits - 1, layout.lo);
+    fatal("no struct field named '", name, "'");
+}
+
+Val
+StructType::pack(std::vector<NamedArg> values) const
+{
+    if (values.size() != fields_.size())
+        fatal("struct pack expects ", fields_.size(), " fields, got ",
+              values.size());
+    Val result;
+    // Build from MSB field down so each concat keeps earlier fields on top.
+    for (auto it = fields_.rbegin(); it != fields_.rend(); ++it) {
+        const auto &[fname, layout] = *it;
+        const NamedArg *found = nullptr;
+        for (const auto &v : values)
+            if (v.name == fname)
+                found = &v;
+        if (!found)
+            fatal("struct pack missing field '", fname, "'");
+        Val piece = found->value;
+        if (piece.bits() != layout.bits)
+            piece = Val(extendTo(piece.node(), layout.bits));
+        result = result.valid() ? result.concat(piece) : piece;
+    }
+    return result;
+}
+
+} // namespace dsl
+} // namespace assassyn

@@ -1,0 +1,454 @@
+/**
+ * @file
+ * The Assassyn embedded DSL (paper Sec. 3).
+ *
+ * The paper embeds its frontend in Python via operator overloading; this
+ * reproduction embeds it in C++ the same way. A design is built by opening
+ * a StageScope on a module and issuing operations through `Val` handles:
+ *
+ *     SysBuilder sys("adder");
+ *     Stage adder = sys.stage("adder", {{"a", intType(32)},
+ *                                       {"b", intType(32)}});
+ *     Stage driver = sys.driver();
+ *     {
+ *         StageScope scope(adder);
+ *         Val c = adder.arg("a") + adder.arg("b");
+ *         log("c = {}", {c});
+ *     }
+ *     {
+ *         StageScope scope(driver);
+ *         Reg cnt = sys.reg("cnt", uintType(32));
+ *         Val v = cnt.read();
+ *         cnt.write(v + 1);
+ *         asyncCall(adder, {v, v});
+ *     }
+ *
+ * Language features covered (paper Fig. 3 key features): stages as
+ * functions (1), combinational/sequential split (2), async_call (3),
+ * cross-stage references (4), wait_until (5), hierarchical construction
+ * via C++ lambdas as higher-order stage builders (6), bind (7),
+ * fifo_depth (8), and struct-view syntactic sugar (9).
+ */
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ir/system.h"
+
+namespace assassyn {
+namespace dsl {
+
+class SysBuilder;
+class Stage;
+
+/**
+ * Per-module elaboration context: tracks the block instructions are being
+ * appended to. A stack of these (managed by StageScope) makes `a + b`
+ * work without threading a context argument through every expression.
+ */
+class ModuleCtx {
+  public:
+    explicit ModuleCtx(Module *mod) : mod_(mod)
+    {
+        block_stack_.push_back(&mod->body());
+    }
+
+    Module *mod() const { return mod_; }
+    Block *currentBlock() const { return block_stack_.back(); }
+
+    void pushBlock(Block *b) { block_stack_.push_back(b); }
+    void popBlock() { block_stack_.pop_back(); }
+
+    /** The innermost context, or fatal if no StageScope is open. */
+    static ModuleCtx &current();
+
+    /** Internal: scope stack manipulation. */
+    static void enter(ModuleCtx *ctx);
+    static void exit(ModuleCtx *ctx);
+
+  private:
+    Module *mod_;
+    std::vector<Block *> block_stack_;
+};
+
+/**
+ * A value handle with operator overloading; wraps an IR Value.
+ *
+ * All operators elaborate new instructions into the currently open stage.
+ * Mixed-width operands are automatically extended to the wider width
+ * (sign-extended when the narrow side is a signed int); implicit
+ * truncation is an error — use trunc().
+ */
+class Val {
+  public:
+    Val() : node_(nullptr) {}
+    /*implicit*/ Val(Value *node) : node_(node) {}
+
+    Value *node() const { return node_; }
+    bool valid() const { return node_ != nullptr; }
+    const DataType &type() const { return node_->type(); }
+    unsigned bits() const { return node_->type().bits(); }
+
+    // Arithmetic / logic.
+    Val operator+(Val rhs) const;
+    Val operator-(Val rhs) const;
+    Val operator*(Val rhs) const;
+    Val operator/(Val rhs) const;
+    Val operator%(Val rhs) const;
+    Val operator&(Val rhs) const;
+    Val operator|(Val rhs) const;
+    Val operator^(Val rhs) const;
+    Val operator<<(Val rhs) const;
+    Val operator>>(Val rhs) const;
+
+    // Comparisons (1-bit results).
+    Val operator==(Val rhs) const;
+    Val operator!=(Val rhs) const;
+    Val operator<(Val rhs) const;
+    Val operator<=(Val rhs) const;
+    Val operator>(Val rhs) const;
+    Val operator>=(Val rhs) const;
+
+    /** Bitwise complement. */
+    Val operator~() const;
+    /** Logical not: valid on 1-bit values. */
+    Val operator!() const;
+    /** Two's-complement negate. */
+    Val operator-() const;
+
+    /** Bits [lo, hi] inclusive. */
+    Val slice(unsigned hi, unsigned lo) const;
+    /** Single bit. */
+    Val bit(unsigned idx) const;
+    /** Concatenate: this becomes the MSB side. */
+    Val concat(Val lsb) const;
+
+    Val zext(unsigned bits) const;
+    Val sext(unsigned bits) const;
+    Val trunc(unsigned bits) const;
+    /** Reinterpret with a different signedness, same width. */
+    Val as(DataType t) const;
+
+    /** OR-reduce / AND-reduce to one bit. */
+    Val orReduce() const;
+    Val andReduce() const;
+
+    /** Attach a name hint for dumps and generated RTL. */
+    Val
+    named(const std::string &name) const
+    {
+        node_->setName(name);
+        return *this;
+    }
+
+  private:
+    Value *node_;
+};
+
+/** Integer literal of an explicit type. */
+Val lit(uint64_t value, DataType type);
+/** Unsigned literal of an explicit width. */
+Val lit(uint64_t value, unsigned bits);
+/** 1-bit literals. */
+Val litTrue();
+Val litFalse();
+
+/** cond ? on_true : on_false (2-way mux). */
+Val select(Val cond, Val on_true, Val on_false);
+
+/** Mixed Val/integer operators (widths follow the Val side). */
+Val operator+(Val lhs, uint64_t rhs);
+Val operator-(Val lhs, uint64_t rhs);
+Val operator*(Val lhs, uint64_t rhs);
+Val operator&(Val lhs, uint64_t rhs);
+Val operator|(Val lhs, uint64_t rhs);
+Val operator^(Val lhs, uint64_t rhs);
+Val operator<<(Val lhs, unsigned rhs);
+Val operator>>(Val lhs, unsigned rhs);
+Val operator==(Val lhs, uint64_t rhs);
+Val operator!=(Val lhs, uint64_t rhs);
+Val operator<(Val lhs, uint64_t rhs);
+Val operator<=(Val lhs, uint64_t rhs);
+Val operator>(Val lhs, uint64_t rhs);
+Val operator>=(Val lhs, uint64_t rhs);
+
+/** A single architectural register (RegArray of size 1). */
+class Reg {
+  public:
+    Reg() : array_(nullptr) {}
+    explicit Reg(RegArray *array) : array_(array) {}
+
+    RegArray *array() const { return array_; }
+
+    /** Combinational read of the current value. */
+    Val read() const;
+    /** Sequential write committing at end of cycle (write-once). */
+    void write(Val val) const;
+
+  private:
+    RegArray *array_;
+};
+
+/** A register array / memory handle. */
+class Arr {
+  public:
+    Arr() : array_(nullptr) {}
+    explicit Arr(RegArray *array) : array_(array) {}
+
+    RegArray *array() const { return array_; }
+    size_t size() const { return array_->size(); }
+
+    Val read(Val index) const;
+    Val read(size_t index) const;
+    void write(Val index, Val val) const;
+    void write(size_t index, Val val) const;
+
+  private:
+    RegArray *array_;
+};
+
+/** A partially applied stage call (paper Sec. 3.7). */
+class BindHandle {
+  public:
+    BindHandle() : node_(nullptr) {}
+    explicit BindHandle(Value *node) : node_(node) {}
+
+    Value *node() const { return node_; }
+    bool valid() const { return node_ != nullptr; }
+
+  private:
+    Value *node_; ///< Bind instruction or CrossRef to one
+};
+
+/** Named argument for binds and keyword-style calls. */
+struct NamedArg {
+    std::string name;
+    Val value;
+};
+
+/** Handle to a module under construction. */
+class Stage {
+  public:
+    Stage() : mod_(nullptr) {}
+    explicit Stage(Module *mod) : mod_(mod) {}
+
+    Module *mod() const { return mod_; }
+    bool valid() const { return mod_ != nullptr; }
+    const std::string &name() const { return mod_->name(); }
+
+    /** The (popped) value of an input port; usable inside this stage. */
+    Val arg(const std::string &port_name) const;
+
+    /** 1 when the port currently buffers at least one entry. */
+    Val argValid(const std::string &port_name) const;
+
+    /** Explicit in-place pop; use inside `when` for partial pops. */
+    Val pop(const std::string &port_name) const;
+
+    /** Cross-stage reference to a value this stage exposes (Sec. 3.4). */
+    Val exposed(const std::string &exposed_name, DataType type) const;
+
+    /** Cross-stage reference to a bind handle this stage exposes. */
+    BindHandle exposedBind(const std::string &exposed_name) const;
+
+    /** Tune a port's FIFO depth (Sec. 3.9). */
+    void fifoDepth(const std::string &port_name, unsigned depth) const;
+
+    /** Apply one depth to all ports. */
+    void fifoDepthAll(unsigned depth) const;
+
+    void
+    staticTiming() const
+    {
+        mod_->setStaticTiming(true);
+    }
+
+    /** #priority_arbiter(highest, ..., lowest) */
+    void
+    priorityArbiter(std::vector<std::string> caller_order) const
+    {
+        mod_->setArbiterPolicy(ArbiterPolicy::kPriority);
+        mod_->setPriorityOrder(std::move(caller_order));
+    }
+
+    void
+    roundRobinArbiter() const
+    {
+        mod_->setArbiterPolicy(ArbiterPolicy::kRoundRobin);
+    }
+
+  private:
+    Module *mod_;
+};
+
+/** Port declaration used when creating a stage. */
+struct PortDecl {
+    std::string name;
+    DataType type;
+};
+
+/**
+ * Builds a System through the DSL. Owns the System until take() or
+ * for the lifetime of the builder.
+ */
+class SysBuilder {
+  public:
+    explicit SysBuilder(const std::string &name)
+        : sys_(std::make_unique<System>(name))
+    {}
+
+    System &sys() { return *sys_; }
+
+    /** Declare a stage (decoupled declaration, Sec. 3.10). */
+    Stage
+    stage(const std::string &name, std::vector<PortDecl> ports = {})
+    {
+        Module *mod = sys_->addModule(name);
+        for (const auto &p : ports)
+            mod->addPort(p.name, p.type);
+        return Stage(mod);
+    }
+
+    /** Declare the testbench driver stage (Sec. 3.8). */
+    Stage
+    driver(const std::string &name = "driver")
+    {
+        Stage s = stage(name);
+        s.mod()->setDriver(true);
+        return s;
+    }
+
+    /** A single named register. */
+    Reg
+    reg(const std::string &name, DataType type, uint64_t init = 0)
+    {
+        return Reg(sys_->addArray(name, type, 1, {init}));
+    }
+
+    /** A named register array. */
+    Arr
+    arr(const std::string &name, DataType elem, size_t size,
+        std::vector<uint64_t> init = {})
+    {
+        return Arr(sys_->addArray(name, elem, size, std::move(init)));
+    }
+
+    /** A named memory (excluded from the area model). */
+    Arr
+    mem(const std::string &name, DataType elem, size_t size,
+        std::vector<uint64_t> init = {})
+    {
+        Arr a = arr(name, elem, size, std::move(init));
+        a.array()->setMemory(true);
+        return a;
+    }
+
+    /** Move the finished system out of the builder. */
+    std::unique_ptr<System> take() { return std::move(sys_); }
+
+  private:
+    std::unique_ptr<System> sys_;
+};
+
+/** RAII scope: all DSL operations go into @p stage while alive. */
+class StageScope {
+  public:
+    explicit StageScope(Stage stage)
+        : ctx_(std::make_unique<ModuleCtx>(stage.mod()))
+    {
+        ModuleCtx::enter(ctx_.get());
+    }
+
+    ~StageScope() { ModuleCtx::exit(ctx_.get()); }
+
+    StageScope(const StageScope &) = delete;
+    StageScope &operator=(const StageScope &) = delete;
+
+  private:
+    std::unique_ptr<ModuleCtx> ctx_;
+};
+
+/** Conditional region: effects in @p body fire only when cond is 1. */
+void when(Val cond, const std::function<void()> &body);
+
+/**
+ * wait_until (paper Sec. 3.5): postpone this stage's execution until the
+ * condition built by @p guard holds. Pure logic only inside the guard.
+ */
+void waitUntil(const std::function<Val()> &guard);
+
+/** Asynchronously invoke @p callee with all arguments, positionally. */
+void asyncCall(Stage callee, std::vector<Val> args);
+
+/**
+ * Asynchronously invoke @p callee with a subset of its arguments by name;
+ * the remaining ports must be fed by other stages' binds or calls
+ * (the multi-source dataflow of Sec. 3.7).
+ */
+void asyncCallNamed(Stage callee, std::vector<NamedArg> args);
+
+/** Asynchronously invoke through a bind handle, filling unbound ports. */
+void asyncCall(BindHandle handle, std::vector<NamedArg> args = {});
+
+/** Partially apply callee arguments by name (paper Sec. 3.7). */
+BindHandle bind(Stage callee, std::vector<NamedArg> args);
+
+/** Further restrict an existing bind (chained binds are flattened). */
+BindHandle bind(BindHandle handle, std::vector<NamedArg> args);
+
+/** Expose a value under a name for cross-stage references. */
+void expose(const std::string &name, Val val);
+
+/** Expose a bind handle under a name. */
+void expose(const std::string &name, BindHandle handle);
+
+/** Testbench print; {} placeholders consume arguments in order. */
+void log(const std::string &fmt, std::vector<Val> args = {});
+
+/** Design assertion: executing with cond==0 aborts the simulation. */
+void check(Val cond, const std::string &msg);
+
+/** Terminate the simulation at the end of this cycle. */
+void finish();
+
+/**
+ * Struct-view syntactic sugar (paper Sec. 3.10, Fig. 6): reinterpret a
+ * bit vector as named fields. Fields are declared LSB-first.
+ */
+class StructType {
+  public:
+    struct Field {
+        std::string name;
+        unsigned bits;
+    };
+
+    StructType(std::initializer_list<Field> fields);
+
+    unsigned totalBits() const { return total_bits_; }
+
+    /** Slice out one field of a packed value. */
+    Val field(Val packed, const std::string &name) const;
+
+    /** Pack named values (all fields required) into one bit vector. */
+    Val pack(std::vector<NamedArg> values) const;
+
+    /** The IR type of a packed value. */
+    DataType type() const { return bitsType(total_bits_); }
+
+  private:
+    struct Layout {
+        unsigned lo;
+        unsigned bits;
+    };
+    std::vector<std::pair<std::string, Layout>> fields_;
+    unsigned total_bits_ = 0;
+};
+
+} // namespace dsl
+} // namespace assassyn

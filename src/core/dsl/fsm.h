@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Finite-state-machine sugar: the frontend extension the paper lists as
+ * future work (Sec. 8.2 — "program different code regions that share
+ * the same inputs but execute under different conditions, [with]
+ * transitions ... described like imperative programming").
+ *
+ * An Fsm owns the state register and the dispatch logic; each state is
+ * a named region and transitions are `fsm.to("name")`:
+ *
+ *     Fsm fsm(sb, "ctl", {"idle", "busy", "done"});
+ *     {
+ *         StageScope scope(kernel);
+ *         fsm.state("idle", [&] {
+ *             when(start, [&] { fsm.to("busy"); });
+ *         });
+ *         fsm.state("busy", [&] {
+ *             ...
+ *             fsm.to("done");
+ *         });
+ *         fsm.state("done", [&] { finish(); });
+ *     }
+ *
+ * The hand-written accelerators in src/designs predate this sugar and
+ * spell the same pattern out manually; examples/gcd_fsm.cpp shows the
+ * sugared form.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+namespace dsl {
+
+/** A named-state machine over an automatically managed state register. */
+class Fsm {
+  public:
+    /**
+     * Declare the machine. State names are dense-encoded in declaration
+     * order; the first name is the reset state.
+     */
+    Fsm(SysBuilder &sb, const std::string &name,
+        std::vector<std::string> states)
+        : names_(std::move(states))
+    {
+        if (names_.empty())
+            fatal("FSM '", name, "' needs at least one state");
+        bits_ = std::max(1u, log2ceil(names_.size()));
+        reg_ = sb.reg(name + "__state", uintType(bits_));
+    }
+
+    /** Encoded index of a state name. */
+    uint64_t
+    indexOf(const std::string &state) const
+    {
+        for (size_t i = 0; i < names_.size(); ++i)
+            if (names_[i] == state)
+                return i;
+        fatal("FSM has no state named '", state, "'");
+    }
+
+    /** 1-bit value: currently in @p state. Usable anywhere in the stage. */
+    Val
+    in(const std::string &state)
+    {
+        return reg_.read() == indexOf(state);
+    }
+
+    /**
+     * Define one state's region. Effects inside only fire in this state;
+     * call at most once per state, inside an open StageScope.
+     */
+    void
+    state(const std::string &name, const std::function<void()> &body)
+    {
+        uint64_t idx = indexOf(name);
+        for (uint64_t seen : defined_)
+            if (seen == idx)
+                fatal("FSM state '", name, "' defined twice");
+        defined_.push_back(idx);
+        when(in(name), body);
+    }
+
+    /** Transition: commit the next state (use inside a state region). */
+    void
+    to(const std::string &state)
+    {
+        reg_.write(lit(indexOf(state), bits_));
+    }
+
+    /** The raw state register (for waveforms / debugging). */
+    Reg stateReg() const { return reg_; }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<uint64_t> defined_;
+    unsigned bits_ = 1;
+    Reg reg_;
+};
+
+} // namespace dsl
+} // namespace assassyn

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Register arrays: the architectural state of a design.
+ *
+ * A RegArray models anything from a single register (size 1) to a register
+ * file or an on-chip SRAM. Reads are combinational; writes are sequential
+ * and commit at the end of the cycle (Sec. 3.2). Arrays are owned by the
+ * System so multiple stages can share them (e.g. the register file written
+ * by write-back and read by decode).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ir/type.h"
+
+namespace assassyn {
+
+/** A word-addressable array of registers. */
+class RegArray {
+  public:
+    RegArray(std::string name, DataType elem, size_t size,
+             std::vector<uint64_t> init = {})
+        : name_(std::move(name)), elem_(elem), size_(size),
+          init_(std::move(init))
+    {
+        if (size_ == 0)
+            fatal("register array '", name_, "' must have nonzero size");
+        init_.resize(size_, 0);
+        for (auto &word : init_)
+            word = truncate(word, elem_.bits());
+    }
+
+    const std::string &name() const { return name_; }
+    const DataType &elemType() const { return elem_; }
+    size_t size() const { return size_; }
+    const std::vector<uint64_t> &init() const { return init_; }
+
+    /** Overwrite the power-on contents (used by testbenches to load data). */
+    void
+    setInit(std::vector<uint64_t> init)
+    {
+        init.resize(size_, 0);
+        for (auto &word : init)
+            word = truncate(word, elem_.bits());
+        init_ = std::move(init);
+    }
+
+    /**
+     * Mark this array as a memory macro. Memories behave identically in
+     * both backends but are excluded from the synthesis area model, the
+     * same way the paper blackboxes memory modules under Yosys.
+     */
+    bool isMemory() const { return is_memory_; }
+    void setMemory(bool m) { is_memory_ = m; }
+
+    uint32_t id() const { return id_; }
+    void setId(uint32_t id) { id_ = id; }
+
+  private:
+    std::string name_;
+    DataType elem_;
+    size_t size_;
+    std::vector<uint64_t> init_;
+    bool is_memory_ = false;
+    uint32_t id_ = 0;
+};
+
+} // namespace assassyn

@@ -1,0 +1,533 @@
+/**
+ * @file
+ * The instruction set of the Assassyn IR.
+ *
+ * A module body is a Block: an ordered list of instructions. Pure
+ * instructions (arithmetic, slicing, muxing, reads) model combinational
+ * logic and always compute; side-effecting instructions (register writes,
+ * FIFO pushes/pops, event subscriptions, logs) model sequential logic and
+ * only take effect when the stage executes and every enclosing conditional
+ * block's predicate holds (Sec. 3.2).
+ *
+ * Before lowering, inter-stage dataflow is expressed with AsyncCall and
+ * Bind instructions; the LowerCallsPass rewrites them into FifoPush +
+ * Subscribe per Fig. 7 of the paper.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ir/array.h"
+#include "core/ir/port.h"
+#include "core/ir/value.h"
+
+namespace assassyn {
+
+class Module;
+class Block;
+
+/** Opcode of an IR instruction. */
+enum class Opcode : uint8_t {
+    // Pure (combinational) instructions.
+    kBinOp,
+    kUnOp,
+    kSlice,
+    kConcat,
+    kSelect,
+    kCast,
+    kFifoValid,
+    kArrayRead,
+    // Side-effecting (sequential) instructions.
+    kFifoPop,
+    kFifoPush,
+    kArrayWrite,
+    kAsyncCall,
+    kBind,
+    kSubscribe,
+    kCondBlock,
+    kLog,
+    kAssertInst,
+    kFinish,
+};
+
+/** Operator of a BinOp instruction. */
+enum class BinOpcode : uint8_t {
+    kAdd, kSub, kMul, kDiv, kMod,
+    kAnd, kOr, kXor,
+    kShl, kShr,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+/** Operator of a UnOp instruction. */
+enum class UnOpcode : uint8_t {
+    kNot,     ///< bitwise complement
+    kNeg,     ///< two's complement negation
+    kRedOr,   ///< OR-reduce to 1 bit
+    kRedAnd,  ///< AND-reduce to 1 bit
+};
+
+/** Base class of all IR instructions. */
+class Instruction : public Value {
+  public:
+    Instruction(Opcode op, DataType type)
+        : Value(Kind::kInstr, type), op_(op)
+    {}
+
+    Opcode opcode() const { return op_; }
+
+    const std::vector<Value *> &operands() const { return operands_; }
+    Value *operand(size_t i) const { return operands_.at(i); }
+    size_t numOperands() const { return operands_.size(); }
+    void replaceOperand(size_t i, Value *v) { operands_.at(i) = v; }
+
+    /** True if this instruction has no side effects. */
+    bool
+    isPure() const
+    {
+        switch (op_) {
+          case Opcode::kBinOp:
+          case Opcode::kUnOp:
+          case Opcode::kSlice:
+          case Opcode::kConcat:
+          case Opcode::kSelect:
+          case Opcode::kCast:
+          case Opcode::kFifoValid:
+          case Opcode::kArrayRead:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Block this instruction lives in (set on insertion). */
+    Block *block() const { return block_; }
+    void setBlock(Block *b) { block_ = b; }
+
+  protected:
+    void addOperand(Value *v) { operands_.push_back(v); }
+
+  private:
+    Opcode op_;
+    std::vector<Value *> operands_;
+    Block *block_ = nullptr;
+};
+
+/** An ordered list of instructions; bodies and conditional regions. */
+class Block {
+  public:
+    Block() = default;
+
+    const std::vector<Instruction *> &insts() const { return insts_; }
+    bool empty() const { return insts_.empty(); }
+
+    void
+    append(Instruction *inst)
+    {
+        inst->setBlock(this);
+        insts_.push_back(inst);
+    }
+
+    /** Insert @p inst at position @p pos. */
+    void
+    insert(size_t pos, Instruction *inst)
+    {
+        inst->setBlock(this);
+        insts_.insert(insts_.begin() + static_cast<long>(pos), inst);
+    }
+
+    /** Replace @p old with @p fresh in place (compiler rewrites). */
+    void
+    replace(Instruction *old, Instruction *fresh)
+    {
+        for (auto &slot : insts_) {
+            if (slot == old) {
+                fresh->setBlock(this);
+                slot = fresh;
+                return;
+            }
+        }
+        throw InternalError("Block::replace: instruction not found");
+    }
+
+    /** Wholesale re-assignment of the instruction list (lowering). */
+    void
+    assign(std::vector<Instruction *> insts)
+    {
+        insts_ = std::move(insts);
+        for (auto *inst : insts_)
+            inst->setBlock(this);
+    }
+
+    /** The conditional-block instruction owning this block, if nested. */
+    Instruction *owner() const { return owner_; }
+    void setOwner(Instruction *o) { owner_ = o; }
+
+  private:
+    std::vector<Instruction *> insts_;
+    Instruction *owner_ = nullptr;
+};
+
+/** Two-operand arithmetic / logic / comparison. */
+class BinOp : public Instruction {
+  public:
+    BinOp(BinOpcode sub, DataType type, Value *lhs, Value *rhs)
+        : Instruction(Opcode::kBinOp, type), sub_(sub)
+    {
+        addOperand(lhs);
+        addOperand(rhs);
+    }
+
+    BinOpcode binOpcode() const { return sub_; }
+    Value *lhs() const { return operand(0); }
+    Value *rhs() const { return operand(1); }
+
+    bool
+    isComparison() const
+    {
+        switch (sub_) {
+          case BinOpcode::kEq: case BinOpcode::kNe:
+          case BinOpcode::kLt: case BinOpcode::kLe:
+          case BinOpcode::kGt: case BinOpcode::kGe:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+  private:
+    BinOpcode sub_;
+};
+
+/** One-operand logic. */
+class UnOp : public Instruction {
+  public:
+    UnOp(UnOpcode sub, DataType type, Value *val)
+        : Instruction(Opcode::kUnOp, type), sub_(sub)
+    {
+        addOperand(val);
+    }
+
+    UnOpcode unOpcode() const { return sub_; }
+    Value *value() const { return operand(0); }
+
+  private:
+    UnOpcode sub_;
+};
+
+/** Bit slice [lo .. hi] inclusive. */
+class Slice : public Instruction {
+  public:
+    Slice(Value *val, unsigned hi, unsigned lo)
+        : Instruction(Opcode::kSlice, bitsType(hi - lo + 1)),
+          hi_(hi), lo_(lo)
+    {
+        addOperand(val);
+    }
+
+    Value *value() const { return operand(0); }
+    unsigned hi() const { return hi_; }
+    unsigned lo() const { return lo_; }
+
+  private:
+    unsigned hi_;
+    unsigned lo_;
+};
+
+/** Bit concatenation: result = {msb, lsb}. */
+class Concat : public Instruction {
+  public:
+    Concat(Value *msb, Value *lsb)
+        : Instruction(Opcode::kConcat,
+                      bitsType(msb->type().bits() + lsb->type().bits()))
+    {
+        addOperand(msb);
+        addOperand(lsb);
+    }
+
+    Value *msb() const { return operand(0); }
+    Value *lsb() const { return operand(1); }
+};
+
+/** Two-way multiplexer: cond ? on_true : on_false. */
+class Select : public Instruction {
+  public:
+    Select(Value *cond, Value *on_true, Value *on_false)
+        : Instruction(Opcode::kSelect, on_true->type())
+    {
+        addOperand(cond);
+        addOperand(on_true);
+        addOperand(on_false);
+    }
+
+    Value *cond() const { return operand(0); }
+    Value *onTrue() const { return operand(1); }
+    Value *onFalse() const { return operand(2); }
+};
+
+/** Width / signedness conversion. */
+class Cast : public Instruction {
+  public:
+    enum class Mode : uint8_t { kZExt, kSExt, kTrunc, kBitcast };
+
+    Cast(Mode mode, DataType to, Value *val)
+        : Instruction(Opcode::kCast, to), mode_(mode)
+    {
+        addOperand(val);
+    }
+
+    Mode mode() const { return mode_; }
+    Value *value() const { return operand(0); }
+
+  private:
+    Mode mode_;
+};
+
+/** 1 when the port's FIFO holds at least one entry. */
+class FifoValid : public Instruction {
+  public:
+    explicit FifoValid(Port *port)
+        : Instruction(Opcode::kFifoValid, uintType(1)), port_(port)
+    {}
+
+    Port *port() const { return port_; }
+
+  private:
+    Port *port_;
+};
+
+/**
+ * Read (and, when the stage executes, dequeue) the FIFO head.
+ *
+ * The value of a FifoPop is always the current head (0 when empty),
+ * matching the pop_data wire of the RTL FIFO (Fig. 10d); the dequeue side
+ * effect fires only when the stage executes and the enclosing conditional
+ * predicates hold. This makes the same node usable as a pure peek in
+ * wait_until guards and exposed-value cones.
+ */
+class FifoPop : public Instruction {
+  public:
+    explicit FifoPop(Port *port)
+        : Instruction(Opcode::kFifoPop, port->type()), port_(port)
+    {}
+
+    Port *port() const { return port_; }
+
+  private:
+    Port *port_;
+};
+
+/** Enqueue a value into a port's FIFO; visible from the next cycle. */
+class FifoPush : public Instruction {
+  public:
+    FifoPush(Port *port, Value *val)
+        : Instruction(Opcode::kFifoPush, uintType(1)), port_(port)
+    {
+        addOperand(val);
+    }
+
+    Port *port() const { return port_; }
+    Value *value() const { return operand(0); }
+
+  private:
+    Port *port_;
+};
+
+/** Combinational read of a register array element. */
+class ArrayRead : public Instruction {
+  public:
+    ArrayRead(RegArray *array, Value *index)
+        : Instruction(Opcode::kArrayRead, array->elemType()), array_(array)
+    {
+        addOperand(index);
+    }
+
+    RegArray *array() const { return array_; }
+    Value *index() const { return operand(0); }
+
+  private:
+    RegArray *array_;
+};
+
+/** Sequential write of a register array element; commits at end of cycle. */
+class ArrayWrite : public Instruction {
+  public:
+    ArrayWrite(RegArray *array, Value *index, Value *val)
+        : Instruction(Opcode::kArrayWrite, uintType(1)), array_(array)
+    {
+        addOperand(index);
+        addOperand(val);
+    }
+
+    RegArray *array() const { return array_; }
+    Value *index() const { return operand(0); }
+    Value *value() const { return operand(1); }
+
+  private:
+    RegArray *array_;
+};
+
+/**
+ * Partially apply a stage's arguments (paper Sec. 3.7).
+ *
+ * A Bind fixes a subset of a callee's ports to values; executing the bind
+ * pushes the fixed values into the callee's FIFOs. Bind handles are values
+ * so they can be exposed and referenced across stages (the systolic-array
+ * construction of Fig. 5). Chained binds are flattened at construction.
+ */
+class Bind : public Instruction {
+  public:
+    Bind(Module *callee, std::vector<Value *> bound_args)
+        : Instruction(Opcode::kBind, uintType(1)), callee_(callee),
+          bound_(std::move(bound_args))
+    {
+        for (auto *arg : bound_)
+            if (arg)
+                addOperand(arg);
+    }
+
+    Module *callee() const { return callee_; }
+
+    /** Bound value per callee port index; nullptr = not bound here. */
+    const std::vector<Value *> &boundArgs() const { return bound_; }
+    void setBoundArg(size_t i, Value *v) { bound_.at(i) = v; }
+
+    /**
+     * A bind absorbed into a chained bind no longer pushes by itself;
+     * the chain's final bind carries the whole argument set.
+     */
+    bool isAbsorbed() const { return absorbed_; }
+    void setAbsorbed(bool a) { absorbed_ = a; }
+
+  private:
+    Module *callee_;
+    std::vector<Value *> bound_;
+    bool absorbed_ = false;
+};
+
+/**
+ * Asynchronously invoke a stage (paper Sec. 3.3).
+ *
+ * The target is either a module or a bind handle (possibly a cross-stage
+ * reference to one). Arguments are stored per callee port index; entries
+ * may be null for ports whose data arrives from another stage's bind or
+ * push (the systolic-array pattern of Fig. 5). When the target is an
+ * unresolved bind handle, arguments are kept by name until the lowering
+ * pass resolves the handle. Lowered into FifoPush + Subscribe (Fig. 7).
+ */
+class AsyncCall : public Instruction {
+  public:
+    AsyncCall(Module *callee, std::vector<Value *> args)
+        : Instruction(Opcode::kAsyncCall, uintType(1)), callee_(callee),
+          args_(std::move(args))
+    {
+        for (auto *arg : args_)
+            if (arg)
+                addOperand(arg);
+    }
+
+    /** Call through a bind handle; named args fill unbound ports. */
+    AsyncCall(Value *bind_handle,
+              std::vector<std::pair<std::string, Value *>> named_args)
+        : Instruction(Opcode::kAsyncCall, uintType(1)),
+          bind_handle_(bind_handle), named_args_(std::move(named_args))
+    {
+        addOperand(bind_handle);
+        for (auto &[name, arg] : named_args_)
+            addOperand(arg);
+    }
+
+    Module *callee() const { return callee_; }
+    Value *bindHandle() const { return bind_handle_; }
+    const std::vector<Value *> &args() const { return args_; }
+    const std::vector<std::pair<std::string, Value *>> &namedArgs() const
+    {
+        return named_args_;
+    }
+
+  private:
+    Module *callee_ = nullptr;
+    Value *bind_handle_ = nullptr;
+    std::vector<Value *> args_;
+    std::vector<std::pair<std::string, Value *>> named_args_;
+};
+
+/** Post-lowering: raise the callee's pending-event counter by one. */
+class Subscribe : public Instruction {
+  public:
+    explicit Subscribe(Module *callee)
+        : Instruction(Opcode::kSubscribe, uintType(1)), callee_(callee)
+    {}
+
+    Module *callee() const { return callee_; }
+
+  private:
+    Module *callee_;
+};
+
+/** A conditional region: body effects fire only when cond is 1. */
+class CondBlock : public Instruction {
+  public:
+    explicit CondBlock(Value *cond)
+        : Instruction(Opcode::kCondBlock, uintType(1))
+    {
+        addOperand(cond);
+        body_ = std::make_unique<Block>();
+        body_->setOwner(this);
+    }
+
+    Value *cond() const { return operand(0); }
+    Block *body() const { return body_.get(); }
+
+  private:
+    std::unique_ptr<Block> body_;
+};
+
+/**
+ * Testbench print. Emits the format string with {} placeholders replaced
+ * by argument values; both backends must produce byte-identical output,
+ * which the alignment tests exploit.
+ */
+class Log : public Instruction {
+  public:
+    Log(std::string fmt, std::vector<Value *> args)
+        : Instruction(Opcode::kLog, uintType(1)), fmt_(std::move(fmt)),
+          args_(std::move(args))
+    {
+        for (auto *arg : args_)
+            addOperand(arg);
+    }
+
+    const std::string &fmt() const { return fmt_; }
+    const std::vector<Value *> &args() const { return args_; }
+
+  private:
+    std::string fmt_;
+    std::vector<Value *> args_;
+};
+
+/** Runtime design assertion: executing it with cond==0 is a fatal error. */
+class AssertInst : public Instruction {
+  public:
+    AssertInst(Value *cond, std::string msg)
+        : Instruction(Opcode::kAssertInst, uintType(1)), msg_(std::move(msg))
+    {
+        addOperand(cond);
+    }
+
+    Value *cond() const { return operand(0); }
+    const std::string &msg() const { return msg_; }
+
+  private:
+    std::string msg_;
+};
+
+/** Terminate the simulation at the end of the current cycle. */
+class Finish : public Instruction {
+  public:
+    Finish() : Instruction(Opcode::kFinish, uintType(1)) {}
+};
+
+} // namespace assassyn

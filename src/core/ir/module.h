@@ -1,0 +1,198 @@
+/**
+ * @file
+ * A Module is one pipeline stage: the unit of the Assassyn abstraction
+ * (paper Sec. 3.1). It owns its FIFO input ports, a guard block computing
+ * the wait_until condition, and a body block of combinational logic and
+ * side effects. A module also owns the arena of all IR nodes created while
+ * elaborating it.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ir/instruction.h"
+#include "core/ir/port.h"
+#include "core/ir/value.h"
+
+namespace assassyn {
+
+class System;
+
+/** Arbitration strategy for stages with multiple callers (Sec. 4.2). */
+enum class ArbiterPolicy : uint8_t {
+    kNone,        ///< not specified; defaults to round robin when needed
+    kRoundRobin,  ///< #round_robin
+    kPriority,    ///< #priority_arbiter, order given by priorityOrder()
+};
+
+/** One pipeline stage. */
+class Module {
+  public:
+    Module(System *sys, std::string name)
+        : sys_(sys), name_(std::move(name))
+    {}
+
+    System *system() const { return sys_; }
+    const std::string &name() const { return name_; }
+
+    // --- Ports -----------------------------------------------------------
+
+    Port *
+    addPort(const std::string &port_name, DataType type)
+    {
+        for (const auto &p : ports_)
+            if (p->name() == port_name)
+                fatal("module '", name_, "' already has a port '",
+                      port_name, "'");
+        auto port = std::make_unique<Port>(this, port_name, type);
+        port->setIndex(static_cast<uint32_t>(ports_.size()));
+        ports_.push_back(std::move(port));
+        return ports_.back().get();
+    }
+
+    const std::vector<std::unique_ptr<Port>> &ports() const { return ports_; }
+    size_t numPorts() const { return ports_.size(); }
+
+    Port *
+    port(const std::string &port_name) const
+    {
+        for (const auto &p : ports_)
+            if (p->name() == port_name)
+                return p.get();
+        fatal("module '", name_, "' has no port '", port_name, "'");
+    }
+
+    Port *port(size_t idx) const { return ports_.at(idx).get(); }
+
+    // --- Blocks and wait condition ---------------------------------------
+
+    Block &guard() { return guard_; }
+    const Block &guard() const { return guard_; }
+    Block &body() { return body_; }
+    const Block &body() const { return body_; }
+
+    /** wait_until condition; nullptr means "always ready". */
+    Value *waitCond() const { return wait_cond_; }
+
+    void
+    setWaitCond(Value *cond, bool user_specified)
+    {
+        wait_cond_ = cond;
+        explicit_wait_ |= user_specified;
+    }
+
+    /** True when the developer wrote an explicit wait_until. */
+    bool hasExplicitWait() const { return explicit_wait_; }
+
+    // --- Attributes -------------------------------------------------------
+
+    /** Testbench driver stages execute unconditionally every cycle. */
+    bool isDriver() const { return is_driver_; }
+    void setDriver(bool d) { is_driver_ = d; }
+
+    /** #static_timing disables the implicit wait_until transform. */
+    bool isStaticTiming() const { return static_timing_; }
+    void setStaticTiming(bool s) { static_timing_ = s; }
+
+    ArbiterPolicy arbiterPolicy() const { return arbiter_policy_; }
+    void setArbiterPolicy(ArbiterPolicy p) { arbiter_policy_ = p; }
+
+    /** Caller priority order (highest first) for #priority_arbiter. */
+    const std::vector<std::string> &priorityOrder() const
+    {
+        return priority_order_;
+    }
+    void
+    setPriorityOrder(std::vector<std::string> order)
+    {
+        priority_order_ = std::move(order);
+    }
+
+    /** Marks compiler-generated modules (arbiters). */
+    bool isGenerated() const { return is_generated_; }
+    void setGenerated(bool g) { is_generated_ = g; }
+
+    // --- Cross-stage exposure (Sec. 3.4) ----------------------------------
+
+    void
+    expose(const std::string &exposed_name, Value *val)
+    {
+        if (exposures_.count(exposed_name))
+            fatal("module '", name_, "' already exposes '",
+                  exposed_name, "'");
+        exposures_[exposed_name] = val;
+    }
+
+    Value *
+    exposedOrNull(const std::string &exposed_name) const
+    {
+        auto it = exposures_.find(exposed_name);
+        return it == exposures_.end() ? nullptr : it->second;
+    }
+
+    const std::map<std::string, Value *> &exposures() const
+    {
+        return exposures_;
+    }
+
+    // --- Node arena --------------------------------------------------------
+
+    /** Create an IR node owned by this module. */
+    template <typename T, typename... Args>
+    T *
+    create(Args &&...args)
+    {
+        auto node = std::make_unique<T>(std::forward<Args>(args)...);
+        T *raw = node.get();
+        raw->setParent(this);
+        raw->setId(static_cast<uint32_t>(nodes_.size()));
+        nodes_.push_back(std::move(node));
+        return raw;
+    }
+
+    const std::vector<std::unique_ptr<Value>> &nodes() const
+    {
+        return nodes_;
+    }
+
+    /** The unique FifoPop node of @p port, creating it on first use. */
+    FifoPop *
+    popOf(Port *p)
+    {
+        auto it = pops_.find(p);
+        if (it != pops_.end())
+            return it->second;
+        auto *pop = create<FifoPop>(p);
+        pops_[p] = pop;
+        return pop;
+    }
+
+    FifoPop *
+    popOfOrNull(Port *p) const
+    {
+        auto it = pops_.find(p);
+        return it == pops_.end() ? nullptr : it->second;
+    }
+
+  private:
+    System *sys_;
+    std::string name_;
+    std::vector<std::unique_ptr<Port>> ports_;
+    Block guard_;
+    Block body_;
+    Value *wait_cond_ = nullptr;
+    bool explicit_wait_ = false;
+    bool is_driver_ = false;
+    bool static_timing_ = false;
+    bool is_generated_ = false;
+    ArbiterPolicy arbiter_policy_ = ArbiterPolicy::kNone;
+    std::vector<std::string> priority_order_;
+    std::map<std::string, Value *> exposures_;
+    std::map<Port *, FifoPop *> pops_;
+    std::vector<std::unique_ptr<Value>> nodes_;
+};
+
+} // namespace assassyn

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * FIFO-backed input ports of a pipeline stage (Sec. 2.2 / 3.9).
+ *
+ * Assassyn adopts FIFOs as the universal stage buffer. Each argument of a
+ * stage function becomes a Port; async calls and binds push into the
+ * FIFO, and the stage pops when it executes. Depth is developer-tunable
+ * via the fifo_depth API; a depth-1 FIFO degenerates to a plain stage
+ * register.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ir/type.h"
+
+namespace assassyn {
+
+class Module;
+
+/** Default stage-buffer depth when fifo_depth is not called. */
+inline constexpr unsigned kDefaultFifoDepth = 2;
+
+/** One FIFO-buffered input of a stage. */
+class Port {
+  public:
+    Port(Module *owner, std::string name, DataType type)
+        : owner_(owner), name_(std::move(name)), type_(type)
+    {}
+
+    Module *owner() const { return owner_; }
+    const std::string &name() const { return name_; }
+    const DataType &type() const { return type_; }
+
+    unsigned depth() const { return depth_; }
+
+    /** Tune the stage-buffer depth (paper Sec. 3.9). */
+    void
+    setDepth(unsigned depth)
+    {
+        if (depth == 0)
+            fatal("fifo_depth(0) on port '", name_, "' is invalid");
+        depth_ = depth;
+    }
+
+    /** Index of this port within its owning module. */
+    uint32_t index() const { return index_; }
+    void setIndex(uint32_t idx) { index_ = idx; }
+
+  private:
+    Module *owner_;
+    std::string name_;
+    DataType type_;
+    unsigned depth_ = kDefaultFifoDepth;
+    uint32_t index_ = 0;
+};
+
+} // namespace assassyn

@@ -1,0 +1,363 @@
+#include "core/ir/printer.h"
+
+#include <set>
+#include <sstream>
+
+namespace assassyn {
+
+namespace {
+
+const char *
+binOpName(BinOpcode op)
+{
+    switch (op) {
+      case BinOpcode::kAdd: return "add";
+      case BinOpcode::kSub: return "sub";
+      case BinOpcode::kMul: return "mul";
+      case BinOpcode::kDiv: return "div";
+      case BinOpcode::kMod: return "mod";
+      case BinOpcode::kAnd: return "and";
+      case BinOpcode::kOr:  return "or";
+      case BinOpcode::kXor: return "xor";
+      case BinOpcode::kShl: return "shl";
+      case BinOpcode::kShr: return "shr";
+      case BinOpcode::kEq:  return "eq";
+      case BinOpcode::kNe:  return "ne";
+      case BinOpcode::kLt:  return "lt";
+      case BinOpcode::kLe:  return "le";
+      case BinOpcode::kGt:  return "gt";
+      case BinOpcode::kGe:  return "ge";
+    }
+    return "?";
+}
+
+const char *
+unOpName(UnOpcode op)
+{
+    switch (op) {
+      case UnOpcode::kNot:    return "not";
+      case UnOpcode::kNeg:    return "neg";
+      case UnOpcode::kRedOr:  return "red_or";
+      case UnOpcode::kRedAnd: return "red_and";
+    }
+    return "?";
+}
+
+class Printer {
+  public:
+    explicit Printer(std::ostringstream &os) : os_(os) {}
+
+    void
+    block(const Block &b, int indent)
+    {
+        for (auto *inst : b.insts())
+            instruction(*inst, indent);
+    }
+
+    void
+    instruction(const Instruction &inst, int indent)
+    {
+        pad(indent);
+        if (inst.isPure() || inst.opcode() == Opcode::kFifoPop)
+            os_ << ref(&inst) << " = ";
+        switch (inst.opcode()) {
+          case Opcode::kBinOp: {
+            const auto &bin = static_cast<const BinOp &>(inst);
+            os_ << binOpName(bin.binOpcode()) << ' ' << ref(bin.lhs())
+                << ", " << ref(bin.rhs());
+            break;
+          }
+          case Opcode::kUnOp: {
+            const auto &un = static_cast<const UnOp &>(inst);
+            os_ << unOpName(un.unOpcode()) << ' ' << ref(un.value());
+            break;
+          }
+          case Opcode::kSlice: {
+            const auto &s = static_cast<const Slice &>(inst);
+            os_ << "slice " << ref(s.value()) << '[' << s.lo() << ':'
+                << s.hi() << ']';
+            break;
+          }
+          case Opcode::kConcat: {
+            const auto &c = static_cast<const Concat &>(inst);
+            os_ << "concat {" << ref(c.msb()) << ", " << ref(c.lsb()) << '}';
+            break;
+          }
+          case Opcode::kSelect: {
+            const auto &s = static_cast<const Select &>(inst);
+            os_ << "select " << ref(s.cond()) << " ? " << ref(s.onTrue())
+                << " : " << ref(s.onFalse());
+            break;
+          }
+          case Opcode::kCast: {
+            const auto &c = static_cast<const Cast &>(inst);
+            const char *m = "?";
+            switch (c.mode()) {
+              case Cast::Mode::kZExt:    m = "zext"; break;
+              case Cast::Mode::kSExt:    m = "sext"; break;
+              case Cast::Mode::kTrunc:   m = "trunc"; break;
+              case Cast::Mode::kBitcast: m = "bitcast"; break;
+            }
+            os_ << m << ' ' << ref(c.value()) << " to "
+                << inst.type().toString();
+            break;
+          }
+          case Opcode::kFifoValid: {
+            const auto &v = static_cast<const FifoValid &>(inst);
+            os_ << "fifo.valid " << portRef(v.port());
+            break;
+          }
+          case Opcode::kFifoPop: {
+            const auto &p = static_cast<const FifoPop &>(inst);
+            os_ << "fifo.pop " << portRef(p.port());
+            break;
+          }
+          case Opcode::kFifoPush: {
+            const auto &p = static_cast<const FifoPush &>(inst);
+            os_ << "fifo.push " << portRef(p.port()) << ", "
+                << ref(p.value());
+            break;
+          }
+          case Opcode::kArrayRead: {
+            const auto &r = static_cast<const ArrayRead &>(inst);
+            os_ << r.array()->name() << '[' << ref(r.index()) << ']';
+            break;
+          }
+          case Opcode::kArrayWrite: {
+            const auto &w = static_cast<const ArrayWrite &>(inst);
+            os_ << w.array()->name() << '[' << ref(w.index()) << "] <= "
+                << ref(w.value());
+            break;
+          }
+          case Opcode::kAsyncCall: {
+            const auto &c = static_cast<const AsyncCall &>(inst);
+            os_ << "async_call ";
+            if (c.callee())
+                os_ << c.callee()->name();
+            else
+                os_ << ref(c.bindHandle());
+            os_ << '(';
+            bool first = true;
+            for (auto *arg : c.args()) {
+                if (!first)
+                    os_ << ", ";
+                first = false;
+                os_ << (arg ? ref(arg) : std::string("_"));
+            }
+            os_ << ')';
+            break;
+          }
+          case Opcode::kBind: {
+            const auto &b = static_cast<const Bind &>(inst);
+            os_ << ref(&inst) << " = bind " << b.callee()->name() << '(';
+            bool first = true;
+            for (size_t i = 0; i < b.boundArgs().size(); ++i) {
+                if (!first)
+                    os_ << ", ";
+                first = false;
+                auto *arg = b.boundArgs()[i];
+                os_ << b.callee()->port(i)->name() << '='
+                    << (arg ? ref(arg) : std::string("_"));
+            }
+            os_ << ')';
+            break;
+          }
+          case Opcode::kSubscribe: {
+            const auto &s = static_cast<const Subscribe &>(inst);
+            os_ << "subscribe " << s.callee()->name();
+            break;
+          }
+          case Opcode::kCondBlock: {
+            const auto &c = static_cast<const CondBlock &>(inst);
+            os_ << "when " << ref(c.cond()) << " {\n";
+            block(*c.body(), indent + 1);
+            pad(indent);
+            os_ << '}';
+            break;
+          }
+          case Opcode::kLog: {
+            const auto &l = static_cast<const Log &>(inst);
+            os_ << "log \"" << l.fmt() << '"';
+            for (auto *arg : l.args())
+                os_ << ", " << ref(arg);
+            break;
+          }
+          case Opcode::kAssertInst: {
+            const auto &a = static_cast<const AssertInst &>(inst);
+            os_ << "assert " << ref(a.cond()) << ", \"" << a.msg() << '"';
+            break;
+          }
+          case Opcode::kFinish:
+            os_ << "finish";
+            break;
+        }
+        os_ << '\n';
+    }
+
+    std::string
+    ref(const Value *val)
+    {
+        if (val->valueKind() == Value::Kind::kConst) {
+            const auto *c = static_cast<const ConstInt *>(val);
+            return std::to_string(c->raw()) + ':' + c->type().toString();
+        }
+        if (val->valueKind() == Value::Kind::kCrossRef) {
+            const auto *x = static_cast<const CrossRef *>(val);
+            return x->producer()->name() + '.' + x->exported();
+        }
+        std::string s = "%" + std::to_string(val->id());
+        if (!val->name().empty())
+            s += "." + val->name();
+        if (val->parent())
+            s = val->parent()->name() + ":" + s;
+        return s;
+    }
+
+    std::string
+    portRef(const Port *p)
+    {
+        return p->owner()->name() + '.' + p->name();
+    }
+
+    void
+    pad(int indent)
+    {
+        for (int i = 0; i < indent; ++i)
+            os_ << "    ";
+    }
+
+  private:
+    std::ostringstream &os_;
+};
+
+} // namespace
+
+std::string
+printOperand(const Value *val)
+{
+    std::ostringstream os;
+    Printer p(os);
+    return p.ref(val);
+}
+
+std::string
+printModule(const Module &mod)
+{
+    std::ostringstream os;
+    Printer p(os);
+    os << "stage " << mod.name() << '(';
+    bool first = true;
+    for (const auto &port : mod.ports()) {
+        if (!first)
+            os << ", ";
+        first = false;
+        os << port->name() << ": " << port->type().toString() << " depth="
+           << port->depth();
+    }
+    os << ')';
+    if (mod.isDriver())
+        os << " #driver";
+    if (mod.isStaticTiming())
+        os << " #static_timing";
+    if (mod.isGenerated())
+        os << " #generated";
+    os << " {\n";
+    if (!mod.guard().empty() || mod.waitCond()) {
+        os << "  guard:\n";
+        p.block(mod.guard(), 1);
+        if (mod.waitCond())
+            os << "  wait_until " << p.ref(mod.waitCond()) << '\n';
+    }
+    os << "  body:\n";
+    p.block(mod.body(), 1);
+    for (const auto &[name, val] : mod.exposures())
+        os << "  expose " << name << " = " << p.ref(val) << '\n';
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+dumpDot(const System &sys)
+{
+    std::ostringstream os;
+    os << "digraph \"" << sys.name() << "\" {\n"
+       << "  rankdir=LR;\n  node [shape=box];\n";
+    for (const auto &mod : sys.modules()) {
+        os << "  \"" << mod->name() << "\"";
+        if (mod->isDriver())
+            os << " [shape=doubleoctagon]";
+        else if (mod->isGenerated())
+            os << " [style=dashed]";
+        os << ";\n";
+    }
+
+    std::set<std::pair<const Module *, const Module *>> seq_edges;
+    std::set<std::pair<const Module *, const Module *>> comb_edges;
+    auto walkBlock = [&](const Module &mod, const Block &blk,
+                         auto &&self) -> void {
+        for (auto *inst : blk.insts()) {
+            switch (inst->opcode()) {
+              case Opcode::kAsyncCall: {
+                auto *call = static_cast<AsyncCall *>(inst);
+                if (call->callee())
+                    seq_edges.insert({&mod, call->callee()});
+                break;
+              }
+              case Opcode::kBind:
+                seq_edges.insert(
+                    {&mod, static_cast<Bind *>(inst)->callee()});
+                break;
+              case Opcode::kFifoPush:
+                seq_edges.insert(
+                    {&mod,
+                     static_cast<FifoPush *>(inst)->port()->owner()});
+                break;
+              case Opcode::kSubscribe:
+                seq_edges.insert(
+                    {&mod, static_cast<Subscribe *>(inst)->callee()});
+                break;
+              case Opcode::kCondBlock:
+                self(mod, *static_cast<CondBlock *>(inst)->body(), self);
+                break;
+              default:
+                break;
+            }
+        }
+    };
+    for (const auto &mod : sys.modules()) {
+        walkBlock(*mod, mod->body(), walkBlock);
+        for (const auto &node : mod->nodes()) {
+            if (node->valueKind() == Value::Kind::kCrossRef) {
+                auto *ref = static_cast<CrossRef *>(node.get());
+                comb_edges.insert({ref->producer(), mod.get()});
+            }
+        }
+    }
+    for (const auto &[from, to] : seq_edges)
+        os << "  \"" << from->name() << "\" -> \"" << to->name()
+           << "\";\n";
+    for (const auto &[from, to] : comb_edges)
+        os << "  \"" << from->name() << "\" -> \"" << to->name()
+           << "\" [style=dashed];\n";
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+printSystem(const System &sys)
+{
+    std::ostringstream os;
+    os << "system " << sys.name() << '\n';
+    for (const auto &arr : sys.arrays()) {
+        os << "array " << arr->name() << ": " << arr->elemType().toString()
+           << '[' << arr->size() << ']';
+        if (arr->isMemory())
+            os << " #memory";
+        os << '\n';
+    }
+    for (const auto &mod : sys.modules())
+        os << printModule(*mod);
+    return os.str();
+}
+
+} // namespace assassyn

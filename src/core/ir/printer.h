@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Human-readable textual dump of an IR System, in a syntax close to the
+ * paper's surface language. Used by tests to assert on pass output and by
+ * developers to inspect elaborated designs.
+ */
+#pragma once
+
+#include <string>
+
+#include "core/ir/system.h"
+
+namespace assassyn {
+
+/** Render the whole system. */
+std::string printSystem(const System &sys);
+
+/** Render one module. */
+std::string printModule(const Module &mod);
+
+/** Render one value as an operand reference (e.g. "%12" or "42:uint<8>"). */
+std::string printOperand(const Value *val);
+
+/**
+ * Render the stage graph as Graphviz dot: stages as nodes (the driver
+ * double-circled, generated arbiters dashed), sequential dataflow
+ * (calls/binds/pushes) as solid edges, and cross-stage combinational
+ * references as dashed edges — the dependency structure of Sec. 4.1 at
+ * a glance. Works before or after lowering.
+ */
+std::string dumpDot(const System &sys);
+
+} // namespace assassyn

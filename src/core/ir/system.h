@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The System: a whole design. Owns all modules and all shared register
+ * arrays, and records the results of compilation (topological stage order,
+ * lowering state) consumed by both backends.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ir/array.h"
+#include "core/ir/module.h"
+
+namespace assassyn {
+
+/** A complete pipelined design. */
+class System {
+  public:
+    explicit System(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    // --- Modules -----------------------------------------------------------
+
+    Module *
+    addModule(const std::string &mod_name)
+    {
+        for (const auto &m : modules_)
+            if (m->name() == mod_name)
+                fatal("system '", name_, "' already has a module '",
+                      mod_name, "'");
+        modules_.push_back(std::make_unique<Module>(this, mod_name));
+        return modules_.back().get();
+    }
+
+    const std::vector<std::unique_ptr<Module>> &modules() const
+    {
+        return modules_;
+    }
+
+    Module *
+    moduleOrNull(const std::string &mod_name) const
+    {
+        for (const auto &m : modules_)
+            if (m->name() == mod_name)
+                return m.get();
+        return nullptr;
+    }
+
+    Module *
+    module(const std::string &mod_name) const
+    {
+        if (auto *m = moduleOrNull(mod_name))
+            return m;
+        fatal("system '", name_, "' has no module '", mod_name, "'");
+    }
+
+    // --- Shared state -------------------------------------------------------
+
+    RegArray *
+    addArray(const std::string &arr_name, DataType elem, size_t size,
+             std::vector<uint64_t> init = {})
+    {
+        for (const auto &a : arrays_)
+            if (a->name() == arr_name)
+                fatal("system '", name_, "' already has an array '",
+                      arr_name, "'");
+        arrays_.push_back(
+            std::make_unique<RegArray>(arr_name, elem, size,
+                                       std::move(init)));
+        auto *arr = arrays_.back().get();
+        arr->setId(static_cast<uint32_t>(arrays_.size() - 1));
+        return arr;
+    }
+
+    const std::vector<std::unique_ptr<RegArray>> &arrays() const
+    {
+        return arrays_;
+    }
+
+    RegArray *
+    array(const std::string &arr_name) const
+    {
+        for (const auto &a : arrays_)
+            if (a->name() == arr_name)
+                return a.get();
+        fatal("system '", name_, "' has no array '", arr_name, "'");
+    }
+
+    // --- Compilation results -------------------------------------------------
+
+    /** Topological stage order produced by the TopoSortPass (Sec. 4.1). */
+    const std::vector<Module *> &topoOrder() const { return topo_order_; }
+    void setTopoOrder(std::vector<Module *> order)
+    {
+        topo_order_ = std::move(order);
+    }
+
+    bool isLowered() const { return lowered_; }
+    void setLowered(bool l) { lowered_ = l; }
+
+  private:
+    std::string name_;
+    std::vector<std::unique_ptr<Module>> modules_;
+    std::vector<std::unique_ptr<RegArray>> arrays_;
+    std::vector<Module *> topo_order_;
+    bool lowered_ = false;
+};
+
+} // namespace assassyn

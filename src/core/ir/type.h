@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Data types of the Assassyn IR.
+ *
+ * Every value in a design has a DataType: a bit width (1..64 in this
+ * implementation) plus a signedness kind. `Bits` behaves like `UInt` in
+ * arithmetic but documents "raw bit vector" intent, mirroring the paper's
+ * bits<N> / int(N) surface syntax (Sec. 3).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace assassyn {
+
+/** A fixed-width hardware value type. */
+class DataType {
+  public:
+    enum class Kind : uint8_t { kBits, kUInt, kInt };
+
+    DataType() : kind_(Kind::kBits), bits_(1) {}
+
+    DataType(Kind kind, unsigned bits) : kind_(kind), bits_(bits)
+    {
+        if (bits == 0 || bits > kMaxBits)
+            fatal("unsupported bit width ", bits,
+                  " (this implementation supports 1..", kMaxBits, ")");
+    }
+
+    Kind kind() const { return kind_; }
+    unsigned bits() const { return bits_; }
+    bool isSigned() const { return kind_ == Kind::kInt; }
+
+    bool
+    operator==(const DataType &other) const
+    {
+        return kind_ == other.kind_ && bits_ == other.bits_;
+    }
+    bool operator!=(const DataType &other) const { return !(*this == other); }
+
+    /** All-ones mask for this width. */
+    uint64_t mask() const { return maskBits(bits_); }
+
+    /** Reinterpret a raw payload as a signed 64-bit integer. */
+    int64_t
+    asSigned(uint64_t raw) const
+    {
+        return isSigned() ? signExtend(raw, bits_)
+                          : static_cast<int64_t>(truncate(raw, bits_));
+    }
+
+    std::string
+    toString() const
+    {
+        switch (kind_) {
+          case Kind::kBits: return "bits<" + std::to_string(bits_) + ">";
+          case Kind::kUInt: return "uint<" + std::to_string(bits_) + ">";
+          case Kind::kInt:  return "int<" + std::to_string(bits_) + ">";
+        }
+        return "?";
+    }
+
+  private:
+    Kind kind_;
+    unsigned bits_;
+};
+
+/** Raw bit-vector type of @p bits bits. */
+inline DataType
+bitsType(unsigned bits)
+{
+    return DataType(DataType::Kind::kBits, bits);
+}
+
+/** Unsigned integer type of @p bits bits. */
+inline DataType
+uintType(unsigned bits)
+{
+    return DataType(DataType::Kind::kUInt, bits);
+}
+
+/** Signed (two's complement) integer type of @p bits bits. */
+inline DataType
+intType(unsigned bits)
+{
+    return DataType(DataType::Kind::kInt, bits);
+}
+
+} // namespace assassyn

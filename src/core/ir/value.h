@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Base classes for everything in a design that carries a value: constants,
+ * instruction results, and lazy cross-stage references (Sec. 3.4).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ir/type.h"
+
+namespace assassyn {
+
+class Module;
+
+/** Anything that can appear as an operand of an instruction. */
+class Value {
+  public:
+    enum class Kind : uint8_t { kConst, kInstr, kCrossRef };
+
+    Value(Kind kind, DataType type) : kind_(kind), type_(type) {}
+    virtual ~Value() = default;
+
+    Value(const Value &) = delete;
+    Value &operator=(const Value &) = delete;
+
+    Kind valueKind() const { return kind_; }
+    const DataType &type() const { return type_; }
+    void setType(DataType t) { type_ = t; }
+
+    /** Module whose elaboration created this node (null for none). */
+    Module *parent() const { return parent_; }
+    void setParent(Module *m) { parent_ = m; }
+
+    /** Optional name hint for dumps and generated RTL. */
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    /** Dense per-module id assigned at elaboration; used by backends. */
+    uint32_t id() const { return id_; }
+    void setId(uint32_t id) { id_ = id; }
+
+  private:
+    Kind kind_;
+    DataType type_;
+    Module *parent_ = nullptr;
+    std::string name_;
+    uint32_t id_ = 0;
+};
+
+/** An integer literal. */
+class ConstInt : public Value {
+  public:
+    ConstInt(DataType type, uint64_t raw)
+        : Value(Kind::kConst, type), raw_(truncate(raw, type.bits()))
+    {}
+
+    uint64_t raw() const { return raw_; }
+
+  private:
+    uint64_t raw_;
+};
+
+/**
+ * A lazy reference to a value exposed by another module under a name.
+ *
+ * Cross-stage references let one stage read another stage's combinational
+ * logic or bound call handle directly (paper Sec. 3.4 / 3.7). Because
+ * declaration and implementation are decoupled (Sec. 3.10), the referenced
+ * value may not exist yet when the reference is written; a resolve step
+ * after all modules are built fills in `resolved`.
+ */
+class CrossRef : public Value {
+  public:
+    CrossRef(Module *producer, std::string exported, DataType type)
+        : Value(Kind::kCrossRef, type), producer_(producer),
+          exported_(std::move(exported))
+    {}
+
+    Module *producer() const { return producer_; }
+    const std::string &exported() const { return exported_; }
+
+    Value *resolved() const { return resolved_; }
+    void setResolved(Value *v) { resolved_ = v; }
+
+  private:
+    Module *producer_;
+    std::string exported_;
+    Value *resolved_ = nullptr;
+};
+
+} // namespace assassyn

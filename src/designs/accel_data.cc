@@ -1,0 +1,233 @@
+#include "designs/accel_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace assassyn {
+namespace designs {
+
+KmpData
+makeKmpData(uint32_t n, uint64_t seed)
+{
+    KmpData d;
+    d.n = n;
+    d.m = 4;
+    Rng rng(seed);
+    std::vector<uint32_t> text(n);
+    for (auto &c : text)
+        c = uint32_t(rng.below(4)); // small alphabet: matches happen
+    std::vector<uint32_t> pattern = {1, 2, 1, 0};
+
+    d.text_base = 0;
+    d.pattern_base = n;
+    d.result_addr = n + d.m;
+    // A little scratch slack after the result word (the HLS baseline
+    // stores its failure table there).
+    d.memory.assign(n + d.m + 16, 0);
+    std::copy(text.begin(), text.end(), d.memory.begin());
+    std::copy(pattern.begin(), pattern.end(), d.memory.begin() + n);
+
+    for (uint32_t i = 0; i + d.m <= n; ++i) {
+        bool hit = true;
+        for (uint32_t j = 0; j < d.m; ++j)
+            hit &= text[i + j] == pattern[j];
+        d.expected_matches += hit;
+    }
+    return d;
+}
+
+SpmvData
+makeSpmvData(uint32_t n, uint32_t m, uint64_t seed)
+{
+    SpmvData d;
+    d.n = n;
+    d.m = m;
+    Rng rng(seed);
+    std::vector<uint32_t> nzval(size_t(n) * m), cols(size_t(n) * m), x(n);
+    for (auto &v : nzval)
+        v = uint32_t(rng.below(64));
+    for (uint32_t r = 0; r < n; ++r)
+        for (uint32_t k = 0; k < m; ++k)
+            cols[size_t(r) * m + k] = uint32_t(rng.below(n));
+    for (auto &v : x)
+        v = uint32_t(rng.below(64));
+
+    d.val_base = 0;
+    d.col_base = n * m;
+    d.x_base = 2 * n * m;
+    d.y_base = 2 * n * m + n;
+    d.memory.assign(size_t(2) * n * m + 2 * n, 0);
+    std::copy(nzval.begin(), nzval.end(), d.memory.begin());
+    std::copy(cols.begin(), cols.end(), d.memory.begin() + d.col_base);
+    std::copy(x.begin(), x.end(), d.memory.begin() + d.x_base);
+
+    d.golden_y.assign(n, 0);
+    for (uint32_t r = 0; r < n; ++r)
+        for (uint32_t k = 0; k < m; ++k)
+            d.golden_y[r] += nzval[size_t(r) * m + k] *
+                             x[cols[size_t(r) * m + k]];
+    return d;
+}
+
+namespace {
+
+SortData
+makeSortData(uint32_t n, uint64_t seed, uint32_t value_bound)
+{
+    SortData d;
+    d.n = n;
+    Rng rng(seed);
+    std::vector<uint32_t> a(n);
+    for (auto &v : a)
+        v = uint32_t(rng.below(value_bound));
+    d.a_base = 0;
+    d.aux_base = n;
+    d.scratch_base = 2 * n;
+    d.memory.assign(size_t(2) * n + 16, 0);
+    std::copy(a.begin(), a.end(), d.memory.begin());
+    d.golden = a;
+    std::sort(d.golden.begin(), d.golden.end());
+    return d;
+}
+
+} // namespace
+
+SortData
+makeMergeSortData(uint32_t n, uint64_t seed)
+{
+    SortData d = makeSortData(n, seed, 1u << 30);
+    // log2(n) passes: data ends in `a` when the pass count is even.
+    uint32_t passes = 0;
+    for (uint32_t w = 1; w < n; w <<= 1)
+        ++passes;
+    d.result_base = passes % 2 == 0 ? d.a_base : d.aux_base;
+    return d;
+}
+
+SortData
+makeRadixSortData(uint32_t n, uint64_t seed)
+{
+    SortData d = makeSortData(n, seed, 1u << 16);
+    d.result_base = d.a_base; // 4 passes of 4-bit digits: even
+    return d;
+}
+
+FftData
+makeFftData(uint32_t n, uint64_t seed)
+{
+    FftData d;
+    d.n = n;
+    Rng rng(seed);
+    // Inputs in [-63, 63]: after log2(n) butterfly stages the magnitude
+    // stays below 2^14, so every Q14 product fits in 31 bits and both
+    // implementations can use plain 32-bit arithmetic.
+    std::vector<int32_t> re(n), im(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        re[i] = int32_t(rng.below(127)) - 63;
+        im[i] = int32_t(rng.below(127)) - 63;
+    }
+    std::vector<int32_t> twr(n / 2), twi(n / 2);
+    for (uint32_t k = 0; k < n / 2; ++k) {
+        double ang = -2.0 * M_PI * double(k) / double(n);
+        twr[k] = int32_t(std::lround(std::cos(ang) * 16384.0));
+        twi[k] = int32_t(std::lround(std::sin(ang) * 16384.0));
+    }
+
+    d.re_base = 0;
+    d.im_base = n;
+    d.twr_base = 2 * n;
+    d.twi_base = 2 * n + n / 2;
+    d.memory.assign(size_t(3) * n, 0);
+    for (uint32_t i = 0; i < n; ++i) {
+        d.memory[d.re_base + i] = uint32_t(re[i]);
+        d.memory[d.im_base + i] = uint32_t(im[i]);
+    }
+    for (uint32_t k = 0; k < n / 2; ++k) {
+        d.memory[d.twr_base + k] = uint32_t(twr[k]);
+        d.memory[d.twi_base + k] = uint32_t(twi[k]);
+    }
+
+    // Golden model: the exact integer algorithm both designs implement.
+    unsigned bits = 0;
+    while ((1u << bits) < n)
+        ++bits;
+    auto bitrev = [&](uint32_t x) {
+        uint32_t r = 0;
+        for (unsigned b = 0; b < bits; ++b)
+            r = (r << 1) | ((x >> b) & 1);
+        return r;
+    };
+    for (uint32_t i = 0; i < n; ++i) {
+        uint32_t j = bitrev(i);
+        if (j > i) {
+            std::swap(re[i], re[j]);
+            std::swap(im[i], im[j]);
+        }
+    }
+    for (uint32_t len = 2; len <= n; len <<= 1) {
+        uint32_t half = len / 2;
+        uint32_t stride = n / len;
+        for (uint32_t base = 0; base < n; base += len) {
+            for (uint32_t j = 0; j < half; ++j) {
+                int32_t wr = twr[j * stride];
+                int32_t wi = twi[j * stride];
+                int32_t vr = re[base + j + half];
+                int32_t vi = im[base + j + half];
+                int32_t tr = int32_t((vr * wr - vi * wi) >> 14);
+                int32_t ti = int32_t((vr * wi + vi * wr) >> 14);
+                int32_t ur = re[base + j];
+                int32_t ui = im[base + j];
+                re[base + j] = ur + tr;
+                im[base + j] = ui + ti;
+                re[base + j + half] = ur - tr;
+                im[base + j + half] = ui - ti;
+            }
+        }
+    }
+    d.golden_re.resize(n);
+    d.golden_im.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        d.golden_re[i] = uint32_t(re[i]);
+        d.golden_im[i] = uint32_t(im[i]);
+    }
+    return d;
+}
+
+StencilData
+makeStencilData(uint32_t rows, uint32_t cols, uint64_t seed)
+{
+    StencilData d;
+    d.rows = rows;
+    d.cols = cols;
+    Rng rng(seed);
+    std::vector<uint32_t> img(size_t(rows) * cols);
+    for (auto &v : img)
+        v = uint32_t(rng.below(256));
+    std::vector<uint32_t> filt = {1, 2, 1, 2, 4, 2, 1, 2, 1};
+
+    d.img_base = 0;
+    d.out_base = rows * cols;
+    d.filt_base = 2 * rows * cols;
+    d.memory.assign(size_t(2) * rows * cols + 9, 0);
+    std::copy(img.begin(), img.end(), d.memory.begin());
+    std::copy(filt.begin(), filt.end(), d.memory.begin() + d.filt_base);
+
+    d.golden_out.assign(size_t(rows) * cols, 0);
+    for (uint32_t r = 1; r + 1 < rows; ++r) {
+        for (uint32_t c = 1; c + 1 < cols; ++c) {
+            uint32_t acc = 0;
+            for (int dr = -1; dr <= 1; ++dr)
+                for (int dc = -1; dc <= 1; ++dc)
+                    acc += img[size_t(int(r) + dr) * cols +
+                               size_t(int(c) + dc)] *
+                           filt[size_t(dr + 1) * 3 + size_t(dc + 1)];
+            d.golden_out[size_t(r) * cols + c] = acc;
+        }
+    }
+    return d;
+}
+
+} // namespace designs
+} // namespace assassyn

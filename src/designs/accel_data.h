@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic inputs, memory layouts and golden models for the five
+ * MachSuite accelerator workloads (paper Table 2): kmp, spmv (ellpack),
+ * merge sort, radix sort, and stencil-2d.
+ *
+ * Both implementations of each workload — the hand-written Assassyn
+ * design and the HLS-generated baseline — run over the same unified
+ * word-addressed memory image so cycle counts and results compare
+ * apples to apples.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace assassyn {
+namespace designs {
+
+/** kmp: count occurrences of a 4-symbol pattern in a text. */
+struct KmpData {
+    uint32_t n = 0; ///< text length
+    uint32_t m = 0; ///< pattern length (4, per the paper's observation)
+    std::vector<uint32_t> memory; ///< [text | pattern]
+    uint32_t text_base = 0;       ///< word offsets
+    uint32_t pattern_base = 0;
+    uint32_t result_addr = 0; ///< final match count is stored here
+    uint32_t expected_matches = 0;
+};
+KmpData makeKmpData(uint32_t n, uint64_t seed);
+
+/** spmv over an ELLPACK matrix: y = A * x. */
+struct SpmvData {
+    uint32_t n = 0; ///< rows
+    uint32_t m = 0; ///< nonzeros per row
+    std::vector<uint32_t> memory; ///< [nzval | cols | x | y]
+    uint32_t val_base = 0;
+    uint32_t col_base = 0;
+    uint32_t x_base = 0;
+    uint32_t y_base = 0;
+    std::vector<uint32_t> golden_y;
+};
+SpmvData makeSpmvData(uint32_t n, uint32_t m, uint64_t seed);
+
+/** In-place sort workloads (merge / radix). */
+struct SortData {
+    uint32_t n = 0;
+    std::vector<uint32_t> memory; ///< [a | aux | scratch]
+    uint32_t a_base = 0;
+    uint32_t aux_base = 0;
+    uint32_t scratch_base = 0; ///< 16 words (HLS radix bucket counters)
+    uint32_t result_base = 0;  ///< where the sorted data ends up
+    std::vector<uint32_t> golden;
+};
+SortData makeMergeSortData(uint32_t n, uint64_t seed);
+SortData makeRadixSortData(uint32_t n, uint64_t seed);
+
+/**
+ * fft: iterative radix-2 in-place FFT over Q14 fixed-point complex
+ * data (the sixth design of the paper's Fig. 14 HLS comparison set).
+ * Inputs are bounded so all arithmetic fits untruncated in 32 bits.
+ */
+struct FftData {
+    uint32_t n = 0; ///< points (power of two, <= 256)
+    std::vector<uint32_t> memory; ///< [re | im | twr | twi]
+    uint32_t re_base = 0;
+    uint32_t im_base = 0;
+    uint32_t twr_base = 0;
+    uint32_t twi_base = 0;
+    std::vector<uint32_t> golden_re; ///< bit-exact fixed-point result
+    std::vector<uint32_t> golden_im;
+};
+FftData makeFftData(uint32_t n, uint64_t seed);
+
+/** stencil-2d: 3x3 convolution over an image, edges skipped. */
+struct StencilData {
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    std::vector<uint32_t> memory; ///< [img | out | filter(9)]
+    uint32_t img_base = 0;
+    uint32_t out_base = 0;
+    uint32_t filt_base = 0;
+    std::vector<uint32_t> golden_out; ///< full out region, rows*cols
+};
+StencilData makeStencilData(uint32_t rows, uint32_t cols, uint64_t seed);
+
+} // namespace designs
+} // namespace assassyn

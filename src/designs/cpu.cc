@@ -1,0 +1,449 @@
+#include "designs/cpu.h"
+
+#include <tuple>
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+#include "support/bits.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+namespace {
+
+/** ALU operation encoding carried from decode to execute. */
+enum AluOp : uint64_t {
+    kAluAdd = 0,
+    kAluSub = 1,
+    kAluSll = 2,
+    kAluSlt = 3,
+    kAluSltu = 4,
+    kAluXor = 5,
+    kAluSrl = 6,
+    kAluSra = 7,
+    kAluOr = 8,
+    kAluAnd = 9,
+};
+
+/** decode -> execute control word. */
+const StructType &
+ctrlType()
+{
+    static const StructType t({{"is_br", 1},
+                               {"is_jal", 1},
+                               {"is_jalr", 1},
+                               {"is_load", 1},
+                               {"is_store", 1},
+                               {"is_ecall", 1},
+                               {"writes", 1},
+                               {"rd", 5},
+                               {"funct3", 3},
+                               {"alu_op", 4}});
+    return t;
+}
+
+/** execute -> memory control word. */
+const StructType &
+ctrl2Type()
+{
+    static const StructType t({{"rd", 5},
+                               {"writes", 1},
+                               {"is_load", 1},
+                               {"is_store", 1},
+                               {"is_ecall", 1}});
+    return t;
+}
+
+/** memory -> writeback control word. */
+const StructType &
+ctrl3Type()
+{
+    static const StructType t({{"rd", 5}, {"writes", 1}, {"is_ecall", 1}});
+    return t;
+}
+
+} // namespace
+
+CpuDesign
+buildCpu(BranchPolicy policy, const std::vector<uint32_t> &memory_image,
+         bool bypass)
+{
+    SysBuilder sb("cpu");
+    CpuDesign out;
+
+    // ---- Architectural state --------------------------------------------
+    std::vector<uint64_t> image(memory_image.begin(), memory_image.end());
+    Arr mem = sb.mem("mem", uintType(32), image.size(), image);
+    Arr rf = sb.arr("rf", uintType(32), 32);
+    Reg pc = sb.reg("pc", uintType(32));
+    Reg halted = sb.reg("halted", uintType(1));
+    Reg retired = sb.reg("retired", uintType(32));
+    Reg br_total = sb.reg("br_total", uintType(32));
+    Reg br_taken = sb.reg("br_taken", uintType(32));
+    Reg br_mispred = sb.reg("br_mispred", uintType(32));
+
+    // ---- Stage declarations (decoupled declaration, Sec. 3.10) -----------
+    Stage fetch = sb.driver("fetch");
+    Stage decode = sb.stage("decode", {{"pc", uintType(32)},
+                                       {"inst", uintType(32)}});
+    Stage exec = sb.stage("exec", {{"alu_a", uintType(32)},
+                                   {"alu_b", uintType(32)},
+                                   {"pc", uintType(32)},
+                                   {"target", uintType(32)},
+                                   {"pred", uintType(32)},
+                                   {"sdata", uintType(32)},
+                                   {"ctrl", ctrlType().type()}});
+    Stage memst = sb.stage("memst", {{"result", uintType(32)},
+                                     {"sdata", uintType(32)},
+                                     {"ctrl", ctrl2Type().type()}});
+    Stage wb = sb.stage("wb", {{"value", uintType(32)},
+                               {"ctrl", ctrl3Type().type()}});
+
+    // ---- Writeback --------------------------------------------------------
+    {
+        StageScope scope(wb);
+        Val value = wb.arg("value");
+        Val ctrl = wb.arg("ctrl");
+        Val rd = ctrl3Type().field(ctrl, "rd");
+        Val writes = ctrl3Type().field(ctrl, "writes").as(uintType(1));
+        Val is_ecall = ctrl3Type().field(ctrl, "is_ecall").as(uintType(1));
+        when(writes == 1, [&] { rf.write(rd, value); });
+        retired.write(retired.read() + 1);
+        when(is_ecall == 1, [&] { finish(); });
+        // Bypass network, WB leg (value being written this cycle).
+        expose("w_valid", wb.argValid("value"));
+        expose("w_dst", rd);
+        expose("w_writes", writes);
+        expose("w_res", value);
+    }
+
+    // ---- Memory stage -----------------------------------------------------
+    {
+        StageScope scope(memst);
+        Val result = memst.arg("result");
+        Val sdata = memst.arg("sdata");
+        Val ctrl = memst.arg("ctrl");
+        Val rd = ctrl2Type().field(ctrl, "rd");
+        Val writes = ctrl2Type().field(ctrl, "writes").as(uintType(1));
+        Val is_load = ctrl2Type().field(ctrl, "is_load").as(uintType(1));
+        Val is_store = ctrl2Type().field(ctrl, "is_store").as(uintType(1));
+        Val is_ecall = ctrl2Type().field(ctrl, "is_ecall").as(uintType(1));
+        Val addr_word = result.slice(31, 2);
+        Val load_val = mem.read(addr_word);
+        Val value = select(is_load == 1, load_val, result);
+        when(is_store == 1, [&] { mem.write(addr_word, sdata); });
+        asyncCall(wb, {value,
+                       ctrl3Type().pack({{"rd", rd},
+                                         {"writes", writes},
+                                         {"is_ecall", is_ecall}})});
+        // Bypass network, MEM leg (covers loads via the combinational
+        // memory read above).
+        expose("m_valid", memst.argValid("result"));
+        expose("m_dst", rd);
+        expose("m_writes", writes);
+        expose("m_res", value);
+    }
+
+    // ---- Execute ----------------------------------------------------------
+    {
+        StageScope scope(exec);
+        Val a = exec.arg("alu_a");
+        Val b = exec.arg("alu_b");
+        Val pcv = exec.arg("pc");
+        Val target = exec.arg("target");
+        Val pred = exec.arg("pred");
+        Val sdata = exec.arg("sdata");
+        Val ctrl = exec.arg("ctrl");
+        const StructType &ct = ctrlType();
+        Val is_br = ct.field(ctrl, "is_br").as(uintType(1));
+        Val is_jal = ct.field(ctrl, "is_jal").as(uintType(1));
+        Val is_jalr = ct.field(ctrl, "is_jalr").as(uintType(1));
+        Val is_load = ct.field(ctrl, "is_load").as(uintType(1));
+        Val is_store = ct.field(ctrl, "is_store").as(uintType(1));
+        Val is_ecall = ct.field(ctrl, "is_ecall").as(uintType(1));
+        Val writes = ct.field(ctrl, "writes").as(uintType(1));
+        Val rd = ct.field(ctrl, "rd");
+        Val funct3 = ct.field(ctrl, "funct3");
+        Val alu_op = ct.field(ctrl, "alu_op");
+
+        // The ALU (one mux chain over the operation encoding).
+        Val sa = a.as(intType(32));
+        Val sb_ = b.as(intType(32));
+        Val shamt = b.slice(4, 0);
+        Val alu =
+            select(alu_op == kAluSub, (a - b),
+            select(alu_op == kAluSll, (a << shamt),
+            select(alu_op == kAluSlt, (sa < sb_).zext(32),
+            select(alu_op == kAluSltu, (a < b).zext(32),
+            select(alu_op == kAluXor, (a ^ b),
+            select(alu_op == kAluSrl, (a >> shamt),
+            select(alu_op == kAluSra, (sa >> shamt).as(uintType(32)),
+            select(alu_op == kAluOr, (a | b),
+            select(alu_op == kAluAnd, (a & b),
+                   a + b)))))))))
+                .named("alu_result");
+
+        // Branch resolution.
+        Val cond =
+            select(funct3 == 0, a == b,
+            select(funct3 == 1, a != b,
+            select(funct3 == 4, sa < sb_,
+            select(funct3 == 5, sa >= sb_,
+            select(funct3 == 6, a < b,
+                   a >= b)))));
+        Val seq_next = pcv + 4;
+        Val actual =
+            select(is_jalr == 1, target & 0xfffffffe,
+            select(is_jal == 1, target,
+            select(is_br & cond, target, seq_next)));
+        Val is_ctrl = (is_br | is_jal | is_jalr).as(uintType(1));
+        Val valid = exec.argValid("ctrl");
+        Val redirect = (valid & is_ctrl & (actual != pred))
+                           .named("e_redirect");
+        expose("e_redirect", redirect);
+        expose("e_target", actual);
+
+        // Branch-prediction statistics (paper Q6 success-rate table).
+        when(is_br == 1, [&] {
+            br_total.write(br_total.read() + 1);
+            when(cond, [&] { br_taken.write(br_taken.read() + 1); });
+        });
+        when(is_ctrl & (actual != pred), [&] {
+            br_mispred.write(br_mispred.read() + 1);
+        });
+
+        asyncCall(memst, {alu, sdata,
+                          ctrl2Type().pack({{"rd", rd},
+                                            {"writes", writes},
+                                            {"is_load", is_load},
+                                            {"is_store", is_store},
+                                            {"is_ecall", is_ecall}})});
+        // Bypass network, EX leg. Loads have no value yet: decode must
+        // stall one cycle on a load-use dependence.
+        expose("ex_valid", valid);
+        expose("ex_dst", rd);
+        expose("ex_writes", writes);
+        expose("ex_is_load", is_load);
+        expose("ex_res", alu);
+    }
+
+    // ---- Decode -----------------------------------------------------------
+    {
+        StageScope scope(decode);
+        Val inst = decode.arg("inst");
+        Val pcv = decode.arg("pc");
+
+        Val opcode = inst.slice(6, 0);
+        Val rd = inst.slice(11, 7);
+        Val funct3 = inst.slice(14, 12);
+        Val rs1 = inst.slice(19, 15);
+        Val rs2 = inst.slice(24, 20);
+        Val f7b = inst.bit(30);
+
+        Val is_lui = opcode == 0b0110111;
+        Val is_auipc = opcode == 0b0010111;
+        Val is_jal = opcode == 0b1101111;
+        Val is_jalr = opcode == 0b1100111;
+        Val is_br = opcode == 0b1100011;
+        Val is_load = opcode == 0b0000011;
+        Val is_store = opcode == 0b0100011;
+        Val is_opimm = opcode == 0b0010011;
+        Val is_op = opcode == 0b0110011;
+        Val is_ecall = opcode == 0b1110011;
+
+        // Immediates.
+        Val imm_i = inst.slice(31, 20).sext(32).as(uintType(32));
+        Val imm_s = inst.slice(31, 25).concat(inst.slice(11, 7))
+                        .sext(32).as(uintType(32));
+        Val imm_b = inst.bit(31)
+                        .concat(inst.bit(7))
+                        .concat(inst.slice(30, 25))
+                        .concat(inst.slice(11, 8))
+                        .concat(lit(0, 1))
+                        .sext(32).as(uintType(32));
+        Val imm_u = inst.slice(31, 12).concat(lit(0, 12)).as(uintType(32));
+        Val imm_j = inst.bit(31)
+                        .concat(inst.slice(19, 12))
+                        .concat(inst.bit(20))
+                        .concat(inst.slice(30, 21))
+                        .concat(lit(0, 1))
+                        .sext(32).as(uintType(32));
+
+        Val writes = ((is_lui | is_auipc | is_jal | is_jalr | is_load |
+                       is_opimm | is_op) &
+                      (rd != 0)).as(uintType(1));
+        Val uses_rs1 =
+            (is_jalr | is_br | is_load | is_store | is_opimm | is_op)
+                .as(uintType(1));
+        Val uses_rs2 = (is_br | is_store | is_op).as(uintType(1));
+
+        // Bypass network: cross-stage combinational references into the
+        // EX / MEM / WB stages (youngest-first priority).
+        Val ex_valid = exec.exposed("ex_valid", uintType(1));
+        Val ex_dst = exec.exposed("ex_dst", bitsType(5));
+        Val ex_writes = exec.exposed("ex_writes", uintType(1));
+        Val ex_is_load = exec.exposed("ex_is_load", uintType(1));
+        Val ex_res = exec.exposed("ex_res", uintType(32));
+        Val m_valid = memst.exposed("m_valid", uintType(1));
+        Val m_dst = memst.exposed("m_dst", bitsType(5));
+        Val m_writes = memst.exposed("m_writes", uintType(1));
+        Val m_res = memst.exposed("m_res", uintType(32));
+        Val w_valid = wb.exposed("w_valid", uintType(1));
+        Val w_dst = wb.exposed("w_dst", bitsType(5));
+        Val w_writes = wb.exposed("w_writes", uintType(1));
+        Val w_res = wb.exposed("w_res", uintType(32));
+        Val e_redirect = exec.exposed("e_redirect", uintType(1));
+
+        auto hit_on = [&](Val rs) {
+            Val ex_hit = ex_valid & ex_writes & (ex_dst == rs);
+            Val m_hit = m_valid & m_writes & (m_dst == rs);
+            Val w_hit = w_valid & w_writes & (w_dst == rs);
+            return std::make_tuple(ex_hit, m_hit, w_hit);
+        };
+        auto forwarded = [&](Val rs) {
+            if (!bypass)
+                return rf.read(rs);
+            auto [ex_hit, m_hit, w_hit] = hit_on(rs);
+            return select(ex_hit, ex_res,
+                   select(m_hit, m_res,
+                   select(w_hit, w_res, rf.read(rs))));
+        };
+        Val v1 = forwarded(rs1).named("v1");
+        Val v2 = forwarded(rs2).named("v2");
+
+        Val load_use;
+        if (bypass) {
+            Val ex_hazard = ex_valid & ex_writes & ex_is_load;
+            load_use =
+                (ex_hazard &
+                 ((uses_rs1 & (ex_dst == rs1) & (rs1 != 0)) |
+                  (uses_rs2 & (ex_dst == rs2) & (rs2 != 0))))
+                    .named("load_use");
+        } else {
+            // Fully interlocked: any in-flight writer of a source stalls
+            // decode until the value lands in the register file.
+            auto busy = [&](Val rs, Val use) {
+                auto [ex_hit, m_hit, w_hit] = hit_on(rs);
+                return use & (rs != 0) & (ex_hit | m_hit | w_hit);
+            };
+            load_use = (busy(rs1, uses_rs1) | busy(rs2, uses_rs2))
+                           .named("load_use");
+        }
+
+        // Hold the stage while a load-use hazard resolves (Sec. 3.5);
+        // execute anyway when a redirect squashes the held instruction.
+        Val head_valid = decode.argValid("inst");
+        waitUntil([&] {
+            return head_valid & (e_redirect | !load_use);
+        });
+
+        // ALU operand selection.
+        Val alu_a = select(is_lui, lit(0, 32),
+                    select(is_auipc | is_jal | is_jalr, pcv, v1));
+        Val imm_for_b =
+            select(is_lui | is_auipc, imm_u,
+            select(is_store, imm_s,
+            select(is_jal | is_jalr, lit(4, 32), imm_i)));
+        Val use_imm = (is_lui | is_auipc | is_jal | is_jalr | is_load |
+                       is_store | is_opimm).as(uintType(1));
+        Val alu_b = select(use_imm == 1, imm_for_b, v2);
+
+        Val op_alu =
+            select(funct3 == 0,
+                   select(is_op & (f7b == 1), lit(kAluSub, 4),
+                          lit(kAluAdd, 4)),
+            select(funct3 == 1, lit(kAluSll, 4),
+            select(funct3 == 2, lit(kAluSlt, 4),
+            select(funct3 == 3, lit(kAluSltu, 4),
+            select(funct3 == 4, lit(kAluXor, 4),
+            select(funct3 == 5,
+                   select(f7b == 1, lit(kAluSra, 4), lit(kAluSrl, 4)),
+            select(funct3 == 6, lit(kAluOr, 4), lit(kAluAnd, 4))))))));
+        Val alu_op = select((is_op | is_opimm).as(uintType(1)) == 1, op_alu,
+                            lit(kAluAdd, 4));
+
+        // Control-transfer targets and the predicted next pc.
+        Val br_target = pcv + imm_b;
+        Val jal_target = pcv + imm_j;
+        Val jalr_target = v1 + imm_i;
+        Val target = select(is_jal, jal_target,
+                     select(is_jalr, jalr_target, br_target));
+
+        const bool bp_taken = policy == BranchPolicy::kTaken;
+        const bool bp_not_taken = policy == BranchPolicy::kNotTaken;
+        Val sentinel = lit(1, 32); // odd: never a real fetch pc
+        Val br_pred = bp_taken ? br_target
+                               : (bp_not_taken ? pcv + 4 : sentinel);
+        Val pred = select(is_jal, jal_target,
+                   select(is_br, br_pred, sentinel));
+
+        // Redirect fetch from decode: jal always; branches under bp.t.
+        Val fire = head_valid & !load_use & !e_redirect;
+        Val d_redirect_kind =
+            bp_taken ? (is_jal | is_br).as(uintType(1)) : is_jal;
+        expose("d_redirect", (fire & d_redirect_kind).named("d_redirect"));
+        expose("d_target", select(is_jal, jal_target, br_target));
+
+        // Pause fetch while an unresolvable control transfer (or a held
+        // load-use instruction) occupies decode -- the Fig. 4 pattern.
+        Val ctrl_hold =
+            policy == BranchPolicy::kInterlock
+                ? (is_br | is_jalr | is_ecall).as(uintType(1))
+                : (is_jalr | is_ecall).as(uintType(1));
+        expose("fetch_hold",
+               (head_valid & (load_use | ctrl_hold)).named("fetch_hold"));
+
+        // Dispatch (suppressed when the redirect squashes this head).
+        when(!e_redirect, [&] {
+            asyncCall(exec,
+                      {alu_a, alu_b, pcv, target, pred, v2,
+                       ctrlType().pack({{"is_br", is_br},
+                                        {"is_jal", is_jal},
+                                        {"is_jalr", is_jalr},
+                                        {"is_load", is_load},
+                                        {"is_store", is_store},
+                                        {"is_ecall", is_ecall},
+                                        {"writes", writes},
+                                        {"rd", rd},
+                                        {"funct3", funct3},
+                                        {"alu_op", alu_op}})});
+            when(is_ecall, [&] { halted.write(lit(1, 1)); });
+        });
+    }
+
+    // ---- Fetch (the driver stage, Sec. 3.8) -------------------------------
+    {
+        StageScope scope(fetch);
+        Val pcv = pc.read();
+        Val e_r = exec.exposed("e_redirect", uintType(1));
+        Val e_t = exec.exposed("e_target", uintType(32));
+        Val d_r = decode.exposed("d_redirect", uintType(1));
+        Val d_t = decode.exposed("d_target", uintType(32));
+        Val hold = decode.exposed("fetch_hold", uintType(1));
+        Val stopped = halted.read();
+
+        Val fetch_pc = select(e_r, e_t, select(d_r, d_t, pcv));
+        Val do_fetch = (e_r | ((!hold) & (stopped == 0))).named("do_fetch");
+        when(do_fetch, [&] {
+            Val inst = mem.read(fetch_pc.slice(31, 2));
+            asyncCall(decode, {fetch_pc, inst});
+            pc.write(fetch_pc + 4);
+        });
+    }
+
+    compile(sb.sys());
+
+    out.mem = mem.array();
+    out.rf = rf.array();
+    out.retired = retired.array();
+    out.br_total = br_total.array();
+    out.br_taken = br_taken.array();
+    out.br_mispred = br_mispred.array();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The in-order single-issue 5-stage CPU design (paper Table 1, Figs.
+ * 15-17), written in the Assassyn DSL.
+ *
+ * Microarchitecture: a Sodor-style fetch / decode / execute / memory /
+ * writeback pipeline over a unified word-addressed memory.
+ *  - All hazard information travels through cross-stage combinational
+ *    references (Sec. 3.4): each downstream stage exposes the destination
+ *    and result of the instruction at its FIFO head, giving decode a full
+ *    EX/MEM/WB bypass network with no scoreboard state.
+ *  - The only stall is load-use: decode holds via wait_until (Sec. 3.5)
+ *    while fetch pauses through decode's exposed hold signal, exactly the
+ *    Fig. 4 pattern.
+ *  - Control transfer resolves at execute; mispredicted-path squash is a
+ *    same-cycle cross-stage redirect into fetch and decode.
+ *
+ * Branch-handling variants (paper Q6, Fig. 17):
+ *  - kInterlock (base): fetch stalls on every unresolved control transfer.
+ *  - kNotTaken (bp.f): fall-through speculation; redirect on taken.
+ *  - kTaken (bp.t): decode redirects branches to their target; redirect
+ *    on not-taken.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ir/system.h"
+
+namespace assassyn {
+namespace designs {
+
+/** Branch handling policy of the CPU variants. */
+enum class BranchPolicy {
+    kInterlock, ///< base: no speculation, stall until resolution
+    kNotTaken,  ///< bp.f: always-not-taken
+    kTaken,     ///< bp.t: always-taken (decode-stage redirect)
+};
+
+/** A built CPU plus handles to its architectural state and counters. */
+struct CpuDesign {
+    std::unique_ptr<System> sys;
+    RegArray *mem = nullptr;       ///< unified instruction/data memory
+    RegArray *rf = nullptr;        ///< 32-entry register file
+    RegArray *retired = nullptr;   ///< retired-instruction counter
+    RegArray *br_total = nullptr;  ///< executed conditional branches
+    RegArray *br_taken = nullptr;  ///< taken conditional branches
+    RegArray *br_mispred = nullptr; ///< control transfers that redirected
+};
+
+/**
+ * Build (and compile) the CPU around a memory image.
+ *
+ * @param policy       branch-handling variant
+ * @param memory_image initial unified memory (instructions at word 0)
+ * @param bypass       with false, the EX/MEM/WB forwarding network is
+ *                     removed and decode interlocks until the producer
+ *                     has written the register file — the fully
+ *                     interlocked datapath, used as an ablation of the
+ *                     bypass network's worth
+ */
+CpuDesign buildCpu(BranchPolicy policy,
+                   const std::vector<uint32_t> &memory_image,
+                   bool bypass = true);
+
+} // namespace designs
+} // namespace assassyn

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Iterative radix-2 in-place FFT accelerator, Assassyn version (the
+ * sixth member of the paper's Fig. 14 HLS comparison set). Q14
+ * fixed-point twiddles live in memory; the bit-reversal permutation is
+ * free combinational wiring, and each butterfly serializes its six
+ * loads and four stores through the exclusive memory port with the
+ * complex multiply chained into the final load cycle.
+ */
+#include "designs/accel.h"
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+AccelDesign
+buildFftAccel(const FftData &data)
+{
+    SysBuilder sb("fft");
+    AccelDesign out;
+
+    std::vector<uint64_t> image(data.memory.begin(), data.memory.end());
+    Arr mem = sb.mem("mem", uintType(32), image.size(), image);
+    unsigned ab = std::max(1u, log2ceil(image.size()));
+    const uint64_t n = data.n;
+    unsigned idx_bits = log2ceil(n);
+
+    enum : uint64_t {
+        kBrCheck = 0,
+        kBr0, kBr1, kBr2, kBr3, kBr4, kBr5, kBr6, kBr7,
+        kLdUr, kLdUi, kLdVr, kLdVi, kLdWr, kLdWi,
+        kStRe1, kStIm1, kStRe2, kStIm2,
+        kDone,
+    };
+    Reg state = sb.reg("state", uintType(5));
+    Reg i = sb.reg("i", uintType(32));
+    Reg j = sb.reg("j", uintType(32));
+    Reg len = sb.reg("len", uintType(32), 2);
+    Reg base = sb.reg("base", uintType(32));
+    Reg t0 = sb.reg("t0", uintType(32)); // swap scratch / ur
+    Reg t1 = sb.reg("t1", uintType(32)); // swap scratch / ui
+    Reg vr = sb.reg("vr", uintType(32));
+    Reg vi = sb.reg("vi", uintType(32));
+    Reg wr = sb.reg("wr", uintType(32));
+    Reg tre = sb.reg("tre", uintType(32));
+    Reg tim = sb.reg("tim", uintType(32));
+    // Twiddle indexing kept incremental (twidx += stride) so the design
+    // needs neither a divider nor a multiplier for n/len and j*(n/len).
+    Reg stride = sb.reg("stride", uintType(32), n / 2);
+    Reg twidx = sb.reg("twidx", uintType(32));
+
+    Stage kernel = sb.stage("fft_kernel", {{"tick", uintType(1)}});
+    Stage driver = sb.driver();
+    {
+        StageScope scope(driver);
+        asyncCall(kernel, {lit(0, 1)});
+    }
+    {
+        StageScope scope(kernel);
+        kernel.arg("tick");
+        Val st = state.read();
+
+        // ---- Phase 1: bit-reversal permutation ---------------------------
+        // rev(i) is pure wiring: reverse the low idx_bits bits.
+        Val iv = i.read();
+        Val rev;
+        for (unsigned b = 0; b < idx_bits; ++b) {
+            Val bit = iv.bit(b);
+            rev = rev.valid() ? rev.concat(bit) : bit;
+        }
+        rev = rev.zext(32);
+
+        when(st == kBrCheck, [&] {
+            Val at_end = iv == n;
+            when(at_end, [&] {
+                i.write(lit(0, 32));
+                j.write(lit(0, 32));
+                base.write(lit(0, 32));
+                state.write(lit(kLdUr, 5));
+            });
+            when(!at_end, [&] {
+                Val do_swap = rev > iv;
+                when(do_swap, [&] { state.write(lit(kBr0, 5)); });
+                when(!do_swap, [&] { i.write(iv + 1); });
+            });
+        });
+        auto swap_pair = [&](uint64_t s0, uint64_t region,
+                             uint64_t next_state) {
+            // 4 states: load [i], load [rev], store [i], store [rev].
+            when(st == s0, [&] {
+                t0.write(mem.read((iv + region).trunc(ab)));
+                state.write(lit(s0 + 1, 5));
+            });
+            when(st == s0 + 1, [&] {
+                t1.write(mem.read((rev + region).trunc(ab)));
+                state.write(lit(s0 + 2, 5));
+            });
+            when(st == s0 + 2, [&] {
+                mem.write((iv + region).trunc(ab), t1.read());
+                state.write(lit(s0 + 3, 5));
+            });
+            when(st == s0 + 3, [&] {
+                mem.write((rev + region).trunc(ab), t0.read());
+                when(lit(next_state, 5) == kBrCheck,
+                     [&] { i.write(iv + 1); });
+                state.write(lit(next_state, 5));
+            });
+        };
+        swap_pair(kBr0, data.re_base, kBr4);
+        swap_pair(kBr4, data.im_base, kBrCheck);
+
+        // ---- Phase 2: butterflies ------------------------------------------
+        Val half = len.read() >> lit(1, 6);
+        Val jv = j.read();
+        Val basev = base.read();
+        Val top = basev + jv;            // index of u
+        Val bot = top + half;            // index of v
+        Val stride_j = twidx.read();     // == j * (n/len), incremental
+
+        when(st == kLdUr, [&] {
+            t0.write(mem.read((top + uint64_t(data.re_base)).trunc(ab)));
+            state.write(lit(kLdUi, 5));
+        });
+        when(st == kLdUi, [&] {
+            t1.write(mem.read((top + uint64_t(data.im_base)).trunc(ab)));
+            state.write(lit(kLdVr, 5));
+        });
+        when(st == kLdVr, [&] {
+            vr.write(mem.read((bot + uint64_t(data.re_base)).trunc(ab)));
+            state.write(lit(kLdVi, 5));
+        });
+        when(st == kLdVi, [&] {
+            vi.write(mem.read((bot + uint64_t(data.im_base)).trunc(ab)));
+            state.write(lit(kLdWr, 5));
+        });
+        when(st == kLdWr, [&] {
+            wr.write(mem.read(
+                (stride_j + uint64_t(data.twr_base)).trunc(ab)));
+            state.write(lit(kLdWi, 5));
+        });
+        when(st == kLdWi, [&] {
+            // The complex multiply chains into the final twiddle load.
+            Val wiv = mem.read(
+                (stride_j + uint64_t(data.twi_base)).trunc(ab));
+            Val svr = vr.read().as(intType(32));
+            Val svi = vi.read().as(intType(32));
+            Val swr = wr.read().as(intType(32));
+            Val swi = wiv.as(intType(32));
+            Val prr = (svr * swr - svi * swi) >> lit(14, 6);
+            Val pii = (svr * swi + svi * swr) >> lit(14, 6);
+            tre.write(prr.as(uintType(32)));
+            tim.write(pii.as(uintType(32)));
+            state.write(lit(kStRe1, 5));
+        });
+        when(st == kStRe1, [&] {
+            mem.write((top + uint64_t(data.re_base)).trunc(ab),
+                      t0.read() + tre.read());
+            state.write(lit(kStIm1, 5));
+        });
+        when(st == kStIm1, [&] {
+            mem.write((top + uint64_t(data.im_base)).trunc(ab),
+                      t1.read() + tim.read());
+            state.write(lit(kStRe2, 5));
+        });
+        when(st == kStRe2, [&] {
+            mem.write((bot + uint64_t(data.re_base)).trunc(ab),
+                      t0.read() - tre.read());
+            state.write(lit(kStIm2, 5));
+        });
+        when(st == kStIm2, [&] {
+            mem.write((bot + uint64_t(data.im_base)).trunc(ab),
+                      t1.read() - tim.read());
+            // Advance (j, base, len) with the loop control folded into
+            // this final store cycle -- the hand-optimized touch.
+            Val j_next = jv + 1;
+            Val j_wrap = j_next == half;
+            when(!j_wrap, [&] {
+                j.write(j_next);
+                twidx.write(twidx.read() + stride.read());
+            });
+            when(j_wrap, [&] {
+                j.write(lit(0, 32));
+                twidx.write(lit(0, 32));
+                Val base_next = basev + len.read();
+                Val base_wrap = base_next == n;
+                when(!base_wrap, [&] { base.write(base_next); });
+                when(base_wrap, [&] {
+                    base.write(lit(0, 32));
+                    Val len_next = len.read() << lit(1, 6);
+                    len.write(len_next);
+                    stride.write(stride.read() >> lit(1, 6));
+                    when(len_next > n,
+                         [&] { state.write(lit(kDone, 5)); });
+                });
+            });
+            when(!(j_wrap &
+                   ((basev + len.read() == n) &
+                    ((len.read() << lit(1, 6)) > n))),
+                 [&] { state.write(lit(kLdUr, 5)); });
+        });
+        when(st == kDone, [&] { finish(); });
+    }
+
+    compile(sb.sys());
+    out.mem = mem.array();
+    out.kernel = kernel.mod();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * kmp accelerator, Assassyn version: the paper notes that with a pattern
+ * of length 4 a brute-force streaming matcher beats the KMP algorithm in
+ * hardware — the pattern and a 4-symbol sliding window live in
+ * registers, so the matcher sustains one text symbol per cycle with a
+ * single memory port.
+ */
+#include "designs/accel.h"
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+AccelDesign
+buildKmpAccel(const KmpData &data)
+{
+    SysBuilder sb("kmp");
+    AccelDesign out;
+
+    std::vector<uint64_t> image(data.memory.begin(), data.memory.end());
+    Arr mem = sb.mem("mem", uintType(32), image.size(), image);
+    unsigned ab = std::max(1u, log2ceil(image.size()));
+
+    // FSM states: load the 4 pattern symbols, stream the text, store the
+    // match count, halt.
+    enum : uint64_t { kLoadP0, kLoadP1, kLoadP2, kLoadP3, kStream, kStore };
+    Reg state = sb.reg("state", uintType(3));
+    Reg i = sb.reg("i", uintType(32));
+    Reg matches = sb.reg("matches", uintType(32));
+    std::vector<Reg> pat, win;
+    for (int k = 0; k < 4; ++k) {
+        pat.push_back(sb.reg("p" + std::to_string(k), uintType(32)));
+        win.push_back(sb.reg("w" + std::to_string(k), uintType(32)));
+    }
+
+    // The kernel is an event-driven stage ticked by the testbench driver
+    // every cycle, so it carries the stage-buffer FIFO and the event
+    // counter the paper's Q4 breakdown measures.
+    Stage kernel = sb.stage("kmp_kernel", {{"tick", uintType(1)}});
+    Stage driver = sb.driver();
+    {
+        StageScope scope(driver);
+        asyncCall(kernel, {lit(0, 1)});
+    }
+    {
+        StageScope scope(kernel);
+        kernel.arg("tick");
+        Val st = state.read();
+        for (uint64_t k = 0; k < 4; ++k) {
+            when(st == (kLoadP0 + k), [&] {
+                pat[k].write(
+                    mem.read(lit(data.pattern_base + k, ab)));
+                state.write(lit(kLoadP0 + k + 1, 3));
+            });
+        }
+        when(st == kStream, [&] {
+            Val iv = i.read();
+            Val c = mem.read((iv + uint64_t(data.text_base)).trunc(ab));
+            // Shift the window and compare against the pattern; the
+            // window is only full once i >= 3.
+            win[0].write(win[1].read());
+            win[1].write(win[2].read());
+            win[2].write(win[3].read());
+            win[3].write(c);
+            Val hit = (win[1].read() == pat[0].read()) &
+                      (win[2].read() == pat[1].read()) &
+                      (win[3].read() == pat[2].read()) &
+                      (c == pat[3].read()) &
+                      (iv >= 3);
+            when(hit, [&] { matches.write(matches.read() + 1); });
+            i.write(iv + 1);
+            when(iv + 1 == uint64_t(data.n),
+                 [&] { state.write(lit(kStore, 3)); });
+        });
+        when(st == kStore, [&] {
+            mem.write(lit(data.result_addr, ab), matches.read());
+            finish();
+        });
+    }
+
+    compile(sb.sys());
+    out.mem = mem.array();
+    out.kernel = kernel.mod();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

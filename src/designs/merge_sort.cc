@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Bottom-up merge sort accelerator, Assassyn version. The paper's manual
+ * optimization: the head of each run lives in a register and an infinite
+ * sentinel (all-ones) stands in for an exhausted side, so the merge loop
+ * has a single unified take-and-refill path — two memory operations
+ * (one store, one refill load) per output element.
+ */
+#include "designs/accel.h"
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+namespace {
+constexpr uint64_t kInf = 0xffffffffull;
+} // namespace
+
+AccelDesign
+buildMergeSortAccel(const SortData &data)
+{
+    SysBuilder sb("merge_sort");
+    AccelDesign out;
+
+    std::vector<uint64_t> image(data.memory.begin(), data.memory.end());
+    Arr mem = sb.mem("mem", uintType(32), image.size(), image);
+    unsigned ab = std::max(1u, log2ceil(image.size()));
+    const uint64_t n = data.n;
+
+    enum : uint64_t { kSegInit, kLoadLeft, kLoadRight, kEmit, kRefill,
+                      kSegNext, kDone };
+    Reg state = sb.reg("state", uintType(3));
+    Reg width = sb.reg("width", uintType(32), 1);
+    Reg src = sb.reg("src", uintType(32), data.a_base);
+    Reg dst = sb.reg("dst", uintType(32), data.aux_base);
+    Reg lo = sb.reg("lo", uintType(32));
+    Reg mid = sb.reg("mid", uintType(32));
+    Reg hi = sb.reg("hi", uintType(32));
+    Reg i = sb.reg("i", uintType(32));      // left cursor
+    Reg j = sb.reg("j", uintType(32));      // right cursor
+    Reg o = sb.reg("o", uintType(32));      // output cursor
+    Reg lhead = sb.reg("lhead", uintType(32));
+    Reg rhead = sb.reg("rhead", uintType(32));
+    Reg took_left = sb.reg("took_left", uintType(1));
+
+    // The kernel is an event-driven stage ticked by the testbench driver
+    // every cycle, so it carries the stage-buffer FIFO and the event
+    // counter the paper's Q4 breakdown measures.
+    Stage kernel = sb.stage("merge_kernel", {{"tick", uintType(1)}});
+    Stage driver = sb.driver();
+    {
+        StageScope scope(driver);
+        asyncCall(kernel, {lit(0, 1)});
+    }
+    {
+        StageScope scope(kernel);
+        kernel.arg("tick");
+        Val st = state.read();
+
+        auto minv = [](Val a, Val b) { return select(a < b, a, b); };
+
+        when(st == kSegInit, [&] {
+            Val lov = lo.read();
+            Val w = width.read();
+            Val midv = minv(lov + w, lit(n, 32));
+            Val hiv = minv(lov + w + w, lit(n, 32));
+            mid.write(midv);
+            hi.write(hiv);
+            i.write(lov);
+            j.write(midv);
+            o.write(lov);
+            state.write(lit(kLoadLeft, 3));
+        });
+        when(st == kLoadLeft, [&] {
+            Val iv = i.read();
+            Val v = mem.read((src.read() + iv).trunc(ab));
+            lhead.write(select(iv < mid.read(), v, lit(kInf, 32)));
+            state.write(lit(kLoadRight, 3));
+        });
+        when(st == kLoadRight, [&] {
+            Val jv = j.read();
+            Val v = mem.read((src.read() + jv).trunc(ab));
+            rhead.write(select(jv < hi.read(), v, lit(kInf, 32)));
+            state.write(lit(kEmit, 3));
+        });
+        when(st == kEmit, [&] {
+            // The sentinel makes the exhausted-side case disappear: the
+            // comparison alone picks the right head.
+            Val l = lhead.read();
+            Val r = rhead.read();
+            Val take_l = l <= r;
+            Val taken = select(take_l, l, r);
+            Val ov = o.read();
+            mem.write((dst.read() + ov).trunc(ab), taken);
+            took_left.write(take_l);
+            when(take_l, [&] { i.write(i.read() + 1); });
+            when(!take_l, [&] { j.write(j.read() + 1); });
+            o.write(ov + 1);
+            Val seg_done = ov + 1 == hi.read();
+            when(seg_done, [&] { state.write(lit(kSegNext, 3)); });
+            when(!seg_done, [&] { state.write(lit(kRefill, 3)); });
+        });
+        when(st == kRefill, [&] {
+            // One load refills whichever head was consumed.
+            Val tl = took_left.read() == 1;
+            Val cursor = select(tl, i.read(), j.read());
+            Val bound = select(tl, mid.read(), hi.read());
+            Val v = mem.read((src.read() + cursor).trunc(ab));
+            Val head = select(cursor < bound, v, lit(kInf, 32));
+            when(tl, [&] { lhead.write(head); });
+            when(!tl, [&] { rhead.write(head); });
+            state.write(lit(kEmit, 3));
+        });
+        when(st == kSegNext, [&] {
+            Val lov = lo.read();
+            Val w = width.read();
+            Val next_lo = lov + w + w;
+            when(next_lo < n, [&] {
+                lo.write(next_lo);
+                state.write(lit(kSegInit, 3));
+            });
+            when(!(next_lo < n), [&] {
+                // Next pass: double the width, swap buffers.
+                lo.write(lit(0, 32));
+                width.write(w + w);
+                src.write(dst.read());
+                dst.write(src.read());
+                when(w + w >= n, [&] { state.write(lit(kDone, 3)); });
+                when(!(w + w >= n),
+                     [&] { state.write(lit(kSegInit, 3)); });
+            });
+        });
+        when(st == kDone, [&] { finish(); });
+    }
+
+    compile(sb.sys());
+    out.mem = mem.array();
+    out.kernel = kernel.mod();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

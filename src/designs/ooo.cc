@@ -1,0 +1,631 @@
+#include "designs/ooo.h"
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+#include "support/bits.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+namespace {
+
+constexpr uint64_t kRobEntries = 8; ///< 3-bit index + 1 generation bit
+constexpr uint64_t kRsEntries = 4;
+
+enum AluOp : uint64_t {
+    kAluAdd = 0, kAluSub = 1, kAluSll = 2, kAluSlt = 3, kAluSltu = 4,
+    kAluXor = 5, kAluSrl = 6, kAluSra = 7, kAluOr = 8, kAluAnd = 9,
+};
+
+/** fetch -> decode -> backend uop descriptor. */
+const StructType &
+uopType()
+{
+    static const StructType t({{"rs1", 5},    {"rs2", 5},   {"rd", 5},
+                               {"alu_op", 4}, {"funct3", 3},{"is_br", 1},
+                               {"is_jal", 1}, {"is_jalr", 1},{"is_load", 1},
+                               {"is_store", 1},{"is_ecall", 1},{"writes", 1},
+                               {"uses_rs1", 1},{"uses_rs2", 1},{"use_imm", 1},
+                               {"ep", 1}});
+    return t;
+}
+
+/** ROB metadata written at dispatch. */
+const StructType &
+metaType()
+{
+    static const StructType t({{"rd", 5},      {"writes", 1},
+                               {"is_load", 1}, {"is_store", 1},
+                               {"is_br", 1},   {"is_ctrl", 1},
+                               {"is_ecall", 1}});
+    return t;
+}
+
+/** Reservation-station control word written at dispatch. */
+const StructType &
+rsCtrlType()
+{
+    static const StructType t({{"alu_op", 4},  {"funct3", 3}, {"is_br", 1},
+                               {"is_jal", 1},  {"is_jalr", 1},{"is_load", 1},
+                               {"is_store", 1},{"is_ecall", 1},{"use_imm", 1},
+                               {"rob_pos", 4}});
+    return t;
+}
+
+/**
+ * A renamed operand: {ready, architectural source, producer tag, value}.
+ * The architectural register index allows an issue-time fallback to the
+ * register file when the producer has already committed and left the
+ * ROB: in-order retirement guarantees no younger writer of the same
+ * register can have committed before this consumer issues, so rf holds
+ * exactly the producer's value.
+ */
+const StructType &
+opndType()
+{
+    static const StructType t(
+        {{"val", 32}, {"tag", 4}, {"areg", 5}, {"ready", 1}});
+    return t;
+}
+
+} // namespace
+
+OooDesign
+buildOoo(const std::vector<uint32_t> &memory_image)
+{
+    SysBuilder sb("ooo");
+    OooDesign out;
+
+    // ---- Architectural and bookkeeping state ------------------------------
+    std::vector<uint64_t> image(memory_image.begin(), memory_image.end());
+    Arr mem = sb.mem("mem", uintType(32), image.size(), image);
+    Arr rf = sb.arr("rf", uintType(32), 32);
+    Reg pc = sb.reg("pc", uintType(32));
+    Reg epoch = sb.reg("epoch", uintType(1));
+    Reg head = sb.reg("rob_head", uintType(4));
+    Reg tail = sb.reg("rob_tail", uintType(4));
+    Arr rob_alloc = sb.arr("rob_alloc_gen", uintType(1), kRobEntries);
+    // done_gen starts out of phase with alloc_gen so a freshly allocated
+    // entry is never spuriously "done" before its first execution.
+    Arr rob_done = sb.arr("rob_done_gen", uintType(1), kRobEntries,
+                          std::vector<uint64_t>(kRobEntries, 1));
+    Arr rob_meta = sb.arr("rob_meta", metaType().type(), kRobEntries);
+    Arr rob_val = sb.arr("rob_val", uintType(64), kRobEntries);
+    Arr rs_alloc = sb.arr("rs_alloc_gen", uintType(1), kRsEntries);
+    Arr rs_done = sb.arr("rs_done_gen", uintType(1), kRsEntries);
+    Arr rs_ctrl = sb.arr("rs_ctrl", rsCtrlType().type(), kRsEntries);
+    Arr rs_a = sb.arr("rs_a", opndType().type(), kRsEntries);
+    Arr rs_b = sb.arr("rs_b", opndType().type(), kRsEntries);
+    Arr rs_imm = sb.arr("rs_imm", uintType(32), kRsEntries);
+    Arr rs_pc = sb.arr("rs_pc", uintType(32), kRsEntries);
+    Arr rs_pred = sb.arr("rs_pred", uintType(32), kRsEntries);
+
+    Reg retired = sb.reg("retired", uintType(32));
+    Reg br_total = sb.reg("br_total", uintType(32));
+    Reg br_taken = sb.reg("br_taken", uintType(32));
+    Reg br_mispred = sb.reg("br_mispred", uintType(32));
+    Reg dispatched = sb.reg("dispatched", uintType(32));
+    Reg issue_idle = sb.reg("issue_idle", uintType(32));
+    Reg dispatch_idle = sb.reg("dispatch_idle", uintType(32));
+
+    Stage fetch = sb.driver("fetch");
+    Stage decode = sb.stage("decode", {{"pc", uintType(32)},
+                                       {"inst", uintType(32)},
+                                       {"ep", uintType(1)}});
+    Stage backend = sb.stage("backend", {{"uop", uopType().type()},
+                                         {"uop_pc", uintType(32)},
+                                         {"uop_imm", uintType(32)},
+                                         {"uop_pred", uintType(32)}});
+    backend.fifoDepthAll(4);
+
+    // ---- Backend: dispatch + issue/execute + in-order commit --------------
+    {
+        StageScope scope(backend);
+        waitUntil([&] { return litTrue(); }); // ticks every cycle
+
+        Val headv = head.read();
+        Val tailv = tail.read();
+        Val count = (tailv - headv) & 0xf;
+        Val rob_full = count == kRobEntries;
+
+        auto live = [&](Val pos) {
+            Val off = (pos - headv) & 0xf;
+            return off < count;
+        };
+        auto doneTag = [&](Val pos) {
+            Val idx = pos.slice(2, 0);
+            Val gen = pos.bit(3);
+            return live(pos) & (rob_alloc.read(idx) == gen) &
+                   (rob_done.read(idx) == gen);
+        };
+
+        // ---- Commit (head of the ROB, in order) ---------------------------
+        Val head_idx = headv.slice(2, 0);
+        Val head_meta = rob_meta.read(head_idx);
+        Val h_writes = metaType().field(head_meta, "writes").as(uintType(1));
+        Val h_rd = metaType().field(head_meta, "rd");
+        Val h_store = metaType().field(head_meta, "is_store").as(uintType(1));
+        Val h_br = metaType().field(head_meta, "is_br").as(uintType(1));
+        Val h_ecall = metaType().field(head_meta, "is_ecall").as(uintType(1));
+        Val h_val = rob_val.read(head_idx);
+        Val do_commit = (count != 0) & doneTag(headv);
+        when(do_commit, [&] {
+            when(h_writes == 1,
+                 [&] { rf.write(h_rd, h_val.slice(31, 0)); });
+            when(h_store == 1, [&] {
+                mem.write(h_val.slice(31, 2), h_val.slice(63, 32));
+            });
+            when(h_br == 1, [&] {
+                br_total.write(br_total.read() + 1);
+                when(h_val.bit(0) == 1,
+                     [&] { br_taken.write(br_taken.read() + 1); });
+            });
+            retired.write(retired.read() + 1);
+            when(h_ecall == 1, [&] { finish(); });
+        });
+
+        // ---- Issue selection ------------------------------------------------
+        // The youngest live store's distance from head gates loads
+        // (conservative memory disambiguation: loads wait for all older
+        // stores to commit).
+        Val oldest_store_age = lit(15, 4);
+        for (uint64_t off = kRobEntries; off-- > 0;) {
+            Val pos = (headv + off) & 0xf;
+            Val meta = rob_meta.read(pos.slice(2, 0));
+            Val is_st = metaType().field(meta, "is_store").as(uintType(1));
+            Val alive = lit(off, 4) < count;
+            oldest_store_age = select(alive & (is_st == 1), lit(off, 4),
+                                      oldest_store_age);
+        }
+
+        struct RsView {
+            Val busy, ready, is_ctrl, age;
+            Val a_now, b_now;
+        };
+        std::vector<RsView> view(kRsEntries);
+        for (uint64_t k = 0; k < kRsEntries; ++k) {
+            Val ctrl = rs_ctrl.read(k);
+            Val pos = rsCtrlType().field(ctrl, "rob_pos");
+            Val allocated =
+                rs_alloc.read(k) != rs_done.read(k).as(uintType(1));
+            Val alive = live(pos);
+            view[k].busy = (allocated & alive).named(
+                "rs_busy" + std::to_string(k));
+            view[k].age = (pos - headv) & 0xf;
+
+            auto operandNow = [&](Val packed) {
+                Val ready0 =
+                    opndType().field(packed, "ready").as(uintType(1));
+                Val tag = opndType().field(packed, "tag");
+                Val val0 = opndType().field(packed, "val");
+                Val areg = opndType().field(packed, "areg");
+                Val alive = live(tag);
+                Val forwarded = rob_val.read(tag.slice(2, 0)).slice(31, 0);
+                // Producer still in flight: wait for its result; already
+                // committed: the register file holds it.
+                Val now_ready = ready0 | !alive | doneTag(tag);
+                Val fallback =
+                    select(alive, forwarded, rf.read(areg));
+                Val now_val = select(ready0 == 1, val0, fallback);
+                return std::make_pair(now_ready, now_val);
+            };
+            auto [a_rdy, a_val] = operandNow(rs_a.read(k));
+            auto [b_rdy, b_val] = operandNow(rs_b.read(k));
+            view[k].a_now = a_val;
+            view[k].b_now = b_val;
+
+            Val is_load =
+                rsCtrlType().field(ctrl, "is_load").as(uintType(1));
+            Val mem_ok =
+                (is_load == 0) | (oldest_store_age >= view[k].age);
+            view[k].ready = view[k].busy & a_rdy & b_rdy & mem_ok;
+            Val is_br = rsCtrlType().field(ctrl, "is_br").as(uintType(1));
+            Val is_jalr =
+                rsCtrlType().field(ctrl, "is_jalr").as(uintType(1));
+            view[k].is_ctrl = is_br | is_jalr;
+        }
+
+        // Pick: branches first (paper Q6), then oldest.
+        Val sel_valid = litFalse();
+        Val sel_idx = lit(0, 2);
+        Val sel_ctrlness = litFalse();
+        Val sel_age = lit(15, 4);
+        for (uint64_t k = 0; k < kRsEntries; ++k) {
+            Val better =
+                view[k].ready &
+                ((!sel_valid) | (view[k].is_ctrl & (!sel_ctrlness)) |
+                 ((view[k].is_ctrl == sel_ctrlness) &
+                  (view[k].age < sel_age)));
+            sel_idx = select(better, lit(k, 2), sel_idx);
+            sel_age = select(better, view[k].age, sel_age);
+            sel_ctrlness = select(better, view[k].is_ctrl, sel_ctrlness);
+            sel_valid = sel_valid | view[k].ready;
+        }
+
+        // ---- Execute the selected uop --------------------------------------
+        Val x_ctrl = rs_ctrl.read(sel_idx);
+        Val x_pos = rsCtrlType().field(x_ctrl, "rob_pos");
+        Val x_idx = x_pos.slice(2, 0);
+        Val x_alu = rsCtrlType().field(x_ctrl, "alu_op");
+        Val x_f3 = rsCtrlType().field(x_ctrl, "funct3");
+        Val x_is_br = rsCtrlType().field(x_ctrl, "is_br").as(uintType(1));
+        Val x_is_jal = rsCtrlType().field(x_ctrl, "is_jal").as(uintType(1));
+        Val x_is_jalr =
+            rsCtrlType().field(x_ctrl, "is_jalr").as(uintType(1));
+        Val x_is_load =
+            rsCtrlType().field(x_ctrl, "is_load").as(uintType(1));
+        Val x_is_store =
+            rsCtrlType().field(x_ctrl, "is_store").as(uintType(1));
+        Val x_use_imm =
+            rsCtrlType().field(x_ctrl, "use_imm").as(uintType(1));
+        Val x_immv = rs_imm.read(sel_idx);
+        Val x_pcv = rs_pc.read(sel_idx);
+        Val x_predv = rs_pred.read(sel_idx);
+
+        Val a = select(sel_idx == 0, view[0].a_now,
+                select(sel_idx == 1, view[1].a_now,
+                select(sel_idx == 2, view[2].a_now, view[3].a_now)));
+        Val b0 = select(sel_idx == 0, view[0].b_now,
+                 select(sel_idx == 1, view[1].b_now,
+                 select(sel_idx == 2, view[2].b_now, view[3].b_now)));
+        Val b = select(x_use_imm == 1, x_immv, b0);
+
+        Val sa = a.as(intType(32));
+        Val sbv = b.as(intType(32));
+        Val shamt = b.slice(4, 0);
+        Val alu =
+            select(x_alu == kAluSub, a - b,
+            select(x_alu == kAluSll, a << shamt,
+            select(x_alu == kAluSlt, (sa < sbv).zext(32),
+            select(x_alu == kAluSltu, (a < b).zext(32),
+            select(x_alu == kAluXor, a ^ b,
+            select(x_alu == kAluSrl, a >> shamt,
+            select(x_alu == kAluSra, (sa >> shamt).as(uintType(32)),
+            select(x_alu == kAluOr, a | b,
+            select(x_alu == kAluAnd, a & b, a + b)))))))));
+
+        Val cond = select(x_f3 == 0, a == b0,
+                   select(x_f3 == 1, a != b0,
+                   select(x_f3 == 4, sa < b0.as(intType(32)),
+                   select(x_f3 == 5, sa >= b0.as(intType(32)),
+                   select(x_f3 == 6, a < b0, a >= b0)))));
+
+        Val addr = a + x_immv;
+        Val load_val = mem.read(addr.slice(31, 2));
+        Val link = x_pcv + 4;
+        Val result = select(x_is_load == 1, load_val,
+                     select(x_is_jal | x_is_jalr, link, alu));
+        Val actual = select(x_is_jalr == 1, addr & 0xfffffffe,
+                     select(cond, x_predv, x_pcv + 4));
+        Val x_mispredict =
+            sel_valid & (x_is_br | x_is_jalr) & (actual != x_predv);
+
+        // Branch entries record taken-ness for commit-time statistics;
+        // stores record {data, address}.
+        Val exec_val =
+            select(x_is_store == 1, b0.concat(addr),
+            select(x_is_br == 1, lit(0, 32).concat(cond.zext(32)),
+                   lit(0, 32).concat(result)));
+        when(sel_valid, [&] {
+            rob_val.write(x_idx, exec_val);
+            rob_done.write(x_idx, x_pos.bit(3));
+            rs_done.write(sel_idx, rs_alloc.read(sel_idx));
+        });
+        when(!sel_valid, [&] {
+            issue_idle.write(issue_idle.read() + 1);
+        });
+        when(x_mispredict,
+             [&] { br_mispred.write(br_mispred.read() + 1); });
+        when(x_mispredict, [&] { epoch.write(!epoch.read()); });
+
+        expose("bk_redirect", x_mispredict.named("bk_redirect"));
+        expose("bk_target", actual);
+
+        // ---- Dispatch ---------------------------------------------------------
+        Val rs_free_exists = litFalse();
+        Val free_idx = lit(0, 2);
+        for (uint64_t k = kRsEntries; k-- > 0;) {
+            Val is_free = !view[k].busy;
+            free_idx = select(is_free, lit(k, 2), free_idx);
+            rs_free_exists = rs_free_exists | is_free;
+        }
+        Val backend_stall = (rob_full | !rs_free_exists)
+                                .named("backend_stall");
+        expose("backend_stall", backend_stall);
+
+        // An ecall anywhere in flight pauses fetch; if it was fetched down
+        // a mispredicted path, the flush removes it from the live window
+        // and fetch resumes -- no sticky state to repair.
+        Val ecall_pending = litFalse();
+        for (uint64_t off = 0; off < kRobEntries; ++off) {
+            Val pos = (headv + off) & 0xf;
+            Val meta = rob_meta.read(pos.slice(2, 0));
+            Val is_ec = metaType().field(meta, "is_ecall").as(uintType(1));
+            ecall_pending =
+                ecall_pending | ((lit(off, 4) < count) & (is_ec == 1));
+        }
+        expose("ecall_pending", ecall_pending.named("ecall_pending"));
+
+        Val uop = backend.arg("uop");
+        Val u_pc = backend.arg("uop_pc");
+        Val u_imm = backend.arg("uop_imm");
+        Val u_pred = backend.arg("uop_pred");
+        Val uop_valid = backend.argValid("uop");
+        const StructType &ut = uopType();
+        Val u_ep = ut.field(uop, "ep").as(uintType(1));
+        Val stale = u_ep != (epoch.read() ^ x_mispredict);
+        Val can_dispatch =
+            uop_valid & !stale & !backend_stall & !x_mispredict;
+        Val drop = uop_valid & stale;
+
+        when(drop | can_dispatch, [&] {
+            backend.pop("uop");
+            backend.pop("uop_pc");
+            backend.pop("uop_imm");
+            backend.pop("uop_pred");
+        });
+        when(!can_dispatch, [&] {
+            dispatch_idle.write(dispatch_idle.read() + 1);
+        });
+
+        // Register rename by combinational ROB search: the youngest live
+        // entry writing the architectural source wins (a ROB CAM lookup;
+        // flush-safe by construction, since a shrunken tail removes
+        // squashed writers from the scan).
+        auto rename = [&](Val r, Val use) {
+            Val found = litFalse();
+            Val tagp = lit(0, 4);
+            for (uint64_t off = 0; off < kRobEntries; ++off) {
+                Val pos = (headv + off) & 0xf;
+                Val idx = pos.slice(2, 0);
+                Val meta = rob_meta.read(idx);
+                Val w = metaType().field(meta, "writes").as(uintType(1));
+                Val hit = (lit(off, 4) < count) & (w == 1) &
+                          (metaType().field(meta, "rd") == r);
+                tagp = select(hit, pos, tagp);
+                found = found | hit;
+            }
+            Val busy = found & (r != 0) & (use == 1);
+            Val idx = tagp.slice(2, 0);
+            Val gen = tagp.bit(3);
+            Val done = busy & (rob_done.read(idx) == gen);
+            Val val = select(done, rob_val.read(idx).slice(31, 0),
+                             rf.read(r));
+            Val ready = (!busy) | done;
+            return opndType().pack({{"val", val},
+                                    {"tag", tagp},
+                                    {"areg", r},
+                                    {"ready", ready}});
+        };
+
+        when(can_dispatch, [&] {
+            Val rs1 = ut.field(uop, "rs1");
+            Val rs2 = ut.field(uop, "rs2");
+            Val rd = ut.field(uop, "rd");
+            Val uses1 = ut.field(uop, "uses_rs1").as(uintType(1));
+            Val uses2 = ut.field(uop, "uses_rs2").as(uintType(1));
+            Val is_lui_like = !uses1; // operand A is 0 or pc
+            Val u_is_jal = ut.field(uop, "is_jal").as(uintType(1));
+            Val u_is_jalr = ut.field(uop, "is_jalr").as(uintType(1));
+            Val u_is_br = ut.field(uop, "is_br").as(uintType(1));
+            Val u_is_load = ut.field(uop, "is_load").as(uintType(1));
+            Val u_is_store = ut.field(uop, "is_store").as(uintType(1));
+            Val u_is_ecall = ut.field(uop, "is_ecall").as(uintType(1));
+            Val u_writes = ut.field(uop, "writes").as(uintType(1));
+
+            Val a_reg = rename(rs1, uses1);
+            // When A is not a register it is the pc (auipc / jal / jalr
+            // link); lui goes through x0 instead.
+            Val a_const = opndType().pack({{"val", u_pc},
+                                           {"tag", lit(0, 4)},
+                                           {"areg", lit(0, 5)},
+                                           {"ready", litTrue()}});
+            Val a_op = select(is_lui_like, a_const, a_reg);
+            Val b_op = rename(rs2, uses2);
+
+            rs_alloc.write(free_idx, rs_done.read(free_idx) + 1);
+            rs_ctrl.write(
+                free_idx,
+                rsCtrlType().pack({{"alu_op", ut.field(uop, "alu_op")},
+                                   {"funct3", ut.field(uop, "funct3")},
+                                   {"is_br", u_is_br},
+                                   {"is_jal", u_is_jal},
+                                   {"is_jalr", u_is_jalr},
+                                   {"is_load", u_is_load},
+                                   {"is_store", u_is_store},
+                                   {"is_ecall", u_is_ecall},
+                                   {"use_imm",
+                                    ut.field(uop, "use_imm")},
+                                   {"rob_pos", tailv}}));
+            rs_a.write(free_idx, a_op);
+            rs_b.write(free_idx, b_op);
+            rs_imm.write(free_idx, u_imm);
+            rs_pc.write(free_idx, u_pc);
+            rs_pred.write(free_idx, u_pred);
+
+            Val t_idx = tailv.slice(2, 0);
+            rob_alloc.write(t_idx, tailv.bit(3));
+            rob_meta.write(t_idx,
+                           metaType().pack({{"rd", rd},
+                                            {"writes", u_writes},
+                                            {"is_load", u_is_load},
+                                            {"is_store", u_is_store},
+                                            {"is_br", u_is_br},
+                                            {"is_ctrl",
+                                             u_is_br | u_is_jalr},
+                                            {"is_ecall", u_is_ecall}}));
+            dispatched.write(dispatched.read() + 1);
+        });
+
+        // Pointer updates: one write each, priority flush > dispatch.
+        Val tail_next =
+            select(x_mispredict, (x_pos + 1) & 0xf,
+                   select(can_dispatch, (tailv + 1) & 0xf, tailv));
+        tail.write(tail_next);
+        when(do_commit, [&] { head.write((headv + 1) & 0xf); });
+    }
+
+    // ---- Decode (always-taken frontend, epoch-checked) ---------------------
+    {
+        StageScope scope(decode);
+        Val inst = decode.arg("inst");
+        Val pcv = decode.arg("pc");
+        Val ep = decode.arg("ep");
+
+        Val opcode = inst.slice(6, 0);
+        Val rd = inst.slice(11, 7);
+        Val funct3 = inst.slice(14, 12);
+        Val rs1 = inst.slice(19, 15);
+        Val rs2 = inst.slice(24, 20);
+        Val f7b = inst.bit(30);
+
+        Val is_lui = opcode == 0b0110111;
+        Val is_auipc = opcode == 0b0010111;
+        Val is_jal = opcode == 0b1101111;
+        Val is_jalr = opcode == 0b1100111;
+        Val is_br = opcode == 0b1100011;
+        Val is_load = opcode == 0b0000011;
+        Val is_store = opcode == 0b0100011;
+        Val is_opimm = opcode == 0b0010011;
+        Val is_op = opcode == 0b0110011;
+        Val is_ecall = opcode == 0b1110011;
+
+        Val imm_i = inst.slice(31, 20).sext(32).as(uintType(32));
+        Val imm_s = inst.slice(31, 25).concat(inst.slice(11, 7))
+                        .sext(32).as(uintType(32));
+        Val imm_b = inst.bit(31).concat(inst.bit(7))
+                        .concat(inst.slice(30, 25))
+                        .concat(inst.slice(11, 8)).concat(lit(0, 1))
+                        .sext(32).as(uintType(32));
+        Val imm_u = inst.slice(31, 12).concat(lit(0, 12)).as(uintType(32));
+        Val imm_j = inst.bit(31).concat(inst.slice(19, 12))
+                        .concat(inst.bit(20)).concat(inst.slice(30, 21))
+                        .concat(lit(0, 1)).sext(32).as(uintType(32));
+
+        Val writes = ((is_lui | is_auipc | is_jal | is_jalr | is_load |
+                       is_opimm | is_op) & (rd != 0)).as(uintType(1));
+        Val uses_rs1 =
+            (is_jalr | is_br | is_load | is_store | is_opimm | is_op)
+                .as(uintType(1));
+        Val uses_rs2 = (is_br | is_store | is_op).as(uintType(1));
+        Val use_imm = (is_lui | is_auipc | is_opimm | is_load)
+                          .as(uintType(1));
+
+        Val op_alu =
+            select(funct3 == 0,
+                   select(is_op & (f7b == 1), lit(kAluSub, 4),
+                          lit(kAluAdd, 4)),
+            select(funct3 == 1, lit(kAluSll, 4),
+            select(funct3 == 2, lit(kAluSlt, 4),
+            select(funct3 == 3, lit(kAluSltu, 4),
+            select(funct3 == 4, lit(kAluXor, 4),
+            select(funct3 == 5,
+                   select(f7b == 1, lit(kAluSra, 4), lit(kAluSrl, 4)),
+            select(funct3 == 6, lit(kAluOr, 4), lit(kAluAnd, 4))))))));
+        Val alu_op = select((is_op | is_opimm).as(uintType(1)) == 1,
+                            op_alu, lit(kAluAdd, 4));
+
+        Val br_target = pcv + imm_b;
+        Val jal_target = pcv + imm_j;
+        Val sentinel = lit(1, 32);
+        Val pred = select(is_jal, jal_target,
+                   select(is_br, br_target, sentinel));
+        // lui computes 0 + imm_u; auipc pc + imm_u: encode via operand
+        // selection (uses_rs1 = 0 -> A = pc; lui overrides with B-only).
+        Val imm_sel =
+            select(is_lui | is_auipc, imm_u,
+            select(is_store, imm_s, imm_i));
+
+        Val bk_redirect = backend.exposed("bk_redirect", uintType(1));
+        Val stall_b = backend.exposed("backend_stall", uintType(1));
+        Val cur_epoch = epoch.read() ^ bk_redirect;
+        Val head_valid = decode.argValid("inst");
+        Val stale = ep != cur_epoch;
+
+        waitUntil([&] {
+            return head_valid & (stale | bk_redirect | !stall_b);
+        });
+
+        Val fire = head_valid & !stale & !bk_redirect & !stall_b;
+        expose("d_redirect",
+               (fire & (is_jal | is_br).as(uintType(1)))
+                   .named("d_redirect"));
+        expose("d_target", select(is_jal, jal_target, br_target));
+        Val ctrl_hold = (is_jalr | is_ecall).as(uintType(1));
+        expose("fetch_hold",
+               (head_valid & !stale & (ctrl_hold == 1)).named("fetch_hold"));
+
+        when(fire, [&] {
+            // lui: A must be 0, not pc. Fold it into the immediate path:
+            // A = pc when uses_rs1 == 0; lui uses alu add with B = imm_u
+            // and A forced to zero by subtracting pc... simpler: send
+            // A as a register operand of x0 for lui.
+            Val uses1_eff = (uses_rs1 | is_lui).as(uintType(1));
+            Val rs1_eff = select(is_lui, lit(0, 5), rs1);
+            bind(backend,
+                 {{"uop", uopType().pack({{"rs1", rs1_eff},
+                                          {"rs2", rs2},
+                                          {"rd", rd},
+                                          {"alu_op", alu_op},
+                                          {"funct3", funct3},
+                                          {"is_br", is_br},
+                                          {"is_jal", is_jal},
+                                          {"is_jalr", is_jalr},
+                                          {"is_load", is_load},
+                                          {"is_store", is_store},
+                                          {"is_ecall", is_ecall},
+                                          {"writes", writes},
+                                          {"uses_rs1", uses1_eff},
+                                          {"uses_rs2", uses_rs2},
+                                          {"use_imm", use_imm},
+                                          {"ep", ep}})},
+                  {"uop_pc", pcv},
+                  {"uop_imm", imm_sel},
+                  {"uop_pred", pred}});
+        });
+    }
+
+    // ---- Fetch (driver) -----------------------------------------------------
+    {
+        StageScope scope(fetch);
+        Val pcv = pc.read();
+        Val bk_r = backend.exposed("bk_redirect", uintType(1));
+        Val bk_t = backend.exposed("bk_target", uintType(32));
+        Val d_r = decode.exposed("d_redirect", uintType(1));
+        Val d_t = decode.exposed("d_target", uintType(32));
+        Val hold = decode.exposed("fetch_hold", uintType(1));
+        Val stall_b = backend.exposed("backend_stall", uintType(1));
+        Val ecall_pending = backend.exposed("ecall_pending", uintType(1));
+
+        Val fetch_pc = select(bk_r, bk_t, select(d_r, d_t, pcv));
+        Val do_fetch =
+            (bk_r | ((!hold) & (!stall_b) & (!ecall_pending)))
+                .named("do_fetch");
+        Val tag = epoch.read() ^ bk_r;
+        when(do_fetch, [&] {
+            Val inst = mem.read(fetch_pc.slice(31, 2));
+            asyncCall(decode, {fetch_pc, inst, tag});
+            pc.write(fetch_pc + 4);
+        });
+        // The backend ticks every cycle regardless of fetch progress.
+        asyncCallNamed(backend, {});
+    }
+
+    compile(sb.sys());
+    out.mem = mem.array();
+    out.rf = rf.array();
+    out.retired = retired.array();
+    out.br_total = br_total.array();
+    out.br_taken = br_taken.array();
+    out.br_mispred = br_mispred.array();
+    out.dispatched = dispatched.array();
+    out.issue_idle = issue_idle.array();
+    out.dispatch_idle = dispatch_idle.array();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The out-of-order CPU of paper Q6 (Fig. 17): always-taken branch
+ * prediction in front of a Tomasulo-style backend with a reservation
+ * station, a reorder buffer with in-order retirement, and register
+ * renaming through a RAT.
+ *
+ * The paper describes its OoO core as "pipeline logic + bookkeeping";
+ * this design leans into that: the frontend is the same fetch/decode
+ * pair as the in-order core, and the whole backend is one stage whose
+ * state lives in small register arrays. The language's one-write-per-
+ * array-per-cycle rule (Sec. 4.2) shapes the bookkeeping: every array
+ * has exactly one writer role (dispatch, execute, or commit), and
+ * cross-role signalling uses generation bits compared combinationally
+ * instead of read-modify-write flags.
+ *
+ * Microarchitecture summary:
+ *  - 1-wide dispatch into an 8-entry ROB and a 4-entry RS;
+ *  - single issue per cycle, branches prioritized (paper Q6);
+ *  - 1-cycle ALU and load execution; loads wait for all older stores to
+ *    commit (conservative disambiguation); stores write memory at
+ *    commit;
+ *  - mispredicted control transfers flush by shrinking the ROB tail and
+ *    flipping the fetch epoch.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ir/system.h"
+
+namespace assassyn {
+namespace designs {
+
+/** A built OoO core plus handles to its state and counters. */
+struct OooDesign {
+    std::unique_ptr<System> sys;
+    RegArray *mem = nullptr;
+    RegArray *rf = nullptr;
+    RegArray *retired = nullptr;
+    RegArray *br_total = nullptr;
+    RegArray *br_taken = nullptr;
+    RegArray *br_mispred = nullptr;
+    RegArray *dispatched = nullptr;   ///< uops entering the ROB
+    RegArray *issue_idle = nullptr;   ///< cycles with no issuable uop
+    RegArray *dispatch_idle = nullptr;///< cycles with nothing to dispatch
+};
+
+/** Build (and compile) the OoO core around a memory image. */
+OooDesign buildOoo(const std::vector<uint32_t> &memory_image);
+
+} // namespace designs
+} // namespace assassyn

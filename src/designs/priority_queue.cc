@@ -1,0 +1,92 @@
+#include "designs/priority_queue.h"
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+PqDesign
+buildPriorityQueue(size_t capacity, const std::vector<PqOp> &script)
+{
+    if (capacity < 2)
+        fatal("priority queue needs at least 2 slots");
+
+    SysBuilder sb("priority_queue");
+    PqDesign out;
+
+    Stage pq = sb.stage("pq", {{"cmd", uintType(2)}, {"value", uintType(32)}});
+    Stage driver = sb.driver();
+
+    // The sorted ladder: one register per slot, slot 0 is the minimum.
+    std::vector<Reg> slots;
+    for (size_t i = 0; i < capacity; ++i)
+        slots.push_back(sb.reg("slot" + std::to_string(i), uintType(32),
+                               kPqInf));
+
+    // Scripted stimulus packed as {cmd[33:32], value[31:0]}.
+    std::vector<uint64_t> packed;
+    for (const PqOp &op : script)
+        packed.push_back(uint64_t(op.cmd) << 32 | op.value);
+    packed.push_back(uint64_t(3) << 32); // terminator
+    Arr rom = sb.mem("script", uintType(40), packed.size(), packed);
+    Reg idx = sb.reg("idx", uintType(32));
+
+    {
+        StageScope scope(pq);
+        Val cmd = pq.arg("cmd");
+        Val v = pq.arg("value");
+        Val is_push = cmd == uint64_t(PqCmd::kPush);
+        Val is_pop = cmd == uint64_t(PqCmd::kPop);
+
+        // Prefix of slots ordered before the incoming value.
+        std::vector<Val> le(capacity);
+        for (size_t i = 0; i < capacity; ++i)
+            le[i] = slots[i].read() <= v;
+
+        when(is_push, [&] {
+            for (size_t i = 0; i < capacity; ++i) {
+                // Keep, insert here, or shift right by one.
+                Val keep = slots[i].read();
+                Val from_left = i == 0 ? v : slots[i - 1].read();
+                Val insert_here = i == 0 ? litTrue() : le[i - 1];
+                Val next = select(le[i], keep,
+                                  select(insert_here, v, from_left));
+                slots[i].write(next);
+            }
+        });
+        when(is_pop, [&] {
+            log("pop {}", {slots[0].read()});
+            for (size_t i = 0; i < capacity; ++i) {
+                Val next = i + 1 < capacity ? slots[i + 1].read()
+                                            : lit(kPqInf, 32);
+                slots[i].write(next);
+            }
+        });
+    }
+
+    {
+        StageScope scope(driver);
+        Val i = idx.read();
+        Val entry = rom.read(i.trunc(std::max(1u, log2ceil(packed.size()))));
+        Val cmd = entry.slice(33, 32);
+        Val value = entry.slice(31, 0);
+        when(cmd == 3, [&] { finish(); });
+        when(cmd != 3, [&] {
+            asyncCall(pq, {cmd.trunc(2), value});
+            idx.write(i + 1);
+        });
+    }
+
+    compile(sb.sys());
+    for (const Reg &slot : slots)
+        out.slots.push_back(slot.array());
+    out.pq = pq.mod();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

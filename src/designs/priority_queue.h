@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Hardware priority queue (paper Table 1, after Bhagwan & Lin): a
+ * shift-register ladder that sustains one operation per cycle (II = 1).
+ *
+ * Each slot is its own register with an insert/shift mux, the classic
+ * systolic priority-queue structure: a push inserts in sorted position
+ * by shifting the tail right; a pop emits the minimum and shifts left.
+ * Empty slots hold an all-ones sentinel.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ir/system.h"
+
+namespace assassyn {
+namespace designs {
+
+/** Priority-queue commands consumed by the pq stage. */
+enum class PqCmd : uint64_t { kNop = 0, kPush = 1, kPop = 2 };
+
+/** One scripted testbench operation. */
+struct PqOp {
+    PqCmd cmd;
+    uint32_t value; ///< used by kPush
+};
+
+/** A built priority queue plus handles for inspection. */
+struct PqDesign {
+    std::unique_ptr<System> sys;
+    std::vector<RegArray *> slots; ///< ladder registers, slot 0 = minimum
+    Module *pq = nullptr;
+};
+
+/** Sentinel stored in empty slots. */
+inline constexpr uint32_t kPqInf = 0xffffffff;
+
+/**
+ * Build (and compile) a priority queue of @p capacity slots driven by a
+ * scripted testbench issuing one op per cycle. Each pop logs
+ * "pop <value>"; testbenches compare that against a golden heap.
+ */
+PqDesign buildPriorityQueue(size_t capacity, const std::vector<PqOp> &script);
+
+} // namespace designs
+} // namespace assassyn

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * LSD radix sort accelerator, Assassyn version. The paper's manual
+ * optimization: the 16 radix brackets are registers instead of an SRAM
+ * region, which removes two memory accesses per element in both the
+ * histogram and scatter loops and turns the bucket prefix sum into a
+ * single combinational cycle.
+ */
+#include "designs/accel.h"
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+AccelDesign
+buildRadixSortAccel(const SortData &data)
+{
+    SysBuilder sb("radix_sort");
+    AccelDesign out;
+
+    std::vector<uint64_t> image(data.memory.begin(), data.memory.end());
+    Arr mem = sb.mem("mem", uintType(32), image.size(), image);
+    unsigned ab = std::max(1u, log2ceil(image.size()));
+    const uint64_t n = data.n;
+
+    enum : uint64_t { kClear, kHist, kPrefix, kScatLoad, kScatStore, kDone };
+    Reg state = sb.reg("state", uintType(3));
+    Reg i = sb.reg("i", uintType(32));
+    Reg shift = sb.reg("shift", uintType(5));
+    Reg src = sb.reg("src", uintType(32), data.a_base);
+    Reg dst = sb.reg("dst", uintType(32), data.aux_base);
+    Reg held = sb.reg("held", uintType(32));
+    Reg held_digit = sb.reg("held_digit", uintType(4));
+    std::vector<Reg> bracket;
+    for (int b = 0; b < 16; ++b)
+        bracket.push_back(sb.reg("bracket" + std::to_string(b),
+                                 uintType(32)));
+
+    // The kernel is an event-driven stage ticked by the testbench driver
+    // every cycle, so it carries the stage-buffer FIFO and the event
+    // counter the paper's Q4 breakdown measures.
+    Stage kernel = sb.stage("radix_kernel", {{"tick", uintType(1)}});
+    Stage driver = sb.driver();
+    {
+        StageScope scope(driver);
+        asyncCall(kernel, {lit(0, 1)});
+    }
+    {
+        StageScope scope(kernel);
+        kernel.arg("tick");
+        Val st = state.read();
+
+        when(st == kClear, [&] {
+            for (int b = 0; b < 16; ++b)
+                bracket[b].write(lit(0, 32));
+            i.write(lit(0, 32));
+            state.write(lit(kHist, 3));
+        });
+        when(st == kHist, [&] {
+            Val iv = i.read();
+            Val v = mem.read((src.read() + iv).trunc(ab));
+            Val d = (v >> shift.read()).slice(3, 0);
+            for (uint64_t b = 0; b < 16; ++b) {
+                when(d == b,
+                     [&] { bracket[b].write(bracket[b].read() + 1); });
+            }
+            i.write(iv + 1);
+            when(iv + 1 == n, [&] { state.write(lit(kPrefix, 3)); });
+        });
+        when(st == kPrefix, [&] {
+            // Registers make the exclusive prefix sum a single
+            // combinational cycle.
+            Val running = lit(0, 32);
+            for (int b = 0; b < 16; ++b) {
+                Val count = bracket[b].read();
+                bracket[b].write(running);
+                running = running + count;
+            }
+            i.write(lit(0, 32));
+            state.write(lit(kScatLoad, 3));
+        });
+        when(st == kScatLoad, [&] {
+            Val v = mem.read((src.read() + i.read()).trunc(ab));
+            held.write(v);
+            held_digit.write((v >> shift.read()).slice(3, 0));
+            state.write(lit(kScatStore, 3));
+        });
+        when(st == kScatStore, [&] {
+            Val d = held_digit.read();
+            // Read the bucket cursor and bump it (registers, no memory).
+            Val pos;
+            for (uint64_t b = 0; b < 16; ++b) {
+                Val hit = d == b;
+                pos = pos.valid() ? select(hit, bracket[b].read(), pos)
+                                  : bracket[b].read();
+                when(hit,
+                     [&] { bracket[b].write(bracket[b].read() + 1); });
+            }
+            mem.write((dst.read() + pos).trunc(ab), held.read());
+            Val iv = i.read();
+            i.write(iv + 1);
+            Val done_pass = iv + 1 == n;
+            when(!done_pass, [&] { state.write(lit(kScatLoad, 3)); });
+            when(done_pass, [&] {
+                Val sh = shift.read();
+                src.write(dst.read());
+                dst.write(src.read());
+                when(sh == 12, [&] { state.write(lit(kDone, 3)); });
+                when(sh != 12, [&] {
+                    shift.write((sh + 4).trunc(5));
+                    state.write(lit(kClear, 3));
+                });
+            });
+        });
+        when(st == kDone, [&] { finish(); });
+    }
+
+    compile(sb.sys());
+    out.mem = mem.array();
+    out.kernel = kernel.mod();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

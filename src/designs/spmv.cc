@@ -1,0 +1,98 @@
+/**
+ * @file
+ * spmv (ELLPACK) accelerator, Assassyn version. The paper calls this
+ * kernel out as the hardest to express: three memory operations per
+ * nonzero (value, column index, x gather) must be serialized through
+ * the exclusive scalar memory port by a hand-managed state machine.
+ * The multiply-accumulate chains combinationally into the gather state,
+ * so each nonzero costs exactly three cycles plus one row-store.
+ */
+#include "designs/accel.h"
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+AccelDesign
+buildSpmvAccel(const SpmvData &data)
+{
+    SysBuilder sb("spmv");
+    AccelDesign out;
+
+    std::vector<uint64_t> image(data.memory.begin(), data.memory.end());
+    Arr mem = sb.mem("mem", uintType(32), image.size(), image);
+    unsigned ab = std::max(1u, log2ceil(image.size()));
+
+    enum : uint64_t { kLoadVal, kLoadCol, kGatherMac, kStoreRow };
+    Reg state = sb.reg("state", uintType(2));
+    Reg row = sb.reg("row", uintType(32));
+    Reg k = sb.reg("k", uintType(32));
+    Reg idx = sb.reg("idx", uintType(32)); // row*m + k, kept incrementally
+    Reg val = sb.reg("val", uintType(32));
+    Reg col = sb.reg("col", uintType(32));
+    Reg acc = sb.reg("acc", uintType(32));
+
+    // The kernel is an event-driven stage ticked by the testbench driver
+    // every cycle, so it carries the stage-buffer FIFO and the event
+    // counter the paper's Q4 breakdown measures.
+    Stage kernel = sb.stage("spmv_kernel", {{"tick", uintType(1)}});
+    Stage driver = sb.driver();
+    {
+        StageScope scope(driver);
+        asyncCall(kernel, {lit(0, 1)});
+    }
+    {
+        StageScope scope(kernel);
+        kernel.arg("tick");
+        Val st = state.read();
+        when(st == kLoadVal, [&] {
+            val.write(mem.read(
+                (idx.read() + uint64_t(data.val_base)).trunc(ab)));
+            state.write(lit(kLoadCol, 2));
+        });
+        when(st == kLoadCol, [&] {
+            col.write(mem.read(
+                (idx.read() + uint64_t(data.col_base)).trunc(ab)));
+            state.write(lit(kGatherMac, 2));
+        });
+        when(st == kGatherMac, [&] {
+            Val xv = mem.read(
+                (col.read() + uint64_t(data.x_base)).trunc(ab));
+            acc.write(acc.read() + val.read() * xv);
+            idx.write(idx.read() + 1);
+            Val kv = k.read();
+            when(kv + 1 == uint64_t(data.m), [&] {
+                k.write(lit(0, 32));
+                state.write(lit(kStoreRow, 2));
+            });
+            when(kv + 1 != uint64_t(data.m), [&] {
+                k.write(kv + 1);
+                state.write(lit(kLoadVal, 2));
+            });
+        });
+        when(st == kStoreRow, [&] {
+            mem.write((row.read() + uint64_t(data.y_base)).trunc(ab),
+                      acc.read());
+            acc.write(lit(0, 32));
+            Val r = row.read();
+            when(r + 1 == uint64_t(data.n), [&] { finish(); });
+            when(r + 1 != uint64_t(data.n), [&] {
+                row.write(r + 1);
+                state.write(lit(kLoadVal, 2));
+            });
+        });
+    }
+
+    compile(sb.sys());
+    out.mem = mem.array();
+    out.kernel = kernel.mod();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * 3x3 stencil (convolution) accelerator, Assassyn version: the nine
+ * filter taps are loaded into registers once, then each interior output
+ * pixel costs nine image loads (the tap multiply-accumulate chains into
+ * each load cycle) plus one store through the exclusive memory port.
+ */
+#include "designs/accel.h"
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+AccelDesign
+buildStencilAccel(const StencilData &data)
+{
+    SysBuilder sb("stencil_2d");
+    AccelDesign out;
+
+    std::vector<uint64_t> image(data.memory.begin(), data.memory.end());
+    Arr mem = sb.mem("mem", uintType(32), image.size(), image);
+    unsigned ab = std::max(1u, log2ceil(image.size()));
+    const uint64_t cols = data.cols;
+    const uint64_t rows = data.rows;
+
+    // States 0..8 load filter taps; 9..17 are the nine MAC taps of the
+    // current pixel; 18 stores and advances.
+    enum : uint64_t { kTapBase = 0, kMacBase = 9, kStore = 18, kDone = 19 };
+    Reg state = sb.reg("state", uintType(5));
+    Reg r = sb.reg("r", uintType(32), 1);
+    Reg c = sb.reg("c", uintType(32), 1);
+    Reg center = sb.reg("center", uintType(32),
+                        uint64_t(data.img_base) + cols + 1);
+    Reg acc = sb.reg("acc", uintType(32));
+    std::vector<Reg> filt;
+    for (int k = 0; k < 9; ++k)
+        filt.push_back(sb.reg("f" + std::to_string(k), uintType(32)));
+
+    // Neighbor offsets relative to the center pixel, as signed adds.
+    const int64_t offs[9] = {
+        -int64_t(cols) - 1, -int64_t(cols), -int64_t(cols) + 1,
+        -1, 0, 1,
+        int64_t(cols) - 1, int64_t(cols), int64_t(cols) + 1,
+    };
+
+    // The kernel is an event-driven stage ticked by the testbench driver
+    // every cycle, so it carries the stage-buffer FIFO and the event
+    // counter the paper's Q4 breakdown measures.
+    Stage kernel = sb.stage("stencil_kernel", {{"tick", uintType(1)}});
+    Stage driver = sb.driver();
+    {
+        StageScope scope(driver);
+        asyncCall(kernel, {lit(0, 1)});
+    }
+    {
+        StageScope scope(kernel);
+        kernel.arg("tick");
+        Val st = state.read();
+        for (uint64_t k = 0; k < 9; ++k) {
+            when(st == (kTapBase + k), [&] {
+                filt[k].write(mem.read(lit(data.filt_base + k, ab)));
+                state.write(lit(kTapBase + k + 1, 5));
+            });
+        }
+        for (uint64_t k = 0; k < 9; ++k) {
+            when(st == (kMacBase + k), [&] {
+                Val addr = center.read() + uint64_t(offs[k]);
+                Val px = mem.read(addr.trunc(ab));
+                acc.write(acc.read() + px * filt[k].read());
+                state.write(lit(kMacBase + k + 1, 5));
+            });
+        }
+        when(st == kStore, [&] {
+            Val out_addr = center.read() + uint64_t(int64_t(data.out_base) -
+                                                    int64_t(data.img_base));
+            mem.write(out_addr.trunc(ab), acc.read());
+            acc.write(lit(0, 32));
+            Val cv = c.read();
+            Val rv = r.read();
+            Val last_col = cv + 1 == cols - 1;
+            when(!last_col, [&] {
+                c.write(cv + 1);
+                center.write(center.read() + 1);
+                state.write(lit(kMacBase, 5));
+            });
+            when(last_col, [&] {
+                Val last_row = rv + 1 == rows - 1;
+                when(last_row, [&] { state.write(lit(kDone, 5)); });
+                when(!last_row, [&] {
+                    r.write(rv + 1);
+                    c.write(lit(1, 32));
+                    center.write(center.read() + 3); // skip the two edges
+                    state.write(lit(kMacBase, 5));
+                });
+            });
+        });
+        when(st == kDone, [&] { finish(); });
+    }
+
+    compile(sb.sys());
+    out.mem = mem.array();
+    out.kernel = kernel.mod();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

@@ -1,0 +1,103 @@
+#include "designs/systolic.h"
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+
+namespace assassyn {
+namespace designs {
+
+using namespace dsl;
+
+SystolicDesign
+buildSystolic(size_t n, const std::vector<uint32_t> &a,
+              const std::vector<uint32_t> &b)
+{
+    if (a.size() != n * n || b.size() != n * n)
+        fatal("systolic operands must be n*n");
+
+    SysBuilder sb("systolic");
+    SystolicDesign out;
+    out.n = n;
+
+    // Decoupled declaration (Sec. 3.10): declare every PE stage first so
+    // binds and calls can reference neighbors in any build order.
+    // Operands are 8-bit (the Gemmini-style PE datapath); accumulators
+    // are 32-bit. The classic skewed feeding keeps every stage buffer at
+    // depth 2 -- the fifo_depth tuning of Fig. 5(c) line 8.
+    std::vector<std::vector<Stage>> pe(n, std::vector<Stage>(n));
+    std::vector<std::vector<Reg>> acc(n, std::vector<Reg>(n));
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            std::string name =
+                "pe_" + std::to_string(i) + "_" + std::to_string(j);
+            pe[i][j] = sb.stage(name, {{"west", uintType(8)},
+                                       {"north", uintType(8)}});
+            pe[i][j].fifoDepthAll(2);
+            acc[i][j] = sb.reg(name + "_acc", uintType(32));
+        }
+    }
+
+    // Higher-order PE constructor (Sec. 3.6): a C++ lambda parameterized
+    // by the neighboring stages, mirroring Fig. 5(b).
+    auto build_pe = [&](size_t i, size_t j) {
+        StageScope scope(pe[i][j]);
+        Val west = pe[i][j].arg("west");
+        Val north = pe[i][j].arg("north");
+        Val delta = west.zext(16) * north.zext(16);
+        acc[i][j].write(acc[i][j].read() + delta.zext(32));
+        if (j + 1 < n)
+            asyncCallNamed(pe[i][j + 1], {{"west", west}});
+        if (i + 1 < n)
+            bind(pe[i + 1][j], {{"north", north}});
+    };
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            build_pe(i, j);
+
+    // Driver: classic skew -- row i receives A[i][k] at cycle i+k, and
+    // column j receives B[k][j] at cycle k+j, so partner operands always
+    // meet with at most one cycle of buffering.
+    Stage driver = sb.driver();
+    Reg cyc = sb.reg("cyc", uintType(32));
+    std::vector<uint64_t> a_words(a.begin(), a.end());
+    std::vector<uint64_t> b_words(b.begin(), b.end());
+    Arr a_rom = sb.mem("a_rom", uintType(8), n * n, a_words);
+    Arr b_rom = sb.mem("b_rom", uintType(8), n * n, b_words);
+    {
+        StageScope scope(driver);
+        Val t = cyc.read();
+        cyc.write(t + 1);
+        unsigned idx_bits = std::max(1u, log2ceil(n * n));
+        for (size_t i = 0; i < n; ++i) {
+            // k = t - i valid while i <= t < i + n.
+            Val k = t - uint64_t(i);
+            Val in_window = (t >= uint64_t(i)) & (k < uint64_t(n));
+            when(in_window, [&] {
+                Val av = a_rom.read((k + uint64_t(i * n)).trunc(idx_bits));
+                asyncCallNamed(pe[i][0], {{"west", av}});
+            });
+        }
+        for (size_t j = 0; j < n; ++j) {
+            Val k = t - uint64_t(j);
+            Val in_window = (t >= uint64_t(j)) & (k < uint64_t(n));
+            when(in_window, [&] {
+                Val bv = b_rom.read(
+                    (k * uint64_t(n) + uint64_t(j)).trunc(idx_bits));
+                bind(pe[0][j], {{"north", bv}});
+            });
+        }
+        // Drain: the last operand pair meets after ~4n cycles.
+        when(t == uint64_t(5 * n), [&] { finish(); });
+    }
+
+    compile(sb.sys());
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            out.acc.push_back(acc[i][j].array());
+    out.pe00 = pe[0][0].mod();
+    out.sys = sb.take();
+    return out;
+}
+
+} // namespace designs
+} // namespace assassyn

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * N x N output-stationary systolic matrix-multiply array (paper Table 1,
+ * after Gemmini; the running example of Fig. 5).
+ *
+ * Each processing element accumulates acc += west * north, forwards its
+ * west operand to its eastern neighbor with an async call, and feeds its
+ * north operand to its southern neighbor through a bind -- the
+ * multi-source dataflow that motivates the bind abstraction (Sec. 3.7).
+ * PEs are instantiated by an ordinary C++ lambda acting as the
+ * higher-order stage constructor of Sec. 3.6.
+ *
+ * The stage-buffer FIFOs double as skew registers: the driver feeds rows
+ * and columns unskewed and the wait_until dataflow synchronization pairs
+ * operands automatically.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ir/system.h"
+
+namespace assassyn {
+namespace designs {
+
+/** A built systolic array plus accumulator handles. */
+struct SystolicDesign {
+    std::unique_ptr<System> sys;
+    size_t n = 0;
+    std::vector<RegArray *> acc; ///< row-major accumulators, n*n entries
+    Module *pe00 = nullptr;      ///< one PE, for per-PE area reports
+};
+
+/**
+ * Build (and compile) an n x n array computing C = A * B for the given
+ * row-major int32 operands.
+ */
+SystolicDesign buildSystolic(size_t n, const std::vector<uint32_t> &a,
+                             const std::vector<uint32_t> &b);
+
+} // namespace designs
+} // namespace assassyn

@@ -1,0 +1,157 @@
+#include "isa/iss.h"
+
+#include "support/logging.h"
+
+namespace assassyn {
+namespace isa {
+
+Iss::Iss(std::vector<uint32_t> memory_words, uint32_t entry_pc)
+    : mem_(std::move(memory_words)), pc_(entry_pc)
+{}
+
+uint32_t
+Iss::loadWord(uint32_t byte_addr) const
+{
+    if (byte_addr % 4 != 0)
+        fatal("ISS: unaligned load at 0x", byte_addr);
+    uint32_t idx = byte_addr / 4;
+    if (idx >= mem_.size())
+        fatal("ISS: load out of memory bounds at 0x", byte_addr);
+    return mem_[idx];
+}
+
+void
+Iss::storeWord(uint32_t byte_addr, uint32_t value)
+{
+    if (byte_addr % 4 != 0)
+        fatal("ISS: unaligned store at 0x", byte_addr);
+    uint32_t idx = byte_addr / 4;
+    if (idx >= mem_.size())
+        fatal("ISS: store out of memory bounds at 0x", byte_addr);
+    mem_[idx] = value;
+}
+
+IssStats
+Iss::run(uint64_t max_insts)
+{
+    while (!stats_.halted && stats_.instructions < max_insts)
+        step();
+    if (!stats_.halted)
+        fatal("ISS: instruction budget exhausted (runaway program?)");
+    return stats_;
+}
+
+StepInfo
+Iss::stepOne()
+{
+    StepInfo info;
+    info.pc = pc_;
+    info.inst = decode(loadWord(pc_));
+    uint64_t taken_before = stats_.branches_taken;
+    step();
+    info.branch_taken = stats_.branches_taken != taken_before;
+    info.halted = stats_.halted;
+    return info;
+}
+
+void
+Iss::step()
+{
+    Decoded d = decode(loadWord(pc_));
+    uint32_t next_pc = pc_ + 4;
+    uint32_t rs1 = regs_[d.rs1];
+    uint32_t rs2 = regs_[d.rs2];
+    uint32_t result = 0;
+    bool write_rd = false;
+
+    switch (d.opcode) {
+      case kLui:
+        result = uint32_t(d.imm);
+        write_rd = true;
+        break;
+      case kAuipc:
+        result = pc_ + uint32_t(d.imm);
+        write_rd = true;
+        break;
+      case kJal:
+        result = pc_ + 4;
+        write_rd = true;
+        next_pc = pc_ + uint32_t(d.imm);
+        break;
+      case kJalr:
+        result = pc_ + 4;
+        write_rd = true;
+        next_pc = (rs1 + uint32_t(d.imm)) & ~1u;
+        break;
+      case kBranch: {
+        bool take = false;
+        switch (d.funct3) {
+          case 0: take = rs1 == rs2; break;
+          case 1: take = rs1 != rs2; break;
+          case 4: take = int32_t(rs1) < int32_t(rs2); break;
+          case 5: take = int32_t(rs1) >= int32_t(rs2); break;
+          case 6: take = rs1 < rs2; break;
+          case 7: take = rs1 >= rs2; break;
+          default:
+            fatal("ISS: bad branch funct3 at pc 0x", pc_);
+        }
+        ++stats_.branches;
+        if (take) {
+            ++stats_.branches_taken;
+            next_pc = pc_ + uint32_t(d.imm);
+        }
+        break;
+      }
+      case kLoad:
+        if (d.funct3 != 2)
+            fatal("ISS: only LW supported (pc 0x", pc_, ")");
+        result = loadWord(rs1 + uint32_t(d.imm));
+        write_rd = true;
+        ++stats_.loads;
+        break;
+      case kStore:
+        if (d.funct3 != 2)
+            fatal("ISS: only SW supported (pc 0x", pc_, ")");
+        storeWord(rs1 + uint32_t(d.imm), rs2);
+        ++stats_.stores;
+        break;
+      case kOpImm:
+      case kOp: {
+        bool is_imm = d.opcode == kOpImm;
+        uint32_t b = is_imm ? uint32_t(d.imm) : rs2;
+        uint32_t f7 = is_imm && (d.funct3 == 1 || d.funct3 == 5)
+                          ? d.funct7
+                          : (is_imm ? 0 : d.funct7);
+        uint32_t sh = is_imm ? (uint32_t(d.imm) & 0x1f) : (rs2 & 0x1f);
+        switch (d.funct3) {
+          case 0:
+            result = (!is_imm && f7 == 0x20) ? rs1 - b : rs1 + b;
+            break;
+          case 1: result = rs1 << sh; break;
+          case 2: result = int32_t(rs1) < int32_t(b) ? 1 : 0; break;
+          case 3: result = rs1 < b ? 1 : 0; break;
+          case 4: result = rs1 ^ b; break;
+          case 5:
+            result = f7 == 0x20 ? uint32_t(int32_t(rs1) >> sh) : rs1 >> sh;
+            break;
+          case 6: result = rs1 | b; break;
+          case 7: result = rs1 & b; break;
+        }
+        write_rd = true;
+        break;
+      }
+      case kSystem:
+        stats_.halted = true;
+        break;
+      default:
+        fatal("ISS: unsupported opcode ", d.opcode, " at pc 0x", pc_);
+    }
+
+    if (write_rd && d.rd != 0)
+        regs_[d.rd] = result;
+    pc_ = next_pc;
+    ++stats_.instructions;
+}
+
+} // namespace isa
+} // namespace assassyn

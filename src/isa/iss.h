@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Functional instruction-set simulator for the RV32I subset.
+ *
+ * The ISS is the golden reference for the CPU designs: it produces final
+ * architectural state (registers, memory) and the dynamic instruction
+ * count used to compute IPC, plus the branch statistics behind the
+ * always-taken success-rate table of paper Sec. 7 Q6.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/riscv.h"
+
+namespace assassyn {
+namespace isa {
+
+/** Statistics of one functional run. */
+struct IssStats {
+    uint64_t instructions = 0;
+    uint64_t branches = 0;
+    uint64_t branches_taken = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    bool halted = false;
+};
+
+/** Per-instruction record produced by single-stepping. */
+struct StepInfo {
+    Decoded inst;
+    uint32_t pc = 0;
+    bool branch_taken = false;
+    bool halted = false;
+};
+
+/** A simple word-addressed functional RV32I-subset machine. */
+class Iss {
+  public:
+    /**
+     * @param memory_words unified memory image (instructions + data),
+     *                     word-addressed (byte address = index * 4)
+     * @param entry_pc     initial program counter (byte address)
+     */
+    Iss(std::vector<uint32_t> memory_words, uint32_t entry_pc = 0);
+
+    /** Execute until ECALL or @p max_insts; returns statistics. */
+    IssStats run(uint64_t max_insts = 100'000'000);
+
+    /** Execute one instruction; drives trace-based timing models. */
+    StepInfo stepOne();
+
+    /** Statistics accumulated so far. */
+    const IssStats &stats() const { return stats_; }
+
+    uint32_t reg(unsigned idx) const { return regs_[idx]; }
+    uint32_t pc() const { return pc_; }
+
+    const std::vector<uint32_t> &memory() const { return mem_; }
+    uint32_t loadWord(uint32_t byte_addr) const;
+    void storeWord(uint32_t byte_addr, uint32_t value);
+
+  private:
+    void step();
+
+    std::vector<uint32_t> mem_;
+    uint32_t regs_[32] = {};
+    uint32_t pc_;
+    IssStats stats_;
+};
+
+} // namespace isa
+} // namespace assassyn

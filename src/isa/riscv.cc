@@ -1,0 +1,486 @@
+#include "isa/riscv.h"
+
+#include <map>
+#include <sstream>
+
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace assassyn {
+namespace isa {
+
+Decoded
+decode(uint32_t raw)
+{
+    Decoded d;
+    d.raw = raw;
+    d.opcode = raw & 0x7f;
+    d.rd = (raw >> 7) & 0x1f;
+    d.funct3 = (raw >> 12) & 0x7;
+    d.rs1 = (raw >> 15) & 0x1f;
+    d.rs2 = (raw >> 20) & 0x1f;
+    d.funct7 = raw >> 25;
+    switch (d.opcode) {
+      case kLui:
+      case kAuipc:
+        d.imm = static_cast<int32_t>(raw & 0xfffff000);
+        break;
+      case kJal: {
+        uint32_t imm = ((raw >> 31) & 1) << 20 | ((raw >> 12) & 0xff) << 12 |
+                       ((raw >> 20) & 1) << 11 | ((raw >> 21) & 0x3ff) << 1;
+        d.imm = static_cast<int32_t>(signExtend(imm, 21));
+        break;
+      }
+      case kJalr:
+      case kLoad:
+      case kOpImm:
+      case kSystem:
+        d.imm = static_cast<int32_t>(signExtend(raw >> 20, 12));
+        break;
+      case kStore: {
+        uint32_t imm = ((raw >> 25) & 0x7f) << 5 | ((raw >> 7) & 0x1f);
+        d.imm = static_cast<int32_t>(signExtend(imm, 12));
+        break;
+      }
+      case kBranch: {
+        uint32_t imm = ((raw >> 31) & 1) << 12 | ((raw >> 7) & 1) << 11 |
+                       ((raw >> 25) & 0x3f) << 5 | ((raw >> 8) & 0xf) << 1;
+        d.imm = static_cast<int32_t>(signExtend(imm, 13));
+        break;
+      }
+      default:
+        break;
+    }
+    return d;
+}
+
+bool
+writesRd(const Decoded &d)
+{
+    switch (d.opcode) {
+      case kLui:
+      case kAuipc:
+      case kJal:
+      case kJalr:
+      case kLoad:
+      case kOpImm:
+      case kOp:
+        return d.rd != 0;
+      default:
+        return false;
+    }
+}
+
+std::string
+disassemble(const Decoded &d)
+{
+    std::ostringstream os;
+    os << std::hex << "0x" << d.raw << std::dec << " op=" << d.opcode
+       << " rd=" << d.rd << " rs1=" << d.rs1 << " rs2=" << d.rs2
+       << " f3=" << d.funct3 << " imm=" << d.imm;
+    return os.str();
+}
+
+// --------------------------------------------------------------------------
+// Assembler
+// --------------------------------------------------------------------------
+
+namespace {
+
+const std::map<std::string, uint32_t> &
+regNames()
+{
+    static const std::map<std::string, uint32_t> names = [] {
+        std::map<std::string, uint32_t> m;
+        for (uint32_t i = 0; i < 32; ++i)
+            m["x" + std::to_string(i)] = i;
+        m["zero"] = 0;
+        m["ra"] = 1;
+        m["sp"] = 2;
+        m["gp"] = 3;
+        m["tp"] = 4;
+        for (uint32_t i = 0; i < 3; ++i)
+            m["t" + std::to_string(i)] = 5 + i;
+        m["s0"] = 8;
+        m["fp"] = 8;
+        m["s1"] = 9;
+        for (uint32_t i = 0; i < 8; ++i)
+            m["a" + std::to_string(i)] = 10 + i;
+        for (uint32_t i = 2; i < 12; ++i)
+            m["s" + std::to_string(i)] = 16 + i;
+        for (uint32_t i = 3; i < 7; ++i)
+            m["t" + std::to_string(i)] = 25 + i;
+        return m;
+    }();
+    return names;
+}
+
+struct Token {
+    std::string text;
+};
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char ch : line) {
+        if (ch == '#')
+            break;
+        if (isspace(static_cast<unsigned char>(ch)) || ch == ',' ||
+            ch == '(' || ch == ')') {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+            // Parentheses separate offset(base) operands; order preserved.
+        } else {
+            cur += ch;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+class Assembler {
+  public:
+    Assembler(const std::string &source, uint32_t base_pc)
+        : source_(source), base_pc_(base_pc)
+    {}
+
+    std::vector<uint32_t>
+    run()
+    {
+        collectLabels();
+        emitting_ = true;
+        pc_ = base_pc_;
+        words_.clear();
+        processAll();
+        return words_;
+    }
+
+  private:
+    uint32_t
+    reg(const std::string &name)
+    {
+        auto it = regNames().find(name);
+        if (it == regNames().end())
+            fatal("asm line ", line_no_, ": unknown register '", name, "'");
+        return it->second;
+    }
+
+    int64_t
+    immOrLabel(const std::string &text, bool pc_relative)
+    {
+        if (labels_.count(text)) {
+            int64_t addr = labels_.at(text);
+            return pc_relative ? addr - int64_t(pc_) : addr;
+        }
+        // Numeric immediate: decimal, hex, or negative.
+        try {
+            size_t pos = 0;
+            long long v = std::stoll(text, &pos, 0);
+            if (pos != text.size())
+                throw std::invalid_argument(text);
+            return v;
+        } catch (const std::exception &) {
+            if (!emitting_)
+                return 0; // label not yet known on pass 1
+            fatal("asm line ", line_no_, ": bad immediate or label '", text,
+                  "'");
+        }
+    }
+
+    void
+    emit(uint32_t word)
+    {
+        if (emitting_)
+            words_.push_back(word);
+        pc_ += 4;
+    }
+
+    static uint32_t
+    rType(uint32_t f7, uint32_t rs2, uint32_t rs1, uint32_t f3, uint32_t rd,
+          uint32_t op)
+    {
+        return f7 << 25 | rs2 << 20 | rs1 << 15 | f3 << 12 | rd << 7 | op;
+    }
+
+    uint32_t
+    iType(int64_t imm, uint32_t rs1, uint32_t f3, uint32_t rd, uint32_t op)
+    {
+        checkRange(imm, 12);
+        return (uint32_t(imm) & 0xfff) << 20 | rs1 << 15 | f3 << 12 |
+               rd << 7 | op;
+    }
+
+    uint32_t
+    sType(int64_t imm, uint32_t rs2, uint32_t rs1, uint32_t f3, uint32_t op)
+    {
+        checkRange(imm, 12);
+        uint32_t u = uint32_t(imm) & 0xfff;
+        return (u >> 5) << 25 | rs2 << 20 | rs1 << 15 | f3 << 12 |
+               (u & 0x1f) << 7 | op;
+    }
+
+    uint32_t
+    bType(int64_t imm, uint32_t rs2, uint32_t rs1, uint32_t f3)
+    {
+        checkRange(imm, 13);
+        uint32_t u = uint32_t(imm);
+        return ((u >> 12) & 1) << 31 | ((u >> 5) & 0x3f) << 25 | rs2 << 20 |
+               rs1 << 15 | f3 << 12 | ((u >> 1) & 0xf) << 8 |
+               ((u >> 11) & 1) << 7 | kBranch;
+    }
+
+    uint32_t
+    jType(int64_t imm, uint32_t rd)
+    {
+        checkRange(imm, 21);
+        uint32_t u = uint32_t(imm);
+        return ((u >> 20) & 1) << 31 | ((u >> 1) & 0x3ff) << 21 |
+               ((u >> 11) & 1) << 20 | ((u >> 12) & 0xff) << 12 | rd << 7 |
+               kJal;
+    }
+
+    void
+    checkRange(int64_t imm, unsigned bits)
+    {
+        if (!emitting_)
+            return;
+        int64_t lo = -(int64_t(1) << (bits - 1));
+        int64_t hi = (int64_t(1) << (bits - 1)) - 1;
+        if (imm < lo || imm > hi)
+            fatal("asm line ", line_no_, ": immediate ", imm,
+                  " out of range for ", bits, "-bit field");
+    }
+
+    void
+    collectLabels()
+    {
+        emitting_ = false;
+        pc_ = base_pc_;
+        processAll();
+    }
+
+    void
+    processAll()
+    {
+        std::istringstream in(source_);
+        std::string line;
+        line_no_ = 0;
+        while (std::getline(in, line)) {
+            ++line_no_;
+            auto toks = tokenize(line);
+            size_t i = 0;
+            while (i < toks.size() && toks[i].back() == ':') {
+                std::string label = toks[i].substr(0, toks[i].size() - 1);
+                if (!emitting_) {
+                    if (labels_.count(label))
+                        fatal("asm line ", line_no_, ": duplicate label '",
+                              label, "'");
+                    labels_[label] = pc_;
+                }
+                ++i;
+            }
+            if (i < toks.size())
+                instruction(std::vector<std::string>(toks.begin() + i,
+                                                     toks.end()));
+        }
+    }
+
+    void
+    expectArgs(const std::vector<std::string> &t, size_t n)
+    {
+        if (t.size() != n + 1)
+            fatal("asm line ", line_no_, ": '", t[0], "' expects ", n,
+                  " operands");
+    }
+
+    void
+    instruction(const std::vector<std::string> &t)
+    {
+        const std::string &op = t[0];
+
+        // Directives.
+        if (op == ".word") {
+            expectArgs(t, 1);
+            emit(uint32_t(immOrLabel(t[1], false)));
+            return;
+        }
+        if (op == ".space") {
+            expectArgs(t, 1);
+            int64_t n = immOrLabel(t[1], false);
+            for (int64_t k = 0; k < n; ++k)
+                emit(0);
+            return;
+        }
+
+        static const std::map<std::string, std::pair<uint32_t, uint32_t>>
+            op_rrr = {
+                {"add", {0x00, 0}},  {"sub", {0x20, 0}}, {"sll", {0x00, 1}},
+                {"slt", {0x00, 2}},  {"sltu", {0x00, 3}}, {"xor", {0x00, 4}},
+                {"srl", {0x00, 5}},  {"sra", {0x20, 5}}, {"or", {0x00, 6}},
+                {"and", {0x00, 7}},
+            };
+        static const std::map<std::string, uint32_t> op_imm = {
+            {"addi", 0}, {"slti", 2}, {"sltiu", 3}, {"xori", 4},
+            {"ori", 6},  {"andi", 7},
+        };
+        static const std::map<std::string, uint32_t> op_br = {
+            {"beq", 0}, {"bne", 1}, {"blt", 4},
+            {"bge", 5}, {"bltu", 6}, {"bgeu", 7},
+        };
+
+        if (auto it = op_rrr.find(op); it != op_rrr.end()) {
+            expectArgs(t, 3);
+            emit(rType(it->second.first, reg(t[3]), reg(t[2]),
+                       it->second.second, reg(t[1]), kOp));
+        } else if (auto it2 = op_imm.find(op); it2 != op_imm.end()) {
+            expectArgs(t, 3);
+            emit(iType(immOrLabel(t[3], false), reg(t[2]), it2->second,
+                       reg(t[1]), kOpImm));
+        } else if (op == "slli" || op == "srli" || op == "srai") {
+            expectArgs(t, 3);
+            int64_t sh = immOrLabel(t[3], false);
+            if (emitting_ && (sh < 0 || sh > 31))
+                fatal("asm line ", line_no_, ": shift amount out of range");
+            uint32_t f7 = op == "srai" ? 0x20 : 0x00;
+            uint32_t f3 = op == "slli" ? 1 : 5;
+            emit(rType(f7, uint32_t(sh), reg(t[2]), f3, reg(t[1]), kOpImm));
+        } else if (auto it3 = op_br.find(op); it3 != op_br.end()) {
+            expectArgs(t, 3);
+            emit(bType(immOrLabel(t[3], true), reg(t[2]), reg(t[1]),
+                       it3->second));
+        } else if (op == "lw") {
+            expectArgs(t, 3); // lw rd, off(base) -> rd off base
+            emit(iType(immOrLabel(t[2], false), reg(t[3]), 2, reg(t[1]),
+                       kLoad));
+        } else if (op == "sw") {
+            expectArgs(t, 3); // sw rs2, off(base) -> rs2 off base
+            emit(sType(immOrLabel(t[2], false), reg(t[1]), reg(t[3]), 2,
+                       kStore));
+        } else if (op == "lui") {
+            expectArgs(t, 2);
+            emit((uint32_t(immOrLabel(t[2], false)) & 0xfffff) << 12 |
+                 reg(t[1]) << 7 | kLui);
+        } else if (op == "auipc") {
+            expectArgs(t, 2);
+            emit((uint32_t(immOrLabel(t[2], false)) & 0xfffff) << 12 |
+                 reg(t[1]) << 7 | kAuipc);
+        } else if (op == "jal") {
+            if (t.size() == 2) { // jal label  (rd = ra)
+                emit(jType(immOrLabel(t[1], true), 1));
+            } else {
+                expectArgs(t, 2);
+                emit(jType(immOrLabel(t[2], true), reg(t[1])));
+            }
+        } else if (op == "jalr") {
+            if (t.size() == 2) { // jalr rs1
+                emit(iType(0, reg(t[1]), 0, 1, kJalr));
+            } else {
+                expectArgs(t, 3); // jalr rd, off(rs1) -> rd off rs1
+                emit(iType(immOrLabel(t[2], false), reg(t[3]), 0, reg(t[1]),
+                           kJalr));
+            }
+        } else if (op == "ecall") {
+            emit(0x00000073);
+        }
+        // ---- Pseudo-instructions -----------------------------------------
+        else if (op == "nop") {
+            emit(iType(0, 0, 0, 0, kOpImm));
+        } else if (op == "li") {
+            expectArgs(t, 2);
+            int64_t v = immOrLabel(t[2], false);
+            int32_t value = int32_t(v);
+            if (value >= -2048 && value <= 2047) {
+                emit(iType(value, 0, 0, reg(t[1]), kOpImm));
+            } else {
+                uint32_t uv = uint32_t(value);
+                uint32_t hi = (uv + 0x800) >> 12;
+                int32_t lo = int32_t(signExtend(uv & 0xfff, 12));
+                emit((hi & 0xfffff) << 12 | reg(t[1]) << 7 | kLui);
+                emit(iType(lo, reg(t[1]), 0, reg(t[1]), kOpImm));
+            }
+        } else if (op == "mv") {
+            expectArgs(t, 2);
+            emit(iType(0, reg(t[2]), 0, reg(t[1]), kOpImm));
+        } else if (op == "not") {
+            expectArgs(t, 2);
+            emit(iType(-1, reg(t[2]), 4, reg(t[1]), kOpImm));
+        } else if (op == "neg") {
+            expectArgs(t, 2);
+            emit(rType(0x20, reg(t[2]), 0, 0, reg(t[1]), kOp));
+        } else if (op == "seqz") {
+            expectArgs(t, 2);
+            emit(iType(1, reg(t[2]), 3, reg(t[1]), kOpImm)); // sltiu rd,rs,1
+        } else if (op == "snez") {
+            expectArgs(t, 2);
+            emit(rType(0, reg(t[2]), 0, 3, reg(t[1]), kOp)); // sltu rd,x0,rs
+        } else if (op == "j") {
+            expectArgs(t, 1);
+            emit(jType(immOrLabel(t[1], true), 0));
+        } else if (op == "jr") {
+            expectArgs(t, 1);
+            emit(iType(0, reg(t[1]), 0, 0, kJalr));
+        } else if (op == "ret") {
+            emit(iType(0, 1, 0, 0, kJalr));
+        } else if (op == "call") {
+            expectArgs(t, 1);
+            emit(jType(immOrLabel(t[1], true), 1));
+        } else if (op == "beqz") {
+            expectArgs(t, 2);
+            emit(bType(immOrLabel(t[2], true), 0, reg(t[1]), 0));
+        } else if (op == "bnez") {
+            expectArgs(t, 2);
+            emit(bType(immOrLabel(t[2], true), 0, reg(t[1]), 1));
+        } else if (op == "bltz") {
+            expectArgs(t, 2);
+            emit(bType(immOrLabel(t[2], true), 0, reg(t[1]), 4));
+        } else if (op == "bgez") {
+            expectArgs(t, 2);
+            emit(bType(immOrLabel(t[2], true), 0, reg(t[1]), 5));
+        } else if (op == "blez") { // rs <= 0  ==  0 >= rs  == bge x0, rs
+            expectArgs(t, 2);
+            emit(bType(immOrLabel(t[2], true), reg(t[1]), 0, 5));
+        } else if (op == "bgtz") { // rs > 0   ==  0 < rs   == blt x0, rs
+            expectArgs(t, 2);
+            emit(bType(immOrLabel(t[2], true), reg(t[1]), 0, 4));
+        } else if (op == "bgt") { // bgt a,b == blt b,a
+            expectArgs(t, 3);
+            emit(bType(immOrLabel(t[3], true), reg(t[1]), reg(t[2]), 4));
+        } else if (op == "ble") { // ble a,b == bge b,a
+            expectArgs(t, 3);
+            emit(bType(immOrLabel(t[3], true), reg(t[1]), reg(t[2]), 5));
+        } else if (op == "bgtu") {
+            expectArgs(t, 3);
+            emit(bType(immOrLabel(t[3], true), reg(t[1]), reg(t[2]), 6));
+        } else if (op == "bleu") {
+            expectArgs(t, 3);
+            emit(bType(immOrLabel(t[3], true), reg(t[1]), reg(t[2]), 7));
+        } else {
+            fatal("asm line ", line_no_, ": unknown mnemonic '", op, "'");
+        }
+    }
+
+    const std::string &source_;
+    uint32_t base_pc_;
+    uint32_t pc_ = 0;
+    bool emitting_ = false;
+    int line_no_ = 0;
+    std::map<std::string, uint32_t> labels_;
+    std::vector<uint32_t> words_;
+};
+
+} // namespace
+
+std::vector<uint32_t>
+assemble(const std::string &source, uint32_t base_pc)
+{
+    Assembler as(source, base_pc);
+    return as.run();
+}
+
+} // namespace isa
+} // namespace assassyn

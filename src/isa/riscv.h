@@ -1,0 +1,79 @@
+/**
+ * @file
+ * RV32I subset used by the CPU designs (paper Sec. 6/7 evaluates Sodor,
+ * an educational RISC-V core, on six bare-metal workloads).
+ *
+ * Supported: LUI, AUIPC, JAL, JALR, all six conditional branches, LW, SW,
+ * the OP-IMM and OP arithmetic groups, and ECALL (used as the halt
+ * convention). Memory accesses are word-aligned; the CPU designs use a
+ * unified word-addressed memory.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace assassyn {
+namespace isa {
+
+/** Major opcodes (bits [6:0]). */
+enum Opcode7 : uint32_t {
+    kLui    = 0b0110111,
+    kAuipc  = 0b0010111,
+    kJal    = 0b1101111,
+    kJalr   = 0b1100111,
+    kBranch = 0b1100011,
+    kLoad   = 0b0000011,
+    kStore  = 0b0100011,
+    kOpImm  = 0b0010011,
+    kOp     = 0b0110011,
+    kSystem = 0b1110011,
+};
+
+/** Decoded fields of one instruction. */
+struct Decoded {
+    uint32_t raw = 0;
+    uint32_t opcode = 0;
+    uint32_t rd = 0;
+    uint32_t rs1 = 0;
+    uint32_t rs2 = 0;
+    uint32_t funct3 = 0;
+    uint32_t funct7 = 0;
+    int32_t imm = 0; ///< immediate, already selected per format
+};
+
+/** Decode a raw 32-bit instruction word. */
+Decoded decode(uint32_t raw);
+
+/** True when the instruction writes a destination register. */
+bool writesRd(const Decoded &d);
+
+/** True for conditional branches. */
+inline bool
+isBranch(const Decoded &d)
+{
+    return d.opcode == kBranch;
+}
+
+/** Render a decoded instruction for traces. */
+std::string disassemble(const Decoded &d);
+
+/**
+ * Two-pass assembler for the subset.
+ *
+ * Accepts one instruction, label ("name:"), or directive per line;
+ * comments start with '#'. Directives: ".word <int>", ".space <words>".
+ * Pseudo-instructions: li, mv, j, jr, ret, nop, call, beqz, bnez, blez,
+ * bgez, bltz, bgtz, bgt, ble, bgtu, bleu, not, neg, seqz, snez.
+ * Registers accept both ABI (a0, t1, sp, ...) and xN names.
+ *
+ * @param source   the assembly listing
+ * @param base_pc  byte address of the first instruction
+ * @return encoded instruction words
+ */
+std::vector<uint32_t> assemble(const std::string &source,
+                               uint32_t base_pc = 0);
+
+} // namespace isa
+} // namespace assassyn

@@ -1,0 +1,483 @@
+#include "isa/workloads.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/rng.h"
+
+namespace assassyn {
+namespace isa {
+
+namespace {
+
+// Shared memory map (byte addresses). Code starts at 0; the data region
+// starts at kData; workloads with scratch space use kAux/kStack.
+constexpr uint32_t kData = 0x1000;
+constexpr uint32_t kAux = 0x1800;
+constexpr uint32_t kOut = 0x2000;
+constexpr uint32_t kCounts = 0x2800;
+constexpr uint32_t kStack = 0x3000;
+constexpr uint32_t kMemWords = 0x4000 / 4; // 4K words = 16 KiB
+
+uint32_t
+wordAt(uint32_t byte_addr)
+{
+    return byte_addr / 4;
+}
+
+/** vvadd: c[i] = a[i] + b[i], n = 100. */
+const char *kVvaddSrc = R"(
+    li a0, 100
+    li a1, 0x1000      # a
+    li a2, 0x1400      # b
+    li a3, 0x2000      # c
+loop:
+    lw t0, 0(a1)
+    lw t1, 0(a2)
+    add t2, t0, t1
+    sw t2, 0(a3)
+    addi a1, a1, 4
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a0, a0, -1
+    bnez a0, loop
+    ecall
+)";
+
+/** median: 3-wide median filter, edges copied, n = 100. */
+const char *kMedianSrc = R"(
+    li a0, 100         # n
+    li a1, 0x1000      # in
+    li a2, 0x2000      # out
+    lw t0, 0(a1)       # out[0] = in[0]
+    sw t0, 0(a2)
+    li t6, 1           # i = 1
+    addi t5, a0, -1    # n - 1
+    bge t6, t5, tail   # guard once; the loop itself is bottom-tested
+loop:
+    slli t4, t6, 2
+    add t3, a1, t4
+    lw t0, -4(t3)
+    lw t1, 0(t3)
+    lw t2, 4(t3)
+    # median(t0, t1, t2) -> t1
+    ble t0, t1, s1
+    mv s2, t0
+    mv t0, t1
+    mv t1, s2
+s1:                     # t0 <= t1
+    ble t1, t2, s2a     # t1 = min(t1, t2)
+    mv t1, t2
+s2a:
+    bge t1, t0, s3      # t1 = max(t0, t1)
+    mv t1, t0
+s3:
+    add t3, a2, t4
+    sw t1, 0(t3)
+    addi t6, t6, 1
+    blt t6, t5, loop
+tail:
+    slli t4, t5, 2
+    add t3, a1, t4
+    lw t0, 0(t3)       # out[n-1] = in[n-1]
+    add t3, a2, t4
+    sw t0, 0(t3)
+    ecall
+)";
+
+/** multiply: out[i] = a[i] * b[i] via software shift-add, n = 40. */
+const char *kMultiplySrc = R"(
+    li a0, 40
+    li a1, 0x1000      # a
+    li a2, 0x1400      # b
+    li a3, 0x2000      # out
+loop:
+    lw t0, 0(a1)
+    lw t1, 0(a2)
+    li t2, 0           # product
+    beqz t1, mul_done  # guard once; the loop itself is bottom-tested
+mul_loop:
+    andi t4, t1, 1
+    beqz t4, no_add
+    add t2, t2, t0
+no_add:
+    slli t0, t0, 1
+    srli t1, t1, 1
+    bnez t1, mul_loop
+mul_done:
+    sw t2, 0(a3)
+    addi a1, a1, 4
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a0, a0, -1
+    bnez a0, loop
+    ecall
+)";
+
+/** qsort: iterative quicksort with an explicit range stack, n = 64. */
+const char *kQsortSrc = R"(
+    li a1, 0x1000      # data base
+    li s1, 0x3000      # range-stack base
+    mv s0, s1          # range-stack pointer
+    li t0, 0           # lo
+    li t1, 63          # hi
+    sw t0, 0(s0)
+    sw t1, 4(s0)
+    addi s0, s0, 8
+main_loop:
+    beq s0, s1, done
+    addi s0, s0, -8
+    lw t0, 0(s0)       # lo
+    lw t1, 4(s0)       # hi
+    bge t0, t1, main_loop
+    slli t2, t1, 2
+    add t2, t2, a1
+    lw s2, 0(t2)       # pivot = a[hi]
+    addi t3, t0, -1    # i = lo - 1
+    mv t4, t0          # j = lo
+    bge t4, t1, part_done  # guard once; the loop is bottom-tested
+part_loop:
+    slli t5, t4, 2
+    add t5, t5, a1
+    lw t6, 0(t5)
+    bgt t6, s2, no_swap
+    addi t3, t3, 1
+    slli s3, t3, 2
+    add s3, s3, a1
+    lw s4, 0(s3)
+    sw t6, 0(s3)
+    sw s4, 0(t5)
+no_swap:
+    addi t4, t4, 1
+    blt t4, t1, part_loop
+part_done:
+    addi t3, t3, 1     # p = i + 1
+    slli s3, t3, 2
+    add s3, s3, a1
+    lw s4, 0(s3)
+    slli s5, t1, 2
+    add s5, s5, a1
+    lw s6, 0(s5)
+    sw s6, 0(s3)
+    sw s4, 0(s5)
+    addi s7, t3, -1    # push (lo, p-1)
+    sw t0, 0(s0)
+    sw s7, 4(s0)
+    addi s0, s0, 8
+    addi s7, t3, 1     # push (p+1, hi)
+    sw s7, 0(s0)
+    sw t1, 4(s0)
+    addi s0, s0, 8
+    j main_loop
+done:
+    ecall
+)";
+
+/** rsort: LSD radix sort, 4-bit digits, 4 passes, n = 64, 16-bit keys. */
+const char *kRsortSrc = R"(
+    li s0, 0x1000      # src
+    li s1, 0x1800      # dst
+    li s2, 0x2800      # counts[16]
+    li s3, 0           # shift
+pass_loop:
+    # clear counts
+    li t0, 0
+    mv t1, s2
+clear_loop:
+    sw zero, 0(t1)
+    addi t1, t1, 4
+    addi t0, t0, 1
+    li t2, 16
+    blt t0, t2, clear_loop
+    # histogram
+    li t0, 0
+count_loop:
+    slli t1, t0, 2
+    add t1, t1, s0
+    lw t2, 0(t1)
+    srl t2, t2, s3
+    andi t2, t2, 15
+    slli t2, t2, 2
+    add t2, t2, s2
+    lw t3, 0(t2)
+    addi t3, t3, 1
+    sw t3, 0(t2)
+    addi t0, t0, 1
+    li t2, 64
+    blt t0, t2, count_loop
+    # exclusive prefix sum
+    li t0, 0           # i
+    li t1, 0           # running
+prefix_loop:
+    slli t2, t0, 2
+    add t2, t2, s2
+    lw t3, 0(t2)
+    sw t1, 0(t2)
+    add t1, t1, t3
+    addi t0, t0, 1
+    li t2, 16
+    blt t0, t2, prefix_loop
+    # scatter
+    li t0, 0
+scatter_loop:
+    slli t1, t0, 2
+    add t1, t1, s0
+    lw t2, 0(t1)       # value
+    srl t3, t2, s3
+    andi t3, t3, 15
+    slli t3, t3, 2
+    add t3, t3, s2
+    lw t4, 0(t3)       # position
+    addi t5, t4, 1
+    sw t5, 0(t3)
+    slli t4, t4, 2
+    add t4, t4, s1
+    sw t2, 0(t4)
+    addi t0, t0, 1
+    li t1, 64
+    blt t0, t1, scatter_loop
+    # swap src/dst, next digit
+    mv t0, s0
+    mv s0, s1
+    mv s1, t0
+    addi s3, s3, 4
+    li t0, 16
+    blt s3, t0, pass_loop
+    ecall
+)";
+
+/** towers: recursive Hanoi, n = 7 discs, counting moves at 0x1000. */
+const char *kTowersSrc = R"(
+    li sp, 0x3f00
+    li s1, 0x1000      # move counter
+    sw zero, 0(s1)
+    li a0, 7
+    li a1, 0
+    li a2, 1
+    li a3, 2
+    call hanoi
+    ecall
+hanoi:
+    beqz a0, leaf
+    addi sp, sp, -20
+    sw ra, 0(sp)
+    sw a0, 4(sp)
+    sw a1, 8(sp)
+    sw a2, 12(sp)
+    sw a3, 16(sp)
+    addi a0, a0, -1    # hanoi(n-1, from, via, to)
+    mv t0, a2
+    mv a2, a3
+    mv a3, t0
+    call hanoi
+    lw a0, 4(sp)       # restore args
+    lw a1, 8(sp)
+    lw a2, 12(sp)
+    lw a3, 16(sp)
+    lw t0, 0(s1)       # count the move
+    addi t0, t0, 1
+    sw t0, 0(s1)
+    addi a0, a0, -1    # hanoi(n-1, via, to, from)
+    mv t0, a1
+    mv a1, a3
+    mv a3, t0
+    call hanoi
+    lw ra, 0(sp)
+    addi sp, sp, 20
+leaf:
+    ret
+)";
+
+std::vector<Workload>
+makeWorkloads()
+{
+    std::vector<Workload> wls;
+
+    // ---- vvadd ----------------------------------------------------------
+    {
+        Workload wl;
+        wl.name = "vvadd";
+        wl.source = kVvaddSrc;
+        wl.mem_words = kMemWords;
+        wl.init = [](std::vector<uint32_t> &mem) {
+            Rng rng(11);
+            for (uint32_t i = 0; i < 100; ++i) {
+                mem[wordAt(kData) + i] = uint32_t(rng.below(100000));
+                mem[wordAt(0x1400) + i] = uint32_t(rng.below(100000));
+            }
+        };
+        wl.verify = [](const std::vector<uint32_t> &mem) {
+            Rng rng(11);
+            std::vector<uint32_t> a(100), b(100);
+            for (uint32_t i = 0; i < 100; ++i) {
+                a[i] = uint32_t(rng.below(100000));
+                b[i] = uint32_t(rng.below(100000));
+            }
+            for (uint32_t i = 0; i < 100; ++i)
+                if (mem[wordAt(kOut) + i] != a[i] + b[i])
+                    return false;
+            return true;
+        };
+        wls.push_back(std::move(wl));
+    }
+
+    // ---- median ----------------------------------------------------------
+    {
+        Workload wl;
+        wl.name = "median";
+        wl.source = kMedianSrc;
+        wl.mem_words = kMemWords;
+        wl.init = [](std::vector<uint32_t> &mem) {
+            Rng rng(22);
+            for (uint32_t i = 0; i < 100; ++i)
+                mem[wordAt(kData) + i] = uint32_t(rng.below(1000));
+        };
+        wl.verify = [](const std::vector<uint32_t> &mem) {
+            Rng rng(22);
+            std::vector<int32_t> in(100);
+            for (auto &v : in)
+                v = int32_t(rng.below(1000));
+            for (uint32_t i = 0; i < 100; ++i) {
+                int32_t expect;
+                if (i == 0 || i == 99) {
+                    expect = in[i];
+                } else {
+                    int32_t a = in[i - 1], b = in[i], c = in[i + 1];
+                    expect = std::max(std::min(a, b),
+                                      std::min(std::max(a, b), c));
+                }
+                if (int32_t(mem[wordAt(kOut) + i]) != expect)
+                    return false;
+            }
+            return true;
+        };
+        wls.push_back(std::move(wl));
+    }
+
+    // ---- multiply --------------------------------------------------------
+    {
+        Workload wl;
+        wl.name = "multiply";
+        wl.source = kMultiplySrc;
+        wl.mem_words = kMemWords;
+        wl.init = [](std::vector<uint32_t> &mem) {
+            Rng rng(33);
+            for (uint32_t i = 0; i < 40; ++i) {
+                mem[wordAt(kData) + i] = uint32_t(rng.below(4096));
+                mem[wordAt(0x1400) + i] = uint32_t(rng.below(4096));
+            }
+        };
+        wl.verify = [](const std::vector<uint32_t> &mem) {
+            Rng rng(33);
+            std::vector<uint32_t> a(40), b(40);
+            for (uint32_t i = 0; i < 40; ++i) {
+                a[i] = uint32_t(rng.below(4096));
+                b[i] = uint32_t(rng.below(4096));
+            }
+            for (uint32_t i = 0; i < 40; ++i)
+                if (mem[wordAt(kOut) + i] != a[i] * b[i])
+                    return false;
+            return true;
+        };
+        wls.push_back(std::move(wl));
+    }
+
+    // ---- qsort -----------------------------------------------------------
+    {
+        Workload wl;
+        wl.name = "qsort";
+        wl.source = kQsortSrc;
+        wl.mem_words = kMemWords;
+        wl.init = [](std::vector<uint32_t> &mem) {
+            Rng rng(44);
+            for (uint32_t i = 0; i < 64; ++i)
+                mem[wordAt(kData) + i] = uint32_t(rng.below(100000));
+        };
+        wl.verify = [](const std::vector<uint32_t> &mem) {
+            Rng rng(44);
+            std::vector<uint32_t> golden(64);
+            for (auto &v : golden)
+                v = uint32_t(rng.below(100000));
+            std::sort(golden.begin(), golden.end());
+            for (uint32_t i = 0; i < 64; ++i)
+                if (mem[wordAt(kData) + i] != golden[i])
+                    return false;
+            return true;
+        };
+        wls.push_back(std::move(wl));
+    }
+
+    // ---- rsort -----------------------------------------------------------
+    {
+        Workload wl;
+        wl.name = "rsort";
+        wl.source = kRsortSrc;
+        wl.mem_words = kMemWords;
+        wl.init = [](std::vector<uint32_t> &mem) {
+            Rng rng(55);
+            for (uint32_t i = 0; i < 64; ++i)
+                mem[wordAt(kData) + i] = uint32_t(rng.below(1 << 16));
+        };
+        wl.verify = [](const std::vector<uint32_t> &mem) {
+            Rng rng(55);
+            std::vector<uint32_t> golden(64);
+            for (auto &v : golden)
+                v = uint32_t(rng.below(1 << 16));
+            std::sort(golden.begin(), golden.end());
+            // 4 passes (even) end back in the src buffer at kData.
+            for (uint32_t i = 0; i < 64; ++i)
+                if (mem[wordAt(kData) + i] != golden[i])
+                    return false;
+            return true;
+        };
+        wls.push_back(std::move(wl));
+    }
+
+    // ---- towers ----------------------------------------------------------
+    {
+        Workload wl;
+        wl.name = "towers";
+        wl.source = kTowersSrc;
+        wl.mem_words = kMemWords;
+        wl.init = [](std::vector<uint32_t> &) {};
+        wl.verify = [](const std::vector<uint32_t> &mem) {
+            return mem[wordAt(kData)] == 127; // 2^7 - 1 moves
+        };
+        wls.push_back(std::move(wl));
+    }
+
+    return wls;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+sodorWorkloads()
+{
+    static const std::vector<Workload> wls = makeWorkloads();
+    return wls;
+}
+
+const Workload &
+workload(const std::string &name)
+{
+    for (const Workload &wl : sodorWorkloads())
+        if (wl.name == name)
+            return wl;
+    fatal("no workload named '", name, "'");
+}
+
+std::vector<uint32_t>
+buildMemoryImage(const Workload &wl)
+{
+    std::vector<uint32_t> mem(wl.mem_words, 0);
+    std::vector<uint32_t> code = isa::assemble(wl.source, 0);
+    if (code.size() * 4 > kData)
+        fatal("workload '", wl.name, "' code overflows the code region");
+    std::copy(code.begin(), code.end(), mem.begin());
+    wl.init(mem);
+    return mem;
+}
+
+} // namespace isa
+} // namespace assassyn

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The six bare-metal Sodor workloads the paper evaluates CPUs with
+ * (Sec. 7, Fig. 15a/16/17): median, multiply, qsort, rsort, towers and
+ * vvadd. Each workload carries its assembly source, a deterministic data
+ * initializer, and a golden checker run against final memory.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/iss.h"
+
+namespace assassyn {
+namespace isa {
+
+/** One benchmark program. */
+struct Workload {
+    std::string name;
+    std::string source; ///< assembly listing (code at address 0)
+    uint32_t mem_words; ///< unified memory size in words
+
+    /** Fill the data region of a fresh memory image. */
+    std::function<void(std::vector<uint32_t> &)> init;
+
+    /** Check final memory contents against the golden model. */
+    std::function<bool(const std::vector<uint32_t> &)> verify;
+};
+
+/** All six workloads, in the paper's order. */
+const std::vector<Workload> &sodorWorkloads();
+
+/** Look one up by name. */
+const Workload &workload(const std::string &name);
+
+/** Assemble + initialize a full memory image for a workload. */
+std::vector<uint32_t> buildMemoryImage(const Workload &wl);
+
+} // namespace isa
+} // namespace assassyn

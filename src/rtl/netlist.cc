@@ -1,0 +1,368 @@
+#include "rtl/netlist.h"
+
+#include <map>
+
+#include "core/compiler/walk.h"
+#include "support/logging.h"
+
+namespace assassyn {
+namespace rtl {
+
+/** Elaborates a lowered System into a Netlist. */
+class NetlistBuilder {
+  public:
+    NetlistBuilder(const System &sys, Netlist &nl) : sys_(sys), nl_(nl) {}
+
+    void
+    build()
+    {
+        if (!sys_.isLowered())
+            fatal("RTL elaboration requires a compiled/lowered system");
+        if (sys_.topoOrder().empty())
+            fatal("RTL elaboration requires a topological stage order");
+
+        const0_ = constNet(0, 1, "const0");
+        const1_ = constNet(1, 1, "const1");
+
+        // Pre-allocate all state blocks so cross-module pushes and
+        // subscriptions have a destination regardless of build order.
+        for (const auto &arr : sys_.arrays()) {
+            array_id_[arr.get()] = static_cast<uint32_t>(nl_.arrays_.size());
+            ArrayBlock blk;
+            blk.array = arr.get();
+            nl_.arrays_.push_back(blk);
+        }
+        for (Module *mod : sys_.topoOrder()) {
+            for (const auto &port : mod->ports()) {
+                fifo_id_[port.get()] =
+                    static_cast<uint32_t>(nl_.fifos_.size());
+                FifoBlock blk;
+                blk.port = port.get();
+                blk.width = port->type().bits();
+                blk.depth = port->depth();
+                blk.pop_data = newNet(blk.width, mod->name() + "__" +
+                                                     port->name() +
+                                                     "__pop_data");
+                blk.pop_valid = newNet(1, mod->name() + "__" + port->name() +
+                                              "__pop_valid");
+                nl_.fifos_.push_back(blk);
+            }
+            if (!mod->isDriver()) {
+                counter_id_[mod] =
+                    static_cast<uint32_t>(nl_.counters_.size());
+                CounterBlock blk;
+                blk.mod = mod;
+                blk.nonzero = newNet(1, mod->name() + "__event_pending");
+                nl_.counters_.push_back(blk);
+            }
+        }
+
+        // Elaborate stages in topological order so that cross-stage
+        // combinational references always hit already-built producers.
+        for (Module *mod : sys_.topoOrder())
+            buildModule(*mod);
+
+        // Hook the counter decrements (wait-until clears the event by
+        // subtracting one, Fig. 10b).
+        for (auto &ctr : nl_.counters_)
+            ctr.dec = nl_.exec_net_.at(ctr.mod);
+    }
+
+  private:
+    OriginTag
+    tagFor(const Module *mod) const
+    {
+        return mod->isGenerated() ? OriginTag::kSm : OriginTag::kFunc;
+    }
+
+    uint32_t
+    newNet(unsigned bits, std::string name)
+    {
+        nl_.net_bits_.push_back(bits);
+        nl_.net_names_.push_back(std::move(name));
+        return static_cast<uint32_t>(nl_.net_bits_.size() - 1);
+    }
+
+    uint32_t
+    constNet(uint64_t value, unsigned bits, const std::string &name)
+    {
+        auto key = std::make_pair(value, bits);
+        auto it = const_cache_.find(key);
+        if (it != const_cache_.end())
+            return it->second;
+        uint32_t net = newNet(bits, name);
+        nl_.consts_[net] = truncate(value, bits);
+        const_cache_[key] = net;
+        return net;
+    }
+
+    Cell &
+    addCell(CellOp op, unsigned bits, const Module *origin)
+    {
+        Cell cell;
+        cell.op = op;
+        cell.bits = bits;
+        cell.out = newNet(bits, "");
+        cell.origin = origin;
+        cell.tag = origin ? tagFor(origin) : OriginTag::kFunc;
+        nl_.cells_.push_back(cell);
+        return nl_.cells_.back();
+    }
+
+    uint32_t
+    andNet(uint32_t a, uint32_t b, const Module *origin)
+    {
+        if (a == const1_)
+            return b;
+        if (b == const1_)
+            return a;
+        Cell &cell = addCell(CellOp::kBin, 1, origin);
+        cell.sub = static_cast<uint8_t>(BinOpcode::kAnd);
+        cell.opnd_bits = 1;
+        cell.a = a;
+        cell.b = b;
+        return cell.out;
+    }
+
+    /** Build (memoized) the net computing @p val. */
+    uint32_t
+    netOf(const Value *val)
+    {
+        val = chaseRef(const_cast<Value *>(val));
+        auto it = net_of_.find(val);
+        if (it != net_of_.end())
+            return it->second;
+
+        uint32_t net = 0;
+        switch (val->valueKind()) {
+          case Value::Kind::kConst: {
+            const auto *c = static_cast<const ConstInt *>(val);
+            net = constNet(c->raw(), c->type().bits(), "const");
+            break;
+          }
+          case Value::Kind::kCrossRef:
+            fatal("unresolved cross-stage reference during RTL elaboration");
+          case Value::Kind::kInstr:
+            net = buildInstr(static_cast<const Instruction *>(val));
+            break;
+        }
+        net_of_[val] = net;
+        return net;
+    }
+
+    uint32_t
+    buildInstr(const Instruction *inst)
+    {
+        const Module *origin = inst->parent();
+        switch (inst->opcode()) {
+          case Opcode::kBinOp: {
+            const auto *bin = static_cast<const BinOp *>(inst);
+            uint32_t a = netOf(bin->lhs());
+            uint32_t b = netOf(bin->rhs());
+            Cell &cell = addCell(CellOp::kBin, bin->type().bits(), origin);
+            cell.sub = static_cast<uint8_t>(bin->binOpcode());
+            cell.sgn = bin->lhs()->type().isSigned();
+            cell.opnd_bits = bin->lhs()->type().bits();
+            cell.a = a;
+            cell.b = b;
+            return cell.out;
+          }
+          case Opcode::kUnOp: {
+            const auto *un = static_cast<const UnOp *>(inst);
+            uint32_t a = netOf(un->value());
+            Cell &cell = addCell(CellOp::kUn, un->type().bits(), origin);
+            cell.sub = static_cast<uint8_t>(un->unOpcode());
+            cell.opnd_bits = un->value()->type().bits();
+            cell.a = a;
+            return cell.out;
+          }
+          case Opcode::kSlice: {
+            const auto *sl = static_cast<const Slice *>(inst);
+            uint32_t a = netOf(sl->value());
+            Cell &cell = addCell(CellOp::kSlice, sl->type().bits(), origin);
+            cell.a = a;
+            cell.b_imm = sl->hi();
+            cell.c_imm = sl->lo();
+            return cell.out;
+          }
+          case Opcode::kConcat: {
+            const auto *cc = static_cast<const Concat *>(inst);
+            uint32_t a = netOf(cc->msb());
+            uint32_t b = netOf(cc->lsb());
+            Cell &cell = addCell(CellOp::kConcat, cc->type().bits(), origin);
+            cell.a = a;
+            cell.b = b;
+            cell.c_imm = cc->lsb()->type().bits();
+            return cell.out;
+          }
+          case Opcode::kSelect: {
+            const auto *sel = static_cast<const Select *>(inst);
+            uint32_t a = netOf(sel->cond());
+            uint32_t b = netOf(sel->onTrue());
+            uint32_t c = netOf(sel->onFalse());
+            Cell &cell = addCell(CellOp::kMux, sel->type().bits(), origin);
+            cell.a = a;
+            cell.b = b;
+            cell.c = c;
+            return cell.out;
+          }
+          case Opcode::kCast: {
+            const auto *cast = static_cast<const Cast *>(inst);
+            uint32_t a = netOf(cast->value());
+            Cell &cell = addCell(CellOp::kCast, cast->type().bits(), origin);
+            cell.sub = static_cast<uint8_t>(cast->mode());
+            cell.opnd_bits = cast->value()->type().bits();
+            cell.a = a;
+            return cell.out;
+          }
+          case Opcode::kFifoValid: {
+            const auto *fv = static_cast<const FifoValid *>(inst);
+            return nl_.fifos_[fifo_id_.at(fv->port())].pop_valid;
+          }
+          case Opcode::kFifoPop: {
+            const auto *fp = static_cast<const FifoPop *>(inst);
+            return nl_.fifos_[fifo_id_.at(fp->port())].pop_data;
+          }
+          case Opcode::kArrayRead: {
+            const auto *rd = static_cast<const ArrayRead *>(inst);
+            uint32_t idx = netOf(rd->index());
+            Cell &cell = addCell(CellOp::kArrayRead,
+                                 rd->type().bits(), origin);
+            cell.a = idx;
+            cell.aux = array_id_.at(rd->array());
+            return cell.out;
+          }
+          default:
+            fatal("instruction with no RTL value used as an operand");
+        }
+    }
+
+    /** Walk a body block, gathering side effects under @p enable. */
+    void
+    buildEffects(const Module &mod, const Block &blk, uint32_t enable)
+    {
+        for (auto *inst : blk.insts()) {
+            switch (inst->opcode()) {
+              case Opcode::kCondBlock: {
+                auto *cb = static_cast<CondBlock *>(inst);
+                uint32_t inner =
+                    andNet(enable, netOf(cb->cond()), &mod);
+                buildEffects(mod, *cb->body(), inner);
+                break;
+              }
+              case Opcode::kFifoPop: {
+                auto *fp = static_cast<FifoPop *>(inst);
+                nl_.fifos_[fifo_id_.at(fp->port())]
+                    .deq_enables.push_back(enable);
+                break;
+              }
+              case Opcode::kFifoPush: {
+                auto *push = static_cast<FifoPush *>(inst);
+                uint32_t data = netOf(push->value());
+                nl_.fifos_[fifo_id_.at(push->port())].pushes.push_back(
+                    {enable, data});
+                break;
+              }
+              case Opcode::kArrayWrite: {
+                auto *wr = static_cast<ArrayWrite *>(inst);
+                uint32_t idx = netOf(wr->index());
+                uint32_t data = netOf(wr->value());
+                nl_.arrays_[array_id_.at(wr->array())].writes.push_back(
+                    {enable, idx, data});
+                break;
+              }
+              case Opcode::kSubscribe: {
+                auto *sub = static_cast<Subscribe *>(inst);
+                auto it = counter_id_.find(sub->callee());
+                if (it == counter_id_.end())
+                    fatal("subscribe to driver stage '",
+                          sub->callee()->name(), "'");
+                nl_.counters_[it->second].incs.push_back(enable);
+                break;
+              }
+              case Opcode::kLog: {
+                auto *lg = static_cast<Log *>(inst);
+                MonitorBlock mon;
+                mon.kind = MonitorBlock::Kind::kLog;
+                mon.enable = enable;
+                mon.inst = inst;
+                for (Value *arg : lg->args())
+                    mon.args.push_back(netOf(arg));
+                nl_.monitors_.push_back(std::move(mon));
+                break;
+              }
+              case Opcode::kAssertInst: {
+                auto *as = static_cast<AssertInst *>(inst);
+                MonitorBlock mon;
+                mon.kind = MonitorBlock::Kind::kAssert;
+                mon.enable = enable;
+                mon.inst = inst;
+                mon.args.push_back(netOf(as->cond()));
+                nl_.monitors_.push_back(std::move(mon));
+                break;
+              }
+              case Opcode::kFinish: {
+                MonitorBlock mon;
+                mon.kind = MonitorBlock::Kind::kFinish;
+                mon.enable = enable;
+                mon.inst = inst;
+                nl_.monitors_.push_back(std::move(mon));
+                break;
+              }
+              case Opcode::kAsyncCall:
+              case Opcode::kBind:
+                fatal("un-lowered call reached RTL elaboration");
+              default:
+                // Pure logic: built on demand by its consumers; building
+                // here keeps dead user logic in the netlist too, matching
+                // RTL (synthesis would trim it, our area model keeps it
+                // conservative).
+                netOf(inst);
+            }
+        }
+    }
+
+    void
+    buildModule(const Module &mod)
+    {
+        // exec_valid = event_pending & wait_cond (Fig. 10a/b); a driver
+        // stage is unconditionally pending every cycle (Sec. 3.8).
+        uint32_t pending = mod.isDriver()
+                               ? const1_
+                               : nl_.counters_[counter_id_.at(&mod)].nonzero;
+        uint32_t wait =
+            mod.waitCond() ? netOf(mod.waitCond()) : const1_;
+        uint32_t exec = andNet(pending, wait, &mod);
+        nl_.exec_net_[&mod] = exec;
+        buildEffects(mod, mod.body(), exec);
+        // Exposures are always-on wires: force their cones into existence
+        // even if no consumer was elaborated yet.
+        for (const auto &[name, val] : mod.exposures()) {
+            bool is_bind =
+                val->valueKind() == Value::Kind::kInstr &&
+                static_cast<const Instruction *>(val)->opcode() ==
+                    Opcode::kBind;
+            if (!is_bind)
+                netOf(val);
+        }
+    }
+
+    const System &sys_;
+    Netlist &nl_;
+    uint32_t const0_ = 0;
+    uint32_t const1_ = 0;
+    std::map<const Value *, uint32_t> net_of_;
+    std::map<std::pair<uint64_t, unsigned>, uint32_t> const_cache_;
+    std::map<const Port *, uint32_t> fifo_id_;
+    std::map<const RegArray *, uint32_t> array_id_;
+    std::map<const Module *, uint32_t> counter_id_;
+};
+
+Netlist::Netlist(const System &sys) : sys_(&sys)
+{
+    NetlistBuilder builder(sys, *this);
+    builder.build();
+}
+
+} // namespace rtl
+} // namespace assassyn

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * RTL elaboration (paper Sec. 5.2, Fig. 10).
+ *
+ * The lowered IR is mapped onto word-level hardware structures:
+ *  - each stage's body becomes always-on combinational cells;
+ *  - each FIFO port becomes a FifoBlock whose pushes are gathered from
+ *    every upstream site with one-hot selection (Fig. 10d);
+ *  - each stage gets a CounterBlock: upstream activations are *added*
+ *    into the pending-event counter and the stage's execution subtracts
+ *    one (Fig. 10b);
+ *  - register arrays gather their writers with or-ed write enables and
+ *    one-hot data selection (Fig. 10c);
+ *  - logs/assertions/finish become testbench monitor processes.
+ *
+ * The Netlist feeds three consumers: the netlist simulator (the repo's
+ * Verilator stand-in, evaluating every cell every cycle), the synthesis
+ * area model, and the SystemVerilog emitter.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ir/system.h"
+
+namespace assassyn {
+namespace rtl {
+
+/** Opcode of a combinational word-level cell. */
+enum class CellOp : uint8_t {
+    kBin,       ///< sub = BinOpcode, operand width in `opnd_bits`
+    kUn,        ///< sub = UnOpcode
+    kSlice,     ///< a[hi:lo], hi = `b_imm`, lo = `c_imm`
+    kConcat,    ///< {a, b}, lsb width in `c_imm`
+    kMux,       ///< a ? b : c
+    kCast,      ///< sub = Cast::Mode, source width in `opnd_bits`
+    kArrayRead, ///< array[`aux`] read port, index net `a`
+};
+
+/** Provenance tag for the area breakdown of Fig. 13. */
+enum class OriginTag : uint8_t {
+    kFunc, ///< user functionality
+    kFifo, ///< stage-buffer FIFOs
+    kSm,   ///< event-bookkeeping counters and generated arbiters
+};
+
+/** One combinational cell. Cells are stored in evaluation order. */
+struct Cell {
+    CellOp op;
+    uint8_t sub = 0;
+    bool sgn = false;
+    unsigned bits = 0;      ///< output width
+    unsigned opnd_bits = 0; ///< operand width (sign semantics, reductions)
+    uint32_t a = 0;
+    uint32_t b = 0;
+    uint32_t c = 0;
+    uint32_t b_imm = 0; ///< immediate (slice hi)
+    uint32_t c_imm = 0; ///< immediate (slice lo / concat lsb width)
+    uint32_t out = 0;
+    uint32_t aux = 0; ///< array id for kArrayRead
+    const Module *origin = nullptr;
+    OriginTag tag = OriginTag::kFunc;
+};
+
+/** A push site gathered into a FIFO (Fig. 10d). */
+struct PushSite {
+    uint32_t enable;
+    uint32_t data;
+};
+
+/** The stage-buffer FIFO of one port. */
+struct FifoBlock {
+    const Port *port = nullptr;
+    unsigned width = 0;
+    unsigned depth = 0;
+    std::vector<PushSite> pushes;
+    std::vector<uint32_t> deq_enables;
+    uint32_t pop_data = 0;  ///< state-driven output net
+    uint32_t pop_valid = 0; ///< state-driven output net
+};
+
+/** A write site gathered into a register array (Fig. 10c). */
+struct WriteSite {
+    uint32_t enable;
+    uint32_t index;
+    uint32_t data;
+};
+
+/** A register array / memory. */
+struct ArrayBlock {
+    const RegArray *array = nullptr;
+    std::vector<WriteSite> writes;
+};
+
+/** The event-bookkeeping counter state machine of one stage (Fig. 10b). */
+struct CounterBlock {
+    const Module *mod = nullptr;
+    std::vector<uint32_t> incs; ///< subscribe enables, gathered by addition
+    uint32_t dec = 0;           ///< exec_valid net
+    uint32_t nonzero = 0;       ///< state-driven output net
+};
+
+/** A testbench monitor: log / assert / finish. */
+struct MonitorBlock {
+    enum class Kind : uint8_t { kLog, kAssert, kFinish };
+    Kind kind;
+    uint32_t enable = 0;
+    const Instruction *inst = nullptr;
+    std::vector<uint32_t> args; ///< log arg nets / [assert cond net]
+};
+
+/**
+ * The elaborated design. Cell order is a valid evaluation order (inputs
+ * are always created before their consumers).
+ */
+class Netlist {
+  public:
+    explicit Netlist(const System &sys);
+
+    const System &sys() const { return *sys_; }
+
+    size_t numNets() const { return net_bits_.size(); }
+    unsigned netBits(uint32_t net) const { return net_bits_[net]; }
+    const std::string &netName(uint32_t net) const { return net_names_[net]; }
+
+    /** Nets with fixed values (constants); applied once at reset. */
+    const std::map<uint32_t, uint64_t> &constNets() const { return consts_; }
+
+    const std::vector<Cell> &cells() const { return cells_; }
+    const std::vector<FifoBlock> &fifos() const { return fifos_; }
+    const std::vector<ArrayBlock> &arrays() const { return arrays_; }
+    const std::vector<CounterBlock> &counters() const { return counters_; }
+    const std::vector<MonitorBlock> &monitors() const { return monitors_; }
+
+    /** exec_valid net of each stage. */
+    uint32_t execNet(const Module *mod) const { return exec_net_.at(mod); }
+
+  private:
+    friend class NetlistBuilder;
+
+    const System *sys_;
+    std::vector<unsigned> net_bits_;
+    std::vector<std::string> net_names_;
+    std::map<uint32_t, uint64_t> consts_;
+    std::vector<Cell> cells_;
+    std::vector<FifoBlock> fifos_;
+    std::vector<ArrayBlock> arrays_;
+    std::vector<CounterBlock> counters_;
+    std::vector<MonitorBlock> monitors_;
+    std::map<const Module *, uint32_t> exec_net_;
+};
+
+} // namespace rtl
+} // namespace assassyn

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * SystemVerilog emission (paper Sec. 5.2).
+ *
+ * Renders an elaborated Netlist as a single self-contained SystemVerilog
+ * file: template definitions for the penetrable FIFO and the event
+ * counter, then the design top with one assign per combinational cell,
+ * always_ff blocks per register array, gathered FIFO/counter hookups, and
+ * $display/$fatal/$finish testbench monitors. The text is behaviorally
+ * equivalent to what the netlist simulator executes.
+ */
+#pragma once
+
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace assassyn {
+namespace rtl {
+
+/** Render the whole design as SystemVerilog source text. */
+std::string emitVerilog(const Netlist &nl);
+
+} // namespace rtl
+} // namespace assassyn

@@ -1,0 +1,963 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "core/compiler/walk.h"
+#include "sim/vcd.h"
+#include "support/bits.h"
+#include "support/logging.h"
+
+namespace assassyn {
+namespace sim {
+
+namespace {
+
+constexpr uint32_t kNoPred = 0xffffffffu;
+
+/** One VM micro-op. */
+struct Step {
+    enum class Op : uint8_t {
+        kBin,
+        kUn,
+        kSlice,
+        kConcat,
+        kSelect,
+        kCast,
+        kFifoValid,
+        kFifoPeek,
+        kArrayRead,
+        kPredAnd,
+        kWaitCheck,
+        kSkipIfFalse, ///< jump over `aux` steps when the cond slot is 0
+        kDequeue,
+        kPush,
+        kArrayWrite,
+        kSubscribe,
+        kLog,
+        kAssertEff,
+        kFinishEff,
+    };
+
+    Op op;
+    uint8_t sub = 0;   ///< BinOpcode / UnOpcode / Cast::Mode
+    bool sgn = false;  ///< signed semantics (from the lhs operand type)
+    unsigned bits = 0; ///< result width for masking
+    uint32_t dest = 0;
+    uint32_t a = 0;
+    uint32_t b = 0;
+    uint32_t c = 0;
+    uint32_t pred = kNoPred;
+    uint32_t aux = 0; ///< fifo id / array id / module index
+    const Instruction *inst = nullptr;
+};
+
+struct FifoState {
+    const Port *port = nullptr;
+    std::vector<uint64_t> buf;
+    uint32_t head = 0;
+    uint32_t count = 0;
+    bool push_pending = false;
+    uint64_t push_val = 0;
+    bool deq_pending = false;
+
+    uint64_t peek() const { return count ? buf[head] : 0; }
+};
+
+struct ArrState {
+    const RegArray *array = nullptr;
+    std::vector<uint64_t> data;
+    bool write_pending = false;
+    uint64_t widx = 0;
+    uint64_t wval = 0;
+};
+
+struct ModState {
+    const Module *mod = nullptr;
+    uint64_t pending = 0;
+    uint64_t inc = 0;
+    bool dec = false;
+    bool strobe = false; ///< executed this cycle (VCD tracing)
+    bool waited = false; ///< had an event but the wait_until failed
+    uint64_t execs = 0;
+};
+
+} // namespace
+
+struct Simulator::Impl {
+    const System &sys;
+    SimOptions opts;
+
+    std::vector<uint64_t> slots;
+    std::vector<FifoState> fifos;
+    std::vector<ArrState> arrays;
+    std::vector<ModState> mods;
+    std::map<const Port *, uint32_t> fifo_id;
+    std::map<const RegArray *, uint32_t> array_id;
+    std::map<const Module *, uint32_t> mod_id;
+    std::map<const Value *, uint32_t> slot_of;
+
+    struct ModProg {
+        std::vector<Step> shadow;
+        std::vector<Step> active;
+    };
+    std::vector<ModProg> progs;       ///< indexed by mod_id
+    std::vector<uint32_t> topo_idx;   ///< execution order (mod ids)
+
+    uint64_t cycle = 0;
+    bool finished = false;
+    bool finish_pending = false;
+    std::vector<uint32_t> shuffle_scratch;
+    std::unique_ptr<VcdWriter> vcd;
+    std::vector<std::vector<size_t>> vcd_arrays;
+    std::vector<size_t> vcd_execs;
+    std::vector<size_t> vcd_fifos;
+    FILE *trace_file = nullptr;
+    uint64_t total_execs = 0;
+    uint64_t total_subs = 0;
+    std::vector<std::string> logs;
+    Rng rng;
+
+    explicit Impl(const System &s, SimOptions o)
+        : sys(s), opts(o), rng(o.shuffle_seed)
+    {
+        if (!sys.isLowered())
+            fatal("simulate: system '", sys.name(),
+                  "' has not been compiled/lowered");
+        build();
+    }
+
+    // ----------------------------------------------------------------------
+    // Construction: index state, allocate slots, compile programs.
+    // ----------------------------------------------------------------------
+
+    void
+    build()
+    {
+        for (const auto &arr : sys.arrays()) {
+            array_id[arr.get()] = static_cast<uint32_t>(arrays.size());
+            arrays.push_back({arr.get(), arr->init(), false, 0, 0});
+        }
+        for (const auto &mod : sys.modules()) {
+            mod_id[mod.get()] = static_cast<uint32_t>(mods.size());
+            mods.push_back({mod.get(), 0, 0, false, 0});
+            for (const auto &port : mod->ports()) {
+                fifo_id[port.get()] = static_cast<uint32_t>(fifos.size());
+                FifoState f;
+                f.port = port.get();
+                f.buf.assign(port->depth(), 0);
+                fifos.push_back(std::move(f));
+            }
+        }
+        // Slot per IR node, plus synthetic slots appended by the compiler.
+        for (const auto &mod : sys.modules()) {
+            for (const auto &node : mod->nodes()) {
+                slot_of[node.get()] = static_cast<uint32_t>(slots.size());
+                uint64_t init = 0;
+                if (node->valueKind() == Value::Kind::kConst)
+                    init = static_cast<ConstInt *>(node.get())->raw();
+                slots.push_back(init);
+            }
+        }
+        progs.resize(mods.size());
+        for (const auto &mod : sys.modules())
+            compileModule(*mod);
+        if (sys.topoOrder().empty())
+            fatal("simulate: no topological order; run the compiler first");
+        for (Module *mod : sys.topoOrder())
+            topo_idx.push_back(mod_id.at(mod));
+        if (!opts.vcd_path.empty())
+            buildVcd();
+        if (!opts.trace_path.empty()) {
+            trace_file = std::fopen(opts.trace_path.c_str(), "w");
+            if (!trace_file)
+                fatal("cannot open trace file '", opts.trace_path, "'");
+        }
+    }
+
+    ~Impl()
+    {
+        if (trace_file)
+            std::fclose(trace_file);
+    }
+
+    void
+    buildVcd()
+    {
+        vcd = std::make_unique<VcdWriter>(opts.vcd_path);
+        for (const ArrState &arr : arrays) {
+            std::vector<size_t> ids;
+            if (!arr.array->isMemory() && arr.array->size() <= 64) {
+                for (size_t i = 0; i < arr.data.size(); ++i) {
+                    std::string name = arr.array->name();
+                    if (arr.array->size() > 1)
+                        name += "_" + std::to_string(i);
+                    ids.push_back(vcd->addSignal(
+                        name, arr.array->elemType().bits()));
+                }
+            }
+            vcd_arrays.push_back(std::move(ids));
+        }
+        for (const ModState &ms : mods)
+            vcd_execs.push_back(
+                vcd->addSignal(ms.mod->name() + "__exec", 1));
+        for (const FifoState &f : fifos)
+            vcd_fifos.push_back(vcd->addSignal(
+                f.port->owner()->name() + "__" + f.port->name() +
+                    "__count",
+                log2ceil(f.buf.size() + 1)));
+        vcd->writeHeader(sys.name());
+    }
+
+    void
+    sampleVcd()
+    {
+        vcd->beginCycle(cycle);
+        for (size_t a = 0; a < arrays.size(); ++a)
+            for (size_t i = 0; i < vcd_arrays[a].size(); ++i)
+                vcd->set(vcd_arrays[a][i], arrays[a].data[i]);
+        for (size_t m = 0; m < mods.size(); ++m)
+            vcd->set(vcd_execs[m], mods[m].strobe);
+        for (size_t f = 0; f < fifos.size(); ++f)
+            vcd->set(vcd_fifos[f], fifos[f].count);
+        vcd->flush();
+    }
+
+    uint32_t
+    slotOf(const Value *v)
+    {
+        const Value *resolved = chaseRef(const_cast<Value *>(v));
+        auto it = slot_of.find(resolved);
+        if (it == slot_of.end())
+            panic("simulator: value without a slot");
+        return it->second;
+    }
+
+    uint32_t
+    newSyntheticSlot()
+    {
+        slots.push_back(0);
+        return static_cast<uint32_t>(slots.size() - 1);
+    }
+
+    /** Compiles the shadow and active programs of one module. */
+    struct ProgCompiler {
+        Impl &impl;
+        const Module &mod;
+        std::vector<Step> *out;
+        std::set<const Value *> emitted;
+        /**
+         * Pure values with users outside their defining conditional
+         * block (or exposed / feeding the wait condition). These must be
+         * computed unconditionally; everything else can live inside a
+         * skippable region — the "inactive code region" knowledge the
+         * paper credits for the generated simulator's speed (Sec. 7 Q5).
+         */
+        std::set<const Value *> needed_outside;
+
+        ProgCompiler(Impl &i, const Module &m, std::vector<Step> *o)
+            : impl(i), mod(m), out(o)
+        {
+            analyzeEscapes();
+        }
+
+        /** True when @p blk is @p region or nested anywhere inside it. */
+        static bool
+        blockWithin(const Block *blk, const Block *region)
+        {
+            while (blk) {
+                if (blk == region)
+                    return true;
+                Instruction *owner = blk->owner();
+                blk = owner ? owner->block() : nullptr;
+            }
+            return false;
+        }
+
+        void
+        analyzeEscapes()
+        {
+            auto note_use = [&](const Instruction *user, Value *op) {
+                op = chaseRef(op);
+                if (op->valueKind() != Value::Kind::kInstr ||
+                    op->parent() != &mod)
+                    return;
+                auto *def = static_cast<Instruction *>(op);
+                if (!def->block())
+                    return; // top-level by construction
+                if (!blockWithin(user->block(), def->block()))
+                    needed_outside.insert(def);
+            };
+            forEachInst(mod, [&](Instruction *inst) {
+                for (Value *op : inst->operands())
+                    note_use(inst, op);
+            });
+            for (const auto &[name, val] : mod.exposures())
+                needed_outside.insert(chaseRef(const_cast<Value *>(val)));
+            if (mod.waitCond())
+                needed_outside.insert(
+                    chaseRef(const_cast<Value *>(mod.waitCond())));
+        }
+
+        /**
+         * Emit, before opening a skip region over @p region, every pure
+         * value the region uses that must stay unconditional: values
+         * defined outside the region or escaping it.
+         */
+        void
+        preEmitShared(const Block &region)
+        {
+            forEachInst(region, [&](Instruction *inst) {
+                // A value defined here but escaping the region must be
+                // computed unconditionally even if nothing inside the
+                // region consumes it.
+                if ((inst->isPure() ||
+                     inst->opcode() == Opcode::kFifoPop) &&
+                    needed_outside.count(inst)) {
+                    emitPure(inst);
+                }
+                for (Value *op : inst->operands()) {
+                    Value *res = chaseRef(op);
+                    if (res->valueKind() != Value::Kind::kInstr)
+                        continue;
+                    auto *def = static_cast<Instruction *>(res);
+                    if (def->parent() != &mod) {
+                        continue;
+                    }
+                    if (!def->isPure() &&
+                        def->opcode() != Opcode::kFifoPop)
+                        continue;
+                    bool local = def->block() &&
+                                 blockWithin(def->block(), &region);
+                    if (!local || needed_outside.count(def))
+                        emitPure(def);
+                }
+            });
+        }
+
+        void
+        emitPure(const Value *v)
+        {
+            v = chaseRef(const_cast<Value *>(v));
+            if (v->valueKind() == Value::Kind::kConst)
+                return;
+            if (v->valueKind() == Value::Kind::kCrossRef)
+                fatal("unresolved cross-stage reference during simulation");
+            if (v->parent() != &mod)
+                return; // computed by the producer's shadow pass
+            if (emitted.count(v))
+                return;
+            const auto *inst = static_cast<const Instruction *>(v);
+            if (!inst->isPure() && inst->opcode() != Opcode::kFifoPop)
+                panic("effectful instruction used as an operand");
+            for (Value *op : inst->operands())
+                emitPure(op);
+            Step s;
+            s.dest = impl.slotOf(v);
+            s.bits = inst->type().bits();
+            s.inst = inst;
+            switch (inst->opcode()) {
+              case Opcode::kBinOp: {
+                const auto *bin = static_cast<const BinOp *>(inst);
+                s.op = Step::Op::kBin;
+                s.sub = static_cast<uint8_t>(bin->binOpcode());
+                s.sgn = bin->lhs()->type().isSigned();
+                s.a = impl.slotOf(bin->lhs());
+                s.b = impl.slotOf(bin->rhs());
+                s.c = bin->lhs()->type().bits();
+                break;
+              }
+              case Opcode::kUnOp: {
+                const auto *un = static_cast<const UnOp *>(inst);
+                s.op = Step::Op::kUn;
+                s.sub = static_cast<uint8_t>(un->unOpcode());
+                s.a = impl.slotOf(un->value());
+                s.c = un->value()->type().bits();
+                break;
+              }
+              case Opcode::kSlice: {
+                const auto *sl = static_cast<const Slice *>(inst);
+                s.op = Step::Op::kSlice;
+                s.a = impl.slotOf(sl->value());
+                s.b = sl->hi();
+                s.c = sl->lo();
+                break;
+              }
+              case Opcode::kConcat: {
+                const auto *cc = static_cast<const Concat *>(inst);
+                s.op = Step::Op::kConcat;
+                s.a = impl.slotOf(cc->msb());
+                s.b = impl.slotOf(cc->lsb());
+                s.c = cc->lsb()->type().bits();
+                break;
+              }
+              case Opcode::kSelect: {
+                const auto *sel = static_cast<const Select *>(inst);
+                s.op = Step::Op::kSelect;
+                s.a = impl.slotOf(sel->cond());
+                s.b = impl.slotOf(sel->onTrue());
+                s.c = impl.slotOf(sel->onFalse());
+                break;
+              }
+              case Opcode::kCast: {
+                const auto *cast = static_cast<const Cast *>(inst);
+                s.op = Step::Op::kCast;
+                s.sub = static_cast<uint8_t>(cast->mode());
+                s.a = impl.slotOf(cast->value());
+                s.c = cast->value()->type().bits();
+                break;
+              }
+              case Opcode::kFifoValid: {
+                const auto *fv = static_cast<const FifoValid *>(inst);
+                s.op = Step::Op::kFifoValid;
+                s.aux = impl.fifo_id.at(fv->port());
+                break;
+              }
+              case Opcode::kFifoPop: {
+                const auto *fp = static_cast<const FifoPop *>(inst);
+                s.op = Step::Op::kFifoPeek;
+                s.aux = impl.fifo_id.at(fp->port());
+                break;
+              }
+              case Opcode::kArrayRead: {
+                const auto *rd = static_cast<const ArrayRead *>(inst);
+                s.op = Step::Op::kArrayRead;
+                s.a = impl.slotOf(rd->index());
+                s.aux = impl.array_id.at(rd->array());
+                break;
+              }
+              default:
+                panic("unexpected pure opcode");
+            }
+            out->push_back(s);
+            emitted.insert(v);
+        }
+
+        uint32_t
+        combinePred(uint32_t outer, const Value *cond)
+        {
+            emitPure(cond);
+            uint32_t cond_slot = impl.slotOf(cond);
+            if (outer == kNoPred)
+                return cond_slot;
+            Step s;
+            s.op = Step::Op::kPredAnd;
+            s.dest = impl.newSyntheticSlot();
+            s.a = outer;
+            s.b = cond_slot;
+            s.bits = 1;
+            out->push_back(s);
+            return s.dest;
+        }
+
+        void
+        effectStep(Step s, uint32_t pred, const Instruction *inst)
+        {
+            s.pred = pred;
+            s.inst = inst;
+            out->push_back(s);
+        }
+
+        void
+        emitEffects(const Block &blk, uint32_t pred)
+        {
+            for (auto *inst : blk.insts()) {
+                switch (inst->opcode()) {
+                  case Opcode::kCondBlock: {
+                    auto *cb = static_cast<CondBlock *>(inst);
+                    uint32_t inner = combinePred(pred, cb->cond());
+                    // Shared values compute unconditionally; the rest of
+                    // the region is jumped over when the predicate is 0,
+                    // so inactive FSM states cost one step per cycle.
+                    preEmitShared(*cb->body());
+                    size_t skip_at = out->size();
+                    Step skip;
+                    skip.op = Step::Op::kSkipIfFalse;
+                    skip.a = inner;
+                    out->push_back(skip);
+                    emitEffects(*cb->body(), inner);
+                    (*out)[skip_at].aux =
+                        uint32_t(out->size() - skip_at - 1);
+                    break;
+                  }
+                  case Opcode::kFifoPop: {
+                    emitPure(inst); // the peek producing the value
+                    Step s;
+                    s.op = Step::Op::kDequeue;
+                    s.aux = impl.fifo_id.at(
+                        static_cast<FifoPop *>(inst)->port());
+                    effectStep(s, pred, inst);
+                    break;
+                  }
+                  case Opcode::kFifoPush: {
+                    auto *push = static_cast<FifoPush *>(inst);
+                    emitPure(push->value());
+                    Step s;
+                    s.op = Step::Op::kPush;
+                    s.a = impl.slotOf(push->value());
+                    s.aux = impl.fifo_id.at(push->port());
+                    s.bits = push->port()->type().bits();
+                    effectStep(s, pred, inst);
+                    break;
+                  }
+                  case Opcode::kArrayWrite: {
+                    auto *wr = static_cast<ArrayWrite *>(inst);
+                    emitPure(wr->index());
+                    emitPure(wr->value());
+                    Step s;
+                    s.op = Step::Op::kArrayWrite;
+                    s.a = impl.slotOf(wr->index());
+                    s.b = impl.slotOf(wr->value());
+                    s.aux = impl.array_id.at(wr->array());
+                    s.bits = wr->array()->elemType().bits();
+                    effectStep(s, pred, inst);
+                    break;
+                  }
+                  case Opcode::kSubscribe: {
+                    Step s;
+                    s.op = Step::Op::kSubscribe;
+                    s.aux = impl.mod_id.at(
+                        static_cast<Subscribe *>(inst)->callee());
+                    effectStep(s, pred, inst);
+                    break;
+                  }
+                  case Opcode::kLog: {
+                    auto *lg = static_cast<Log *>(inst);
+                    for (Value *arg : lg->args())
+                        emitPure(arg);
+                    Step s;
+                    s.op = Step::Op::kLog;
+                    effectStep(s, pred, inst);
+                    break;
+                  }
+                  case Opcode::kAssertInst: {
+                    auto *as = static_cast<AssertInst *>(inst);
+                    emitPure(as->cond());
+                    Step s;
+                    s.op = Step::Op::kAssertEff;
+                    s.a = impl.slotOf(as->cond());
+                    effectStep(s, pred, inst);
+                    break;
+                  }
+                  case Opcode::kFinish: {
+                    Step s;
+                    s.op = Step::Op::kFinishEff;
+                    effectStep(s, pred, inst);
+                    break;
+                  }
+                  case Opcode::kAsyncCall:
+                  case Opcode::kBind:
+                    panic("un-lowered call reached the simulator");
+                  default:
+                    emitPure(inst);
+                }
+            }
+        }
+    };
+
+    void
+    compileModule(const Module &mod)
+    {
+        uint32_t mid = mod_id.at(&mod);
+        ModProg &prog = progs[mid];
+        // Shadow: the pure cone of every exposed combinational value runs
+        // every cycle, mirroring always-on RTL wires.
+        {
+            ProgCompiler pc(*this, mod, &prog.shadow);
+            for (const auto &[name, val] : mod.exposures()) {
+                bool is_bind =
+                    val->valueKind() == Value::Kind::kInstr &&
+                    static_cast<const Instruction *>(val)->opcode() ==
+                        Opcode::kBind;
+                if (!is_bind)
+                    pc.emitPure(val);
+            }
+        }
+        // Active: wait_until guard then the body.
+        {
+            ProgCompiler pc(*this, mod, &prog.active);
+            if (mod.waitCond()) {
+                pc.emitPure(mod.waitCond());
+                Step s;
+                s.op = Step::Op::kWaitCheck;
+                s.a = slotOf(mod.waitCond());
+                prog.active.push_back(s);
+            }
+            pc.emitEffects(mod.body(), kNoPred);
+        }
+    }
+
+    // ----------------------------------------------------------------------
+    // Execution
+    // ----------------------------------------------------------------------
+
+    static uint64_t
+    evalBin(BinOpcode op, uint64_t a, uint64_t b, unsigned opnd_bits,
+            bool sgn, unsigned out_bits)
+    {
+        int64_t sa = signExtend(a, opnd_bits);
+        int64_t sb = signExtend(b, opnd_bits);
+        uint64_t r = 0;
+        switch (op) {
+          case BinOpcode::kAdd: r = a + b; break;
+          case BinOpcode::kSub: r = a - b; break;
+          case BinOpcode::kMul: r = a * b; break;
+          case BinOpcode::kDiv:
+            if (b == 0)
+                r = ~uint64_t(0); // RISC-V style div-by-zero
+            else if (sgn && sb == -1)
+                r = ~a + 1; // overflow-safe: -a mod 2^64
+            else
+                r = sgn ? static_cast<uint64_t>(sa / sb) : a / b;
+            break;
+          case BinOpcode::kMod:
+            if (b == 0)
+                r = a;
+            else if (sgn && sb == -1)
+                r = 0;
+            else
+                r = sgn ? static_cast<uint64_t>(sa % sb) : a % b;
+            break;
+          case BinOpcode::kAnd: r = a & b; break;
+          case BinOpcode::kOr:  r = a | b; break;
+          case BinOpcode::kXor: r = a ^ b; break;
+          case BinOpcode::kShl: r = b >= 64 ? 0 : a << b; break;
+          case BinOpcode::kShr:
+            if (sgn)
+                r = static_cast<uint64_t>(
+                    b >= 64 ? (sa < 0 ? -1 : 0) : (sa >> b));
+            else
+                r = b >= 64 ? 0 : a >> b;
+            break;
+          case BinOpcode::kEq: r = a == b; break;
+          case BinOpcode::kNe: r = a != b; break;
+          case BinOpcode::kLt: r = sgn ? (sa < sb) : (a < b); break;
+          case BinOpcode::kLe: r = sgn ? (sa <= sb) : (a <= b); break;
+          case BinOpcode::kGt: r = sgn ? (sa > sb) : (a > b); break;
+          case BinOpcode::kGe: r = sgn ? (sa >= sb) : (a >= b); break;
+        }
+        return truncate(r, out_bits);
+    }
+
+    /** @return false when a wait_until check failed (event retained). */
+    bool
+    runProgram(const std::vector<Step> &prog)
+    {
+        for (size_t pc = 0; pc < prog.size(); ++pc) {
+            const Step &s = prog[pc];
+            switch (s.op) {
+              case Step::Op::kBin:
+                slots[s.dest] = evalBin(static_cast<BinOpcode>(s.sub),
+                                        slots[s.a], slots[s.b], s.c, s.sgn,
+                                        s.bits);
+                break;
+              case Step::Op::kUn: {
+                uint64_t v = slots[s.a];
+                switch (static_cast<UnOpcode>(s.sub)) {
+                  case UnOpcode::kNot:
+                    slots[s.dest] = truncate(~v, s.bits);
+                    break;
+                  case UnOpcode::kNeg:
+                    slots[s.dest] = truncate(~v + 1, s.bits);
+                    break;
+                  case UnOpcode::kRedOr:
+                    slots[s.dest] = v != 0;
+                    break;
+                  case UnOpcode::kRedAnd:
+                    slots[s.dest] = v == maskBits(s.c);
+                    break;
+                }
+                break;
+              }
+              case Step::Op::kSlice:
+                slots[s.dest] = extractBits(slots[s.a], s.b, s.c);
+                break;
+              case Step::Op::kConcat:
+                slots[s.dest] =
+                    truncate((slots[s.a] << s.c) | slots[s.b], s.bits);
+                break;
+              case Step::Op::kSelect:
+                slots[s.dest] = slots[s.a] ? slots[s.b] : slots[s.c];
+                break;
+              case Step::Op::kCast: {
+                uint64_t v = slots[s.a];
+                switch (static_cast<Cast::Mode>(s.sub)) {
+                  case Cast::Mode::kZExt:
+                  case Cast::Mode::kBitcast:
+                    slots[s.dest] = truncate(v, s.bits);
+                    break;
+                  case Cast::Mode::kSExt:
+                    slots[s.dest] = truncate(
+                        static_cast<uint64_t>(signExtend(v, s.c)), s.bits);
+                    break;
+                  case Cast::Mode::kTrunc:
+                    slots[s.dest] = truncate(v, s.bits);
+                    break;
+                }
+                break;
+              }
+              case Step::Op::kFifoValid:
+                slots[s.dest] = fifos[s.aux].count > 0;
+                break;
+              case Step::Op::kFifoPeek:
+                slots[s.dest] = fifos[s.aux].peek();
+                break;
+              case Step::Op::kArrayRead: {
+                const ArrState &arr = arrays[s.aux];
+                uint64_t idx = slots[s.a];
+                slots[s.dest] =
+                    idx < arr.data.size() ? arr.data[idx] : 0;
+                break;
+              }
+              case Step::Op::kPredAnd:
+                slots[s.dest] = slots[s.a] & slots[s.b];
+                break;
+              case Step::Op::kWaitCheck:
+                if (!slots[s.a])
+                    return false;
+                break;
+              case Step::Op::kSkipIfFalse:
+                if (!slots[s.a])
+                    pc += s.aux;
+                break;
+              case Step::Op::kDequeue:
+                if (s.pred == kNoPred || slots[s.pred])
+                    fifos[s.aux].deq_pending = true;
+                break;
+              case Step::Op::kPush:
+                if (s.pred == kNoPred || slots[s.pred]) {
+                    FifoState &f = fifos[s.aux];
+                    if (f.push_pending)
+                        fatal("cycle ", cycle, ": multiple pushes to FIFO '",
+                              f.port->owner()->name(), ".", f.port->name(),
+                              "' in one cycle");
+                    f.push_pending = true;
+                    f.push_val = truncate(slots[s.a], s.bits);
+                }
+                break;
+              case Step::Op::kArrayWrite:
+                if (s.pred == kNoPred || slots[s.pred]) {
+                    ArrState &arr = arrays[s.aux];
+                    uint64_t idx = slots[s.a];
+                    if (idx >= arr.data.size())
+                        fatal("cycle ", cycle, ": out-of-range write to '",
+                              arr.array->name(), "[", idx, "]'");
+                    // The to_write bookkeeping of Fig. 9 b.2: one write
+                    // per register array per cycle.
+                    if (arr.write_pending)
+                        fatal("cycle ", cycle, ": register array '",
+                              arr.array->name(),
+                              "' written twice in one cycle");
+                    arr.write_pending = true;
+                    arr.widx = idx;
+                    arr.wval = truncate(slots[s.b], s.bits);
+                }
+                break;
+              case Step::Op::kSubscribe:
+                if (s.pred == kNoPred || slots[s.pred]) {
+                    mods[s.aux].inc += 1;
+                    ++total_subs;
+                }
+                break;
+              case Step::Op::kLog:
+                if (s.pred == kNoPred || slots[s.pred])
+                    emitLog(static_cast<const Log *>(s.inst));
+                break;
+              case Step::Op::kAssertEff:
+                if ((s.pred == kNoPred || slots[s.pred]) && !slots[s.a])
+                    fatal("cycle ", cycle, ": assertion failed: ",
+                          static_cast<const AssertInst *>(s.inst)->msg());
+                break;
+              case Step::Op::kFinishEff:
+                if (s.pred == kNoPred || slots[s.pred])
+                    finish_pending = true;
+                break;
+            }
+        }
+        return true;
+    }
+
+    void
+    emitLog(const Log *lg)
+    {
+        if (!opts.capture_logs && !opts.echo_logs)
+            return;
+        std::ostringstream os;
+        const std::string &fmt = lg->fmt();
+        size_t arg = 0;
+        for (size_t i = 0; i < fmt.size(); ++i) {
+            if (i + 1 < fmt.size() && fmt[i] == '{' && fmt[i + 1] == '}') {
+                Value *v = lg->args()[arg++];
+                uint64_t raw = slots.at(slotOf(v));
+                if (v->type().isSigned())
+                    os << v->type().asSigned(raw);
+                else
+                    os << raw;
+                ++i;
+            } else {
+                os << fmt[i];
+            }
+        }
+        if (opts.echo_logs)
+            std::fprintf(stdout, "%s\n", os.str().c_str());
+        if (opts.capture_logs)
+            logs.push_back(os.str());
+    }
+
+    void
+    stepCycle()
+    {
+        // Phase 0: shadow evaluation of exposed combinational cones, in
+        // topological order, from state at the start of the cycle.
+        for (uint32_t mid : topo_idx)
+            if (!progs[mid].shadow.empty())
+                runProgram(progs[mid].shadow);
+
+        // Phase 1: stage execution.
+        const std::vector<uint32_t> *order = &topo_idx;
+        if (opts.shuffle) {
+            shuffle_scratch = topo_idx;
+            rng.shuffle(shuffle_scratch);
+            order = &shuffle_scratch;
+        }
+        for (uint32_t mid : *order) {
+            ModState &ms = mods[mid];
+            ms.strobe = false;
+            ms.waited = false;
+            bool pending = ms.mod->isDriver() || ms.pending > 0;
+            if (!pending)
+                continue;
+            if (runProgram(progs[mid].active)) {
+                ++ms.execs;
+                ++total_execs;
+                ms.strobe = true;
+                if (!ms.mod->isDriver())
+                    ms.dec = true;
+            } else {
+                ms.waited = true;
+            }
+        }
+
+        // Phase 2: commit buffered side effects.
+        for (FifoState &f : fifos) {
+            if (f.deq_pending && f.count) {
+                f.head = (f.head + 1) % f.buf.size();
+                --f.count;
+            }
+            f.deq_pending = false;
+            if (f.push_pending) {
+                if (f.count == f.buf.size())
+                    fatal("cycle ", cycle, ": FIFO overflow on '",
+                          f.port->owner()->name(), ".", f.port->name(),
+                          "' (depth ", f.buf.size(),
+                          "); tune fifo_depth or add backpressure");
+                f.buf[(f.head + f.count) % f.buf.size()] = f.push_val;
+                ++f.count;
+                f.push_pending = false;
+            }
+        }
+        for (ArrState &arr : arrays) {
+            if (arr.write_pending) {
+                arr.data[arr.widx] = arr.wval;
+                arr.write_pending = false;
+            }
+        }
+        for (ModState &ms : mods) {
+            ms.pending = ms.pending - (ms.dec ? 1 : 0) + ms.inc;
+            if (ms.pending > opts.max_pending_events)
+                fatal("cycle ", cycle, ": event counter overflow on stage '",
+                      ms.mod->name(), "'");
+            ms.dec = false;
+            ms.inc = 0;
+        }
+        if (vcd)
+            sampleVcd();
+        if (trace_file)
+            writeTrace();
+        ++cycle;
+        if (finish_pending)
+            finished = true;
+    }
+
+    /** One event-trace line per cycle with any activity. */
+    void
+    writeTrace()
+    {
+        bool any = false;
+        for (const ModState &ms : mods)
+            any |= ms.strobe || ms.waited;
+        if (!any)
+            return;
+        std::fprintf(trace_file, "#%llu:", (unsigned long long)cycle);
+        for (uint32_t mid : topo_idx) {
+            const ModState &ms = mods[mid];
+            if (ms.strobe)
+                std::fprintf(trace_file, " %s", ms.mod->name().c_str());
+            else if (ms.waited)
+                std::fprintf(trace_file, " %s(wait)",
+                             ms.mod->name().c_str());
+        }
+        std::fprintf(trace_file, "\n");
+        std::fflush(trace_file);
+    }
+};
+
+Simulator::Simulator(const System &sys, SimOptions opts)
+    : impl_(std::make_unique<Impl>(sys, opts))
+{}
+
+Simulator::~Simulator() = default;
+
+uint64_t
+Simulator::run(uint64_t max_cycles)
+{
+    uint64_t start = impl_->cycle;
+    while (!impl_->finished && impl_->cycle - start < max_cycles)
+        impl_->stepCycle();
+    return impl_->cycle - start;
+}
+
+bool Simulator::finished() const { return impl_->finished; }
+uint64_t Simulator::cycle() const { return impl_->cycle; }
+
+uint64_t
+Simulator::readArray(const RegArray *array, size_t index) const
+{
+    const ArrState &arr = impl_->arrays.at(impl_->array_id.at(array));
+    if (index >= arr.data.size())
+        fatal("readArray: index ", index, " out of range for '",
+              array->name(), "'");
+    return arr.data[index];
+}
+
+void
+Simulator::writeArray(const RegArray *array, size_t index, uint64_t value)
+{
+    ArrState &arr = impl_->arrays.at(impl_->array_id.at(array));
+    if (index >= arr.data.size())
+        fatal("writeArray: index ", index, " out of range for '",
+              array->name(), "'");
+    arr.data[index] = truncate(value, array->elemType().bits());
+}
+
+const std::vector<std::string> &
+Simulator::logOutput() const
+{
+    return impl_->logs;
+}
+
+uint64_t
+Simulator::executions(const Module *mod) const
+{
+    return impl_->mods.at(impl_->mod_id.at(mod)).execs;
+}
+
+SimStats
+Simulator::stats() const
+{
+    return {impl_->cycle, impl_->total_execs, impl_->total_subs};
+}
+
+} // namespace sim
+} // namespace assassyn

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The Assassyn-generated cycle-accurate simulator (paper Sec. 5.1).
+ *
+ * The paper's toolchain emits a Rust simulator from the lowered IR; this
+ * reproduction instead compiles the lowered IR into a compact register-VM
+ * program per stage and drives it with the two-phase engine of Fig. 9:
+ *
+ *   phase 1 (stage execution): traverse stages in the topological order of
+ *     Sec. 4.1; a stage with a pending event evaluates its wait_until and,
+ *     when it holds, runs its body. Register writes, FIFO operations and
+ *     event subscriptions are buffered, not applied.
+ *   phase 2 (commit): buffered side effects commit — FIFO dequeues, then
+ *     pushes, register writes (write-once enforced, Fig. 9 b.2/b.3), and
+ *     event-counter updates.
+ *
+ * Combinational values exposed for cross-stage reference are evaluated
+ *every cycle in a cheap per-stage "shadow" pass, exactly mirroring the
+ * always-on combinational wires of the generated RTL; this is what makes
+ * the simulator and the netlist backend cycle-exact against each other.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/ir/system.h"
+#include "support/rng.h"
+
+namespace assassyn {
+namespace sim {
+
+/** Runtime configuration of a simulation. */
+struct SimOptions {
+    /**
+     * Shuffle stage execution order each cycle (Sec. 5.1 randomization).
+     * The shadow pass keeps cross-stage reads well-defined, so results
+     * must be invariant; tests assert exactly that.
+     */
+    bool shuffle = false;
+    uint64_t shuffle_seed = 1;
+
+    /** Collect log() output; disable for pure-throughput benchmarks. */
+    bool capture_logs = true;
+
+    /** Also echo log() lines to stdout. */
+    bool echo_logs = false;
+
+    /**
+     * When nonempty, stream a VCD waveform here: register-array elements
+     * (arrays up to 64 entries), stage execution strobes, and FIFO
+     * occupancies, sampled once per cycle.
+     */
+    std::string vcd_path;
+
+    /**
+     * When nonempty, stream a human-readable event trace here: one line
+     * per cycle with activity, naming the stages that executed and the
+     * stages spinning on a wait_until. The serialized-trace debugging
+     * story of paper Sec. 7 Q5.
+     */
+    std::string trace_path;
+
+    /** Event-counter saturation bound, mirroring the 8-bit RTL counter. */
+    uint64_t max_pending_events = 255;
+};
+
+/** Aggregate statistics of a finished run. */
+struct SimStats {
+    uint64_t cycles = 0;
+    uint64_t total_stage_executions = 0;
+    uint64_t total_events_subscribed = 0;
+};
+
+/**
+ * Executes one compiled System. Construct once, then run(); architectural
+ * state (register arrays) is inspectable before and after.
+ */
+class Simulator {
+  public:
+    explicit Simulator(const System &sys, SimOptions opts = {});
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /**
+     * Run until finish() executes or @p max_cycles elapse.
+     * @return the number of cycles simulated.
+     */
+    uint64_t run(uint64_t max_cycles);
+
+    /** True once a finish() instruction committed. */
+    bool finished() const;
+
+    /** Cycles simulated so far. */
+    uint64_t cycle() const;
+
+    /** Read one element of a register array. */
+    uint64_t readArray(const RegArray *array, size_t index) const;
+
+    /** Overwrite one element of a register array (testbench poke). */
+    void writeArray(const RegArray *array, size_t index, uint64_t value);
+
+    /** Captured log() lines, in execution order. */
+    const std::vector<std::string> &logOutput() const;
+
+    /** Number of times a stage's body executed. */
+    uint64_t executions(const Module *mod) const;
+
+    /** Run statistics so far. */
+    SimStats stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace sim
+} // namespace assassyn

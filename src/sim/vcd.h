@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Value-change-dump (VCD) tracing for the cycle-accurate simulator.
+ *
+ * The paper's Fig. 2(d) observation — the event trace and the RTL
+ * waveform are the same data transposed — is directly inspectable here:
+ * enable tracing via SimOptions::vcd_path and open the dump in any
+ * waveform viewer. Traced signals: every register-array element (arrays
+ * up to 64 entries; larger arrays are memories), each stage's
+ * executed-this-cycle strobe, and each FIFO's occupancy.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace assassyn {
+namespace sim {
+
+/** Streams a 2-state VCD file; values are sampled once per cycle. */
+class VcdWriter {
+  public:
+    explicit VcdWriter(const std::string &path)
+    {
+        file_ = std::fopen(path.c_str(), "w");
+        if (!file_)
+            fatal("cannot open VCD file '", path, "'");
+    }
+
+    ~VcdWriter()
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+
+    VcdWriter(const VcdWriter &) = delete;
+    VcdWriter &operator=(const VcdWriter &) = delete;
+
+    /** Declare one signal; call before writeHeader. Returns its index. */
+    size_t
+    addSignal(const std::string &name, unsigned bits)
+    {
+        Signal s;
+        s.name = name;
+        s.bits = bits;
+        s.code = encode(signals_.size());
+        s.last = ~uint64_t(0); // force the first emission
+        signals_.push_back(std::move(s));
+        return signals_.size() - 1;
+    }
+
+    /** Emit the declaration header. */
+    void
+    writeHeader(const std::string &design)
+    {
+        std::fprintf(file_, "$date reproduction run $end\n");
+        std::fprintf(file_, "$version assassyn-cpp $end\n");
+        std::fprintf(file_, "$timescale 1ns $end\n");
+        std::fprintf(file_, "$scope module %s $end\n", design.c_str());
+        for (const Signal &s : signals_) {
+            std::fprintf(file_, "$var wire %u %s %s $end\n", s.bits,
+                         s.code.c_str(), s.name.c_str());
+        }
+        std::fprintf(file_, "$upscope $end\n$enddefinitions $end\n");
+    }
+
+    /** Begin a sample at @p cycle; then call set() for each signal. */
+    void
+    beginCycle(uint64_t cycle)
+    {
+        std::fprintf(file_, "#%llu\n", (unsigned long long)cycle);
+    }
+
+    /** Record one signal's current value (emitted only on change). */
+    void
+    set(size_t idx, uint64_t value)
+    {
+        Signal &s = signals_[idx];
+        if (value == s.last)
+            return;
+        s.last = value;
+        if (s.bits == 1) {
+            std::fprintf(file_, "%c%s\n", value ? '1' : '0',
+                         s.code.c_str());
+            return;
+        }
+        char buf[80];
+        int pos = 0;
+        buf[pos++] = 'b';
+        bool seen = false;
+        for (int b = int(s.bits) - 1; b >= 0; --b) {
+            int bit = int((value >> b) & 1);
+            if (bit)
+                seen = true;
+            if (seen || b == 0)
+                buf[pos++] = char('0' + bit);
+        }
+        buf[pos] = '\0';
+        std::fprintf(file_, "%s %s\n", buf, s.code.c_str());
+    }
+
+    size_t numSignals() const { return signals_.size(); }
+
+    /** Push buffered records to disk (called once per sampled cycle). */
+    void flush() { std::fflush(file_); }
+
+  private:
+    struct Signal {
+        std::string name;
+        unsigned bits;
+        std::string code;
+        uint64_t last;
+    };
+
+    /** Short printable identifier codes, base-94. */
+    static std::string
+    encode(size_t n)
+    {
+        std::string code;
+        do {
+            code += char('!' + n % 94);
+            n /= 94;
+        } while (n);
+        return code;
+    }
+
+    FILE *file_ = nullptr;
+    std::vector<Signal> signals_;
+};
+
+} // namespace sim
+} // namespace assassyn

@@ -1,0 +1,28 @@
+#include "support/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace assassyn {
+namespace detail {
+
+namespace {
+std::mutex io_mutex;
+} // namespace
+
+void
+emitWarning(const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(io_mutex);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+emitInform(const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(io_mutex);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace assassyn

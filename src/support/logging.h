@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Diagnostic primitives for the Assassyn toolchain.
+ *
+ * Follows the gem5 split between user-facing errors and internal bugs:
+ *  - fatal(): the *design or input* is wrong (e.g. a combinational cycle,
+ *    a register written twice in one cycle). Raises FatalError so callers
+ *    (and tests) can observe and recover.
+ *  - panic(): the *toolchain itself* is broken. Raises InternalError.
+ *  - warn()/inform(): non-fatal status messages on stderr.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace assassyn {
+
+/** Error caused by an invalid design or invalid user input. */
+class FatalError : public std::runtime_error {
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error caused by a bug inside the Assassyn toolchain itself. */
+class InternalError : public std::logic_error {
+  public:
+    explicit InternalError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** Fold a pack of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void emitWarning(const std::string &msg);
+void emitInform(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a user-level (design) error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort with a toolchain-internal error. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw InternalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning that does not stop elaboration or simulation. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitWarning(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitInform(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Assert an internal invariant; violation is a toolchain bug. */
+inline void
+assertThat(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw InternalError("assertion failed: " + msg);
+}
+
+} // namespace assassyn

@@ -1,0 +1,152 @@
+#include "synth/area.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+
+namespace assassyn {
+namespace synth {
+
+namespace {
+
+/** Gate-equivalents of one combinational cell. */
+double
+cellGe(const rtl::Netlist &nl, const rtl::Cell &cell, const AreaConfig &cfg)
+{
+    const double w = cell.bits;
+    const double ow = std::max(1u, cell.opnd_bits);
+    switch (cell.op) {
+      case rtl::CellOp::kBin: {
+        auto op = static_cast<BinOpcode>(cell.sub);
+        switch (op) {
+          case BinOpcode::kAdd:
+          case BinOpcode::kSub:
+            return cfg.full_adder * w;
+          case BinOpcode::kMul:
+            // Array multiplier: ~w/2 rows of w-bit carry-save adders.
+            return cfg.full_adder * ow * ow / 2.0;
+          case BinOpcode::kDiv:
+          case BinOpcode::kMod:
+            // Restoring divider, w iterations of a w-bit subtract/mux.
+            return (cfg.full_adder + cfg.mux_bit) * ow * ow;
+          case BinOpcode::kAnd:
+          case BinOpcode::kOr:
+            return cfg.logic_bit * w;
+          case BinOpcode::kXor:
+            return cfg.xor_bit * w;
+          case BinOpcode::kShl:
+          case BinOpcode::kShr:
+            // A constant shift is wiring; a variable shift is a barrel.
+            if (nl.constNets().count(cell.b))
+                return 0.0;
+            return cfg.mux_bit * ow * log2ceil(ow ? uint64_t(ow) : 1);
+          case BinOpcode::kEq:
+          case BinOpcode::kNe:
+            return cfg.xor_bit * ow + cfg.logic_bit * ow;
+          case BinOpcode::kLt:
+          case BinOpcode::kLe:
+          case BinOpcode::kGt:
+          case BinOpcode::kGe:
+            return cfg.full_adder * ow;
+        }
+        return 0.0;
+      }
+      case rtl::CellOp::kUn:
+        switch (static_cast<UnOpcode>(cell.sub)) {
+          case UnOpcode::kNot:
+            return cfg.not_bit * w;
+          case UnOpcode::kNeg:
+            return cfg.full_adder * w;
+          case UnOpcode::kRedOr:
+          case UnOpcode::kRedAnd:
+            return cfg.logic_bit * ow;
+        }
+        return 0.0;
+      case rtl::CellOp::kSlice:
+      case rtl::CellOp::kConcat:
+      case rtl::CellOp::kCast:
+        return 0.0; // pure wiring
+      case rtl::CellOp::kMux:
+        return cfg.mux_bit * w;
+      case rtl::CellOp::kArrayRead: {
+        const RegArray *arr = nl.arrays()[cell.aux].array;
+        if (arr->isMemory())
+            return 0.0; // blackboxed SRAM macro
+        // Read mux tree over the whole array.
+        return cfg.mux_bit * w * double(arr->size() - 1) +
+               cfg.logic_bit * double(arr->size());
+      }
+    }
+    return 0.0;
+}
+
+} // namespace
+
+AreaReport
+estimateArea(const rtl::Netlist &nl, const AreaConfig &cfg)
+{
+    AreaReport rep;
+    auto account = [&](double ge, rtl::OriginTag tag, bool seq,
+                       const Module *origin) {
+        double um2 = ge * cfg.um2_per_ge;
+        switch (tag) {
+          case rtl::OriginTag::kFunc: rep.func += um2; break;
+          case rtl::OriginTag::kFifo: rep.fifo += um2; break;
+          case rtl::OriginTag::kSm:   rep.sm += um2; break;
+        }
+        (seq ? rep.seq : rep.comb) += um2;
+        if (origin)
+            rep.per_module[origin->name()] += um2;
+        else
+            rep.per_module["<shared>"] += um2;
+    };
+
+    for (const rtl::Cell &cell : nl.cells())
+        account(cellGe(nl, cell, cfg), cell.tag, /*seq=*/false, cell.origin);
+
+    for (const rtl::FifoBlock &blk : nl.fifos()) {
+        const Module *owner = blk.port->owner();
+        double w = blk.width;
+        double d = blk.depth;
+        // Payload registers plus front/count pointers.
+        double ptr_bits = 2.0 * (log2ceil(blk.depth) + 1);
+        account(cfg.dff * (w * d + ptr_bits), rtl::OriginTag::kFifo,
+                /*seq=*/true, owner);
+        // Read mux across slots, push gather, pointer update logic.
+        double comb = cfg.mux_bit * w * (d - 1) +
+                      cfg.full_adder * ptr_bits +
+                      cfg.mux_bit * w *
+                          std::max<size_t>(1, blk.pushes.size() - 1) +
+                      15.0;
+        account(comb, rtl::OriginTag::kFifo, /*seq=*/false, owner);
+    }
+
+    for (const rtl::ArrayBlock &blk : nl.arrays()) {
+        const RegArray *arr = blk.array;
+        if (arr->isMemory())
+            continue; // blackboxed
+        double w = arr->elemType().bits();
+        account(cfg.dff * w * double(arr->size()), rtl::OriginTag::kFunc,
+                /*seq=*/true, nullptr);
+        // Write-address decode and write-data gather (Fig. 10c).
+        double comb = cfg.logic_bit * double(arr->size()) +
+                      cfg.mux_bit * w *
+                          std::max<size_t>(1, blk.writes.size() - 1);
+        account(comb, rtl::OriginTag::kFunc, /*seq=*/false, nullptr);
+    }
+
+    for (const rtl::CounterBlock &blk : nl.counters()) {
+        // 8-bit counter register plus the gather adder and the non-zero
+        // detector (Fig. 10b).
+        account(cfg.dff * 8.0, rtl::OriginTag::kSm, /*seq=*/true, blk.mod);
+        double comb = cfg.full_adder * 8.0 *
+                          std::max<size_t>(1, blk.incs.size()) +
+                      cfg.logic_bit * 8.0;
+        account(comb, rtl::OriginTag::kSm, /*seq=*/false, blk.mod);
+    }
+
+    return rep;
+}
+
+} // namespace synth
+} // namespace assassyn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Synthesis area model: this repo's stand-in for Yosys + the ASAP7 7nm
+ * predictive PDK (paper Sec. 6).
+ *
+ * Word-level netlist cells are decomposed into primitive-gate counts
+ * (NAND2-equivalents, "GE") and priced with an ASAP7-flavoured cost per
+ * GE. The model is consistent rather than absolute: the paper's area
+ * questions (Q3/Q4) compare Assassyn-generated designs against references
+ * and break area down by component class, both of which survive any
+ * uniform scaling. Memory-tagged arrays are excluded, mirroring the
+ * paper's (*blackbox*) directive for memory modules.
+ *
+ * Provenance tags on netlist structures produce the Fig. 13 breakdown
+ * (func / fifo / sm) and the Fig. 14 / Fig. 17b sequential-vs-
+ * combinational split.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "rtl/netlist.h"
+
+namespace assassyn {
+namespace synth {
+
+/** Technology constants (gate-equivalents per primitive, µm² per GE). */
+struct AreaConfig {
+    double um2_per_ge = 0.054; ///< ASAP7-like NAND2 footprint
+    double dff = 9.0;          ///< flip-flop, per bit
+    double full_adder = 6.5;   ///< ripple-carry add/sub, per bit
+    double mux_bit = 2.5;      ///< 2:1 mux, per bit
+    double xor_bit = 2.5;
+    double logic_bit = 1.0;    ///< and/or per bit
+    double not_bit = 0.75;
+};
+
+/** Area report in µm². */
+struct AreaReport {
+    double func = 0;
+    double fifo = 0;
+    double sm = 0;
+    double seq = 0;
+    double comb = 0;
+    std::map<std::string, double> per_module;
+
+    double total() const { return func + fifo + sm; }
+};
+
+/** Estimate the synthesized area of an elaborated design. */
+AreaReport estimateArea(const rtl::Netlist &nl, const AreaConfig &cfg = {});
+
+} // namespace synth
+} // namespace assassyn

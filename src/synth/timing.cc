@@ -1,0 +1,186 @@
+#include "synth/timing.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+
+namespace assassyn {
+namespace synth {
+
+namespace {
+
+const char *
+cellKind(const rtl::Cell &cell)
+{
+    switch (cell.op) {
+      case rtl::CellOp::kBin:
+        switch (static_cast<BinOpcode>(cell.sub)) {
+          case BinOpcode::kAdd: return "add";
+          case BinOpcode::kSub: return "sub";
+          case BinOpcode::kMul: return "mul";
+          case BinOpcode::kDiv: return "div";
+          case BinOpcode::kMod: return "mod";
+          case BinOpcode::kAnd: return "and";
+          case BinOpcode::kOr:  return "or";
+          case BinOpcode::kXor: return "xor";
+          case BinOpcode::kShl: return "shl";
+          case BinOpcode::kShr: return "shr";
+          case BinOpcode::kEq:  return "eq";
+          case BinOpcode::kNe:  return "ne";
+          case BinOpcode::kLt:  return "lt";
+          case BinOpcode::kLe:  return "le";
+          case BinOpcode::kGt:  return "gt";
+          case BinOpcode::kGe:  return "ge";
+        }
+        return "bin";
+      case rtl::CellOp::kUn: return "unary";
+      case rtl::CellOp::kSlice: return "slice";
+      case rtl::CellOp::kConcat: return "concat";
+      case rtl::CellOp::kMux: return "mux";
+      case rtl::CellOp::kCast: return "cast";
+      case rtl::CellOp::kArrayRead: return "array-read";
+    }
+    return "?";
+}
+
+/** Propagation delay of one cell. */
+double
+cellDelay(const rtl::Netlist &nl, const rtl::Cell &cell,
+          const TimingConfig &cfg)
+{
+    double w = std::max(1u, cell.opnd_bits ? cell.opnd_bits : cell.bits);
+    double lg = double(log2ceil(uint64_t(w)));
+    switch (cell.op) {
+      case rtl::CellOp::kBin:
+        switch (static_cast<BinOpcode>(cell.sub)) {
+          case BinOpcode::kAdd:
+          case BinOpcode::kSub:
+          case BinOpcode::kLt:
+          case BinOpcode::kLe:
+          case BinOpcode::kGt:
+          case BinOpcode::kGe:
+            return cfg.adder_base + cfg.adder_log * lg;
+          case BinOpcode::kMul:
+            return cfg.mul_scale * (cfg.adder_base + cfg.adder_log * lg);
+          case BinOpcode::kDiv:
+          case BinOpcode::kMod:
+            return cfg.div_per_bit * w;
+          case BinOpcode::kEq:
+          case BinOpcode::kNe:
+            return cfg.gate + cfg.gate * lg; // xor + reduce tree
+          case BinOpcode::kShl:
+          case BinOpcode::kShr:
+            if (nl.constNets().count(cell.b))
+                return 0.0; // constant shift is wiring
+            return cfg.mux * lg; // barrel stages
+          default:
+            return cfg.gate;
+        }
+      case rtl::CellOp::kUn:
+        switch (static_cast<UnOpcode>(cell.sub)) {
+          case UnOpcode::kRedOr:
+          case UnOpcode::kRedAnd:
+            return cfg.gate * lg;
+          default:
+            return cfg.gate;
+        }
+      case rtl::CellOp::kSlice:
+      case rtl::CellOp::kConcat:
+      case rtl::CellOp::kCast:
+        return 0.0; // wiring
+      case rtl::CellOp::kMux:
+        return cfg.mux;
+      case rtl::CellOp::kArrayRead: {
+        const RegArray *arr = nl.arrays()[cell.aux].array;
+        return cfg.array_log *
+               double(log2ceil(uint64_t(std::max<size_t>(2,
+                                                          arr->size()))));
+      }
+    }
+    return 0.0;
+}
+
+} // namespace
+
+TimingReport
+estimateTiming(const rtl::Netlist &nl, const TimingConfig &cfg)
+{
+    // Arrival time per net; state-driven nets and constants start at 0.
+    std::vector<double> arrival(nl.numNets(), 0.0);
+    // Predecessor cell index per net, for path extraction.
+    std::vector<int> from(nl.numNets(), -1);
+
+    const auto &cells = nl.cells();
+    for (size_t ci = 0; ci < cells.size(); ++ci) {
+        const rtl::Cell &cell = cells[ci];
+        double in = arrival[cell.a];
+        uint32_t argmax = cell.a;
+        auto consider = [&](uint32_t net) {
+            if (net < arrival.size() && arrival[net] > in) {
+                in = arrival[net];
+                argmax = net;
+            }
+        };
+        switch (cell.op) {
+          case rtl::CellOp::kBin:
+            consider(cell.b);
+            break;
+          case rtl::CellOp::kConcat:
+            consider(cell.b);
+            break;
+          case rtl::CellOp::kMux:
+            consider(cell.b);
+            consider(cell.c);
+            break;
+          default:
+            break;
+        }
+        arrival[cell.out] = in + cellDelay(nl, cell, cfg);
+        from[cell.out] = int(ci);
+        (void)argmax;
+    }
+
+    TimingReport rep;
+    uint32_t worst_net = 0;
+    for (uint32_t net = 0; net < nl.numNets(); ++net) {
+        if (arrival[net] > rep.critical_path_ps) {
+            rep.critical_path_ps = arrival[net];
+            worst_net = net;
+        }
+    }
+    rep.fmax_ghz = rep.critical_path_ps > 0
+                       ? 1000.0 / rep.critical_path_ps
+                       : 0.0;
+
+    // Walk the path backwards through worst-input cells.
+    std::vector<TimingHop> rev;
+    uint32_t net = worst_net;
+    while (from[net] >= 0 && rev.size() < 64) {
+        const rtl::Cell &cell = cells[size_t(from[net])];
+        std::string where =
+            cell.origin ? cell.origin->name() : std::string("<top>");
+        rev.push_back({std::string(cellKind(cell)) + " @" + where,
+                       arrival[net]});
+        // Find the worst input to continue the walk.
+        uint32_t next = cell.a;
+        auto better = [&](uint32_t cand) {
+            if (cand < arrival.size() && arrival[cand] > arrival[next])
+                next = cand;
+        };
+        if (cell.op == rtl::CellOp::kBin ||
+            cell.op == rtl::CellOp::kConcat)
+            better(cell.b);
+        if (cell.op == rtl::CellOp::kMux) {
+            better(cell.b);
+            better(cell.c);
+        }
+        if (next == net)
+            break;
+        net = next;
+    }
+    rep.path.assign(rev.rbegin(), rev.rend());
+    return rep;
+}
+
+} // namespace synth
+} // namespace assassyn

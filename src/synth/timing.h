@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Pre-synthesis critical-path analysis: the backend extension the paper
+ * lists as future work (Sec. 8.2 — "automatically find the critical
+ * path of a design before synthesis").
+ *
+ * The language's clean combinational/sequential split makes this a pure
+ * graph problem: every combinational cell gets a delay from an
+ * ASAP7-flavoured model, path start points are sequential outputs
+ * (register/FIFO/counter state and constants), and the critical path is
+ * the longest arrival time over the levelized netlist. The report names
+ * the stages the path traverses, so cross-stage combinational chains
+ * (e.g. a bypass network feeding a wait condition) are visible before
+ * any synthesis tool runs.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rtl/netlist.h"
+
+namespace assassyn {
+namespace synth {
+
+/** Per-primitive delays in picoseconds (7nm-flavoured). */
+struct TimingConfig {
+    double gate = 9.0;       ///< simple 2-input gate
+    double mux = 12.0;       ///< 2:1 mux
+    double adder_base = 14.0;///< carry-lookahead fixed part
+    double adder_log = 8.0;  ///< ... plus this per log2(width)
+    double mul_scale = 2.6;  ///< multiplier ~= scale x adder delay
+    double div_per_bit = 28.0; ///< iterative divider per result bit
+    double array_log = 7.0;  ///< read mux tree per log2(entries)
+};
+
+/** One hop of the reported critical path. */
+struct TimingHop {
+    std::string describe; ///< cell kind + owning stage
+    double arrival_ps;    ///< arrival time at the cell output
+};
+
+/** The analysis result. */
+struct TimingReport {
+    double critical_path_ps = 0;
+    double fmax_ghz = 0;
+    std::vector<TimingHop> path; ///< start to end
+};
+
+/** Longest combinational path over an elaborated design. */
+TimingReport estimateTiming(const rtl::Netlist &nl,
+                            const TimingConfig &cfg = {});
+
+} // namespace synth
+} // namespace assassyn

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Integration tests for the five accelerator workloads: the hand-written
+ * Assassyn designs and the mini-HLS baselines must both produce golden
+ * results over the same memory image, the Assassyn designs must show the
+ * paper's qualitative speedups (Q3, Fig. 15b), and designs must align
+ * between the two simulation backends.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/hls_workloads.h"
+#include "designs/accel.h"
+#include "rtl/netlist.h"
+#include "rtl/netlist_sim.h"
+#include "sim/simulator.h"
+
+namespace assassyn {
+namespace {
+
+using namespace designs;
+
+uint64_t
+runToFinish(System &sys, const RegArray *mem,
+            std::vector<uint32_t> *mem_out, uint64_t max_cycles = 5000000)
+{
+    sim::Simulator s(sys);
+    s.run(max_cycles);
+    if (!s.finished())
+        fatal("design did not finish");
+    if (mem_out) {
+        mem_out->resize(mem->size());
+        for (size_t i = 0; i < mem->size(); ++i)
+            (*mem_out)[i] = uint32_t(s.readArray(mem, i));
+    }
+    return s.cycle();
+}
+
+// ---- HLS generator unit tests ---------------------------------------------
+
+TEST(HlsGenTest, ChainsPureOpsIntoOneState)
+{
+    baseline::HlsBuilder hb("chain");
+    int a = hb.vreg(), b = hb.vreg();
+    hb.constant(a, 5);
+    hb.binImm(BinOpcode::kAdd, b, a, 3);
+    hb.binImm(BinOpcode::kMul, b, b, 2);
+    hb.halt();
+    auto prog = hb.finish();
+    auto design = baseline::generateHls(prog, std::vector<uint32_t>(4, 0));
+    // Everything chains into a single state (halt ends it).
+    EXPECT_EQ(design.num_states, 1u);
+}
+
+TEST(HlsGenTest, MemoryOpsSplitStates)
+{
+    baseline::HlsBuilder hb("mem2");
+    int a = hb.vreg(), b = hb.vreg(), addr = hb.vreg();
+    hb.constant(addr, 0);
+    hb.load(a, addr);
+    hb.load(b, addr); // exclusive memory: must start a new state
+    hb.bin(BinOpcode::kAdd, a, a, b);
+    hb.store(addr, a); // third memory access: third state
+    hb.halt();
+    auto prog = hb.finish();
+    auto design = baseline::generateHls(prog, std::vector<uint32_t>(4, 7));
+    EXPECT_EQ(design.num_states, 3u);
+}
+
+TEST(HlsGenTest, LoopExecutesCorrectly)
+{
+    // sum = 0; for (i = 0; i < 10; i++) sum += mem[i]; mem[10] = sum
+    baseline::HlsBuilder hb("sum");
+    int i = hb.vreg(), sum = hb.vreg(), v = hb.vreg(), c = hb.vreg();
+    hb.constant(i, 0);
+    hb.constant(sum, 0);
+    hb.label("loop");
+    hb.load(v, i);
+    hb.bin(BinOpcode::kAdd, sum, sum, v);
+    hb.binImm(BinOpcode::kAdd, i, i, 1);
+    hb.binImm(BinOpcode::kLt, c, i, 10);
+    hb.br(c, "loop");
+    hb.constant(i, 10);
+    hb.store(i, sum);
+    hb.halt();
+    auto prog = hb.finish();
+    std::vector<uint32_t> mem(16);
+    uint32_t expect = 0;
+    for (uint32_t k = 0; k < 10; ++k) {
+        mem[k] = k * 3 + 1;
+        expect += mem[k];
+    }
+    auto design = baseline::generateHls(prog, mem);
+    std::vector<uint32_t> out;
+    uint64_t cycles = runToFinish(*design.sys, design.mem, &out, 1000);
+    EXPECT_EQ(out[10], expect);
+    // One state per iteration (load chains with the add/branch).
+    EXPECT_LT(cycles, 10 * 2 + 6);
+}
+
+TEST(HlsGenTest, UndefinedLabelFatal)
+{
+    baseline::HlsBuilder hb("bad");
+    int c = hb.vreg();
+    hb.constant(c, 1);
+    hb.br(c, "nowhere");
+    hb.halt();
+    EXPECT_THROW(hb.finish(), FatalError);
+}
+
+// ---- Functional correctness: Assassyn versions ----------------------------
+
+TEST(AccelTest, KmpAssassyn)
+{
+    KmpData data = makeKmpData(2000, 5);
+    ASSERT_GT(data.expected_matches, 0u);
+    auto design = buildKmpAccel(data);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    EXPECT_EQ(out[data.result_addr], data.expected_matches);
+}
+
+TEST(AccelTest, SpmvAssassyn)
+{
+    SpmvData data = makeSpmvData(64, 10, 6);
+    auto design = buildSpmvAccel(data);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t r = 0; r < data.n; ++r)
+        EXPECT_EQ(out[data.y_base + r], data.golden_y[r]) << "row " << r;
+}
+
+TEST(AccelTest, MergeSortAssassyn)
+{
+    SortData data = makeMergeSortData(256, 7);
+    auto design = buildMergeSortAccel(data);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t i = 0; i < data.n; ++i)
+        EXPECT_EQ(out[data.result_base + i], data.golden[i]) << "i=" << i;
+}
+
+TEST(AccelTest, RadixSortAssassyn)
+{
+    SortData data = makeRadixSortData(256, 8);
+    auto design = buildRadixSortAccel(data);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t i = 0; i < data.n; ++i)
+        EXPECT_EQ(out[data.result_base + i], data.golden[i]) << "i=" << i;
+}
+
+TEST(AccelTest, StencilAssassyn)
+{
+    StencilData data = makeStencilData(16, 16, 9);
+    auto design = buildStencilAccel(data);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t i = 0; i < data.rows * data.cols; ++i)
+        EXPECT_EQ(out[data.out_base + i], data.golden_out[i]) << "i=" << i;
+}
+
+// ---- Functional correctness: HLS baselines --------------------------------
+
+TEST(AccelTest, KmpHls)
+{
+    KmpData data = makeKmpData(2000, 5);
+    auto design = baseline::generateHls(baseline::hlsKmp(data), data.memory);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    EXPECT_EQ(out[data.result_addr], data.expected_matches);
+}
+
+TEST(AccelTest, SpmvHls)
+{
+    SpmvData data = makeSpmvData(64, 10, 6);
+    auto design = baseline::generateHls(baseline::hlsSpmv(data), data.memory);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t r = 0; r < data.n; ++r)
+        EXPECT_EQ(out[data.y_base + r], data.golden_y[r]) << "row " << r;
+}
+
+TEST(AccelTest, MergeSortHls)
+{
+    SortData data = makeMergeSortData(256, 7);
+    auto design =
+        baseline::generateHls(baseline::hlsMergeSort(data), data.memory);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t i = 0; i < data.n; ++i)
+        EXPECT_EQ(out[data.result_base + i], data.golden[i]) << "i=" << i;
+}
+
+TEST(AccelTest, RadixSortHls)
+{
+    SortData data = makeRadixSortData(256, 8);
+    auto design =
+        baseline::generateHls(baseline::hlsRadixSort(data), data.memory);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t i = 0; i < data.n; ++i)
+        EXPECT_EQ(out[data.result_base + i], data.golden[i]) << "i=" << i;
+}
+
+TEST(AccelTest, StencilHls)
+{
+    StencilData data = makeStencilData(16, 16, 9);
+    auto design =
+        baseline::generateHls(baseline::hlsStencil(data), data.memory);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t i = 0; i < data.rows * data.cols; ++i)
+        EXPECT_EQ(out[data.out_base + i], data.golden_out[i]) << "i=" << i;
+}
+
+
+TEST(AccelTest, FftAssassyn)
+{
+    FftData data = makeFftData(64, 10);
+    auto design = buildFftAccel(data);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t i = 0; i < data.n; ++i) {
+        EXPECT_EQ(out[data.re_base + i], data.golden_re[i]) << "re " << i;
+        EXPECT_EQ(out[data.im_base + i], data.golden_im[i]) << "im " << i;
+    }
+}
+
+TEST(AccelTest, FftHls)
+{
+    FftData data = makeFftData(64, 10);
+    auto design = baseline::generateHls(baseline::hlsFft(data), data.memory);
+    std::vector<uint32_t> out;
+    runToFinish(*design.sys, design.mem, &out);
+    for (uint32_t i = 0; i < data.n; ++i) {
+        EXPECT_EQ(out[data.re_base + i], data.golden_re[i]) << "re " << i;
+        EXPECT_EQ(out[data.im_base + i], data.golden_im[i]) << "im " << i;
+    }
+}
+
+TEST(AccelTest, FftSizesParameterized)
+{
+    for (uint32_t n : {8u, 16u, 128u}) {
+        FftData data = makeFftData(n, n);
+        auto design = buildFftAccel(data);
+        std::vector<uint32_t> out;
+        runToFinish(*design.sys, design.mem, &out);
+        for (uint32_t i = 0; i < n; ++i)
+            EXPECT_EQ(out[data.re_base + i], data.golden_re[i])
+                << "n=" << n << " re " << i;
+    }
+}
+
+// ---- Speedup shape (paper Fig. 15b) ---------------------------------------
+
+TEST(AccelSpeedupTest, AssassynBeatsHlsWhereThePaperSays)
+{
+    auto ratio = [&](auto make_data, auto build_assassyn, auto build_hls) {
+        auto data = make_data();
+        auto ours = build_assassyn(data);
+        auto hls = baseline::generateHls(build_hls(data), data.memory);
+        uint64_t c_ours = runToFinish(*ours.sys, ours.mem, nullptr);
+        uint64_t c_hls = runToFinish(*hls.sys, hls.mem, nullptr);
+        return double(c_hls) / double(c_ours);
+    };
+
+    double kmp = ratio([] { return makeKmpData(2000, 5); }, buildKmpAccel,
+                       baseline::hlsKmp);
+    EXPECT_GT(kmp, 3.0);
+
+    double spmv = ratio([] { return makeSpmvData(64, 10, 6); },
+                        buildSpmvAccel, baseline::hlsSpmv);
+    EXPECT_GT(spmv, 0.9);
+    EXPECT_LT(spmv, 1.5);
+
+    double merge = ratio([] { return makeMergeSortData(256, 7); },
+                         buildMergeSortAccel, baseline::hlsMergeSort);
+    EXPECT_GT(merge, 1.2);
+
+    double radix = ratio([] { return makeRadixSortData(256, 8); },
+                         buildRadixSortAccel, baseline::hlsRadixSort);
+    EXPECT_GT(radix, 1.5);
+
+    double stencil = ratio([] { return makeStencilData(16, 16, 9); },
+                           buildStencilAccel, baseline::hlsStencil);
+    EXPECT_GT(stencil, 0.8);
+    EXPECT_LT(stencil, 1.3);
+}
+
+// ---- Backend alignment ------------------------------------------------------
+
+TEST(AccelAlignmentTest, RadixAlignsAcrossBackends)
+{
+    SortData data = makeRadixSortData(64, 8);
+    auto design = buildRadixSortAccel(data);
+    sim::Simulator esim(*design.sys);
+    esim.run(100000);
+    ASSERT_TRUE(esim.finished());
+    rtl::Netlist nl(*design.sys);
+    rtl::NetlistSim rsim(nl);
+    rsim.run(100000);
+    ASSERT_TRUE(rsim.finished());
+    EXPECT_EQ(esim.cycle(), rsim.cycle());
+    for (uint32_t i = 0; i < data.n; ++i)
+        EXPECT_EQ(esim.readArray(design.mem, data.result_base + i),
+                  rsim.readArray(design.mem, data.result_base + i));
+}
+
+TEST(AccelAlignmentTest, HlsDesignAlignsAcrossBackends)
+{
+    StencilData data = makeStencilData(8, 8, 2);
+    auto design =
+        baseline::generateHls(baseline::hlsStencil(data), data.memory);
+    sim::Simulator esim(*design.sys);
+    esim.run(100000);
+    ASSERT_TRUE(esim.finished());
+    rtl::Netlist nl(*design.sys);
+    rtl::NetlistSim rsim(nl);
+    rsim.run(100000);
+    ASSERT_TRUE(rsim.finished());
+    EXPECT_EQ(esim.cycle(), rsim.cycle());
+    for (size_t i = 0; i < data.memory.size(); ++i)
+        EXPECT_EQ(esim.readArray(design.mem, i),
+                  rsim.readArray(design.mem, i));
+}
+
+} // namespace
+} // namespace assassyn

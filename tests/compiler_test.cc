@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Unit tests for the compiler passes of paper Sec. 4: cross-reference
+ * resolution, cycle detection / topological sort, the implicit wait_until
+ * timing transform, arbiter generation, and call lowering.
+ */
+#include <gtest/gtest.h>
+
+#include "core/compiler/pass.h"
+#include "core/compiler/walk.h"
+#include "core/dsl/builder.h"
+#include "core/ir/printer.h"
+
+namespace assassyn {
+namespace {
+
+using namespace dsl;
+
+size_t
+countOps(const Module &mod, Opcode op)
+{
+    size_t n = 0;
+    forEachInst(mod, [&](Instruction *inst) {
+        if (inst->opcode() == op)
+            ++n;
+    });
+    return n;
+}
+
+TEST(ResolveTest, ResolvesExposure)
+{
+    SysBuilder sb("t");
+    Stage prod = sb.stage("prod");
+    Stage cons = sb.stage("cons");
+    Val v;
+    {
+        StageScope scope(prod);
+        v = lit(1, 8) + lit(2, 8);
+        expose("sum", v);
+    }
+    Val x;
+    {
+        StageScope scope(cons);
+        x = prod.exposed("sum", uintType(8));
+    }
+    resolveCrossRefs(sb.sys());
+    auto *ref = static_cast<CrossRef *>(x.node());
+    EXPECT_EQ(ref->resolved(), v.node());
+}
+
+TEST(ResolveTest, MissingExposureFatal)
+{
+    SysBuilder sb("t");
+    Stage prod = sb.stage("prod");
+    Stage cons = sb.stage("cons");
+    {
+        StageScope scope(cons);
+        prod.exposed("ghost", uintType(8));
+    }
+    EXPECT_THROW(resolveCrossRefs(sb.sys()), FatalError);
+}
+
+TEST(ResolveTest, WidthMismatchFatal)
+{
+    SysBuilder sb("t");
+    Stage prod = sb.stage("prod");
+    Stage cons = sb.stage("cons");
+    {
+        StageScope scope(prod);
+        expose("v", lit(1, 8));
+    }
+    {
+        StageScope scope(cons);
+        prod.exposed("v", uintType(16));
+    }
+    EXPECT_THROW(resolveCrossRefs(sb.sys()), FatalError);
+}
+
+TEST(VerifyTest, DriverWithPortsRejected)
+{
+    SysBuilder sb("t");
+    Stage d = sb.driver();
+    d.mod()->addPort("x", uintType(8));
+    EXPECT_THROW(verifySystem(sb.sys()), FatalError);
+}
+
+TEST(VerifyTest, SideEffectInGuardRejected)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s", {{"x", uintType(8)}});
+    Reg r = sb.reg("r", uintType(8));
+    {
+        StageScope scope(s);
+        waitUntil([&] {
+            r.write(lit(1, 8)); // illegal: effect inside the guard
+            return s.argValid("x");
+        });
+    }
+    EXPECT_THROW(verifySystem(sb.sys()), FatalError);
+}
+
+TEST(TopoTest, ChainOrder)
+{
+    // c reads from b reads from a: topo order must be a, b, c regardless
+    // of declaration order.
+    SysBuilder sb("t");
+    Stage c = sb.stage("c");
+    Stage b = sb.stage("b");
+    Stage a = sb.stage("a");
+    {
+        StageScope scope(a);
+        expose("v", lit(1, 8));
+    }
+    {
+        StageScope scope(b);
+        Val v = a.exposed("v", uintType(8));
+        expose("v", v + 1);
+    }
+    {
+        StageScope scope(c);
+        Val v = b.exposed("v", uintType(8));
+        expose("v", v + 1);
+    }
+    resolveCrossRefs(sb.sys());
+    topoSortStages(sb.sys());
+    const auto &order = sb.sys().topoOrder();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0]->name(), "a");
+    EXPECT_EQ(order[1]->name(), "b");
+    EXPECT_EQ(order[2]->name(), "c");
+}
+
+TEST(TopoTest, CombinationalCycleFatal)
+{
+    SysBuilder sb("t");
+    Stage a = sb.stage("a");
+    Stage b = sb.stage("b");
+    {
+        StageScope scope(a);
+        Val v = b.exposed("v", uintType(8));
+        expose("v", v + 1);
+    }
+    {
+        StageScope scope(b);
+        Val v = a.exposed("v", uintType(8));
+        expose("v", v + 1);
+    }
+    resolveCrossRefs(sb.sys());
+    EXPECT_THROW(topoSortStages(sb.sys()), FatalError);
+}
+
+TEST(TopoTest, SequentialRefsAddNoEdges)
+{
+    // a and b async_call each other: no combinational edge, no cycle.
+    SysBuilder sb("t");
+    Stage a = sb.stage("a", {{"x", uintType(8)}});
+    Stage b = sb.stage("b", {{"x", uintType(8)}});
+    {
+        StageScope scope(a);
+        asyncCall(b, {a.arg("x")});
+    }
+    {
+        StageScope scope(b);
+        asyncCall(a, {b.arg("x")});
+    }
+    resolveCrossRefs(sb.sys());
+    topoSortStages(sb.sys()); // must not throw
+    EXPECT_EQ(sb.sys().topoOrder().size(), 2u);
+}
+
+TEST(TimingTest, ImplicitWaitInjected)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s", {{"a", uintType(8)}, {"b", uintType(8)}});
+    Reg r = sb.reg("r", uintType(8));
+    {
+        StageScope scope(s);
+        r.write(s.arg("a") + s.arg("b"));
+    }
+    injectTiming(sb.sys());
+    ASSERT_NE(s.mod()->waitCond(), nullptr);
+    EXPECT_FALSE(s.mod()->hasExplicitWait());
+    // Two FifoValid reads ANDed together.
+    size_t valids = 0;
+    forEachInst(s.mod()->guard(), [&](Instruction *inst) {
+        if (inst->opcode() == Opcode::kFifoValid)
+            ++valids;
+    });
+    EXPECT_EQ(valids, 2u);
+}
+
+TEST(TimingTest, StaticTimingSkipsTransform)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s", {{"a", uintType(8)}});
+    s.staticTiming();
+    Reg r = sb.reg("r", uintType(8));
+    {
+        StageScope scope(s);
+        r.write(s.arg("a"));
+    }
+    injectTiming(sb.sys());
+    EXPECT_EQ(s.mod()->waitCond(), nullptr);
+}
+
+TEST(TimingTest, ExplicitWaitPreserved)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s", {{"a", uintType(8)}});
+    Val cond;
+    {
+        StageScope scope(s);
+        waitUntil([&] { return cond = s.argValid("a"); });
+    }
+    injectTiming(sb.sys());
+    EXPECT_EQ(s.mod()->waitCond(), cond.node());
+}
+
+TEST(TimingTest, UnconsumedPortsNeedNoWait)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s", {{"a", uintType(8)}});
+    {
+        StageScope scope(s);
+        log("hi", {});
+    }
+    injectTiming(sb.sys());
+    EXPECT_EQ(s.mod()->waitCond(), nullptr);
+}
+
+TEST(LowerTest, CallBecomesPushesPlusSubscribe)
+{
+    SysBuilder sb("t");
+    Stage adder = sb.stage("adder", {{"a", uintType(8)}, {"b", uintType(8)}});
+    Stage inc = sb.stage("inc");
+    Reg r = sb.reg("r", uintType(8));
+    {
+        StageScope scope(adder);
+        r.write(adder.arg("a") + adder.arg("b"));
+    }
+    {
+        StageScope scope(inc);
+        Val v = lit(7, 8);
+        asyncCall(adder, {v, v});
+    }
+    compile(sb.sys());
+    EXPECT_EQ(countOps(*inc.mod(), Opcode::kAsyncCall), 0u);
+    EXPECT_EQ(countOps(*inc.mod(), Opcode::kFifoPush), 2u);
+    EXPECT_EQ(countOps(*inc.mod(), Opcode::kSubscribe), 1u);
+    // Pops injected at the head of the adder body (Fig. 7 b.2).
+    const auto &insts = adder.mod()->body().insts();
+    ASSERT_GE(insts.size(), 2u);
+    EXPECT_EQ(insts[0]->opcode(), Opcode::kFifoPop);
+    EXPECT_EQ(insts[1]->opcode(), Opcode::kFifoPop);
+}
+
+TEST(LowerTest, BindPushesOnceWhenChained)
+{
+    SysBuilder sb("t");
+    Stage adder = sb.stage("adder", {{"a", uintType(8)}, {"b", uintType(8)}});
+    Stage inc = sb.stage("inc");
+    Reg r = sb.reg("r", uintType(8));
+    {
+        StageScope scope(adder);
+        r.write(adder.arg("a") + adder.arg("b"));
+    }
+    {
+        StageScope scope(inc);
+        Val v = lit(7, 8);
+        BindHandle f1 = bind(adder, {{"a", v}});
+        BindHandle f2 = bind(f1, {{"b", v}});
+        asyncCall(f2);
+    }
+    compile(sb.sys());
+    // The absorbed f1 must not push: exactly 2 pushes total.
+    EXPECT_EQ(countOps(*inc.mod(), Opcode::kFifoPush), 2u);
+    EXPECT_EQ(countOps(*inc.mod(), Opcode::kSubscribe), 1u);
+}
+
+TEST(LowerTest, CrossStageBindCall)
+{
+    // Producer binds a port of the callee and exposes the handle;
+    // caller invokes the handle with the remaining argument.
+    SysBuilder sb("t");
+    Stage callee = sb.stage("callee", {{"n", uintType(8)},
+                                       {"w", uintType(8)}});
+    Stage producer = sb.stage("producer");
+    Stage caller = sb.stage("caller");
+    Reg r = sb.reg("r", uintType(8));
+    {
+        StageScope scope(callee);
+        r.write(callee.arg("n") + callee.arg("w"));
+    }
+    {
+        StageScope scope(producer);
+        BindHandle h = bind(callee, {{"n", lit(5, 8)}});
+        expose("h", h);
+    }
+    {
+        StageScope scope(caller);
+        BindHandle h = producer.exposedBind("h");
+        asyncCall(h, {{"w", lit(6, 8)}});
+    }
+    compile(sb.sys());
+    EXPECT_EQ(countOps(*producer.mod(), Opcode::kFifoPush), 1u);
+    EXPECT_EQ(countOps(*caller.mod(), Opcode::kFifoPush), 1u);
+    EXPECT_EQ(countOps(*caller.mod(), Opcode::kSubscribe), 1u);
+}
+
+TEST(ArbiterTest, GeneratedForContendedPort)
+{
+    SysBuilder sb("t");
+    Stage wb = sb.stage("wb", {{"id", uintType(5)}, {"res", uintType(32)}});
+    Stage ex = sb.stage("ex");
+    Stage ma = sb.stage("ma");
+    Arr rf = sb.arr("rf", uintType(32), 32);
+    {
+        StageScope scope(wb);
+        rf.write(wb.arg("id"), wb.arg("res"));
+    }
+    {
+        StageScope scope(ex);
+        asyncCall(wb, {lit(1, 5), lit(100, 32)});
+    }
+    {
+        StageScope scope(ma);
+        asyncCall(wb, {lit(2, 5), lit(200, 32)});
+    }
+    compile(sb.sys());
+    Module *arb = sb.sys().moduleOrNull("wb__arbiter");
+    ASSERT_NE(arb, nullptr);
+    EXPECT_TRUE(arb->isGenerated());
+    EXPECT_EQ(arb->numPorts(), 4u); // 2 callers x 2 ports
+    // Callers now push into the arbiter, not wb.
+    forEachInst(*ex.mod(), [&](Instruction *inst) {
+        if (inst->opcode() == Opcode::kFifoPush) {
+            EXPECT_EQ(static_cast<FifoPush *>(inst)->port()->owner(), arb);
+        }
+        if (inst->opcode() == Opcode::kSubscribe) {
+            EXPECT_EQ(static_cast<Subscribe *>(inst)->callee(), arb);
+        }
+    });
+    // The arbiter forwards into wb with partial pops inside when-blocks.
+    EXPECT_EQ(countOps(*arb, Opcode::kFifoPush), 4u);
+    EXPECT_EQ(countOps(*arb, Opcode::kSubscribe), 2u);
+    EXPECT_EQ(countOps(*arb, Opcode::kFifoPop), 4u);
+}
+
+TEST(ArbiterTest, DisjointPortsNeedNoArbiter)
+{
+    // Two callers supplying different ports: the systolic pattern.
+    SysBuilder sb("t");
+    Stage pe = sb.stage("pe", {{"n", uintType(8)}, {"w", uintType(8)}});
+    Stage north = sb.stage("north");
+    Stage west = sb.stage("west");
+    Reg r = sb.reg("r", uintType(8));
+    {
+        StageScope scope(pe);
+        r.write(pe.arg("n") * pe.arg("w"));
+    }
+    {
+        StageScope scope(north);
+        bind(pe, {{"n", lit(1, 8)}});
+    }
+    {
+        StageScope scope(west);
+        asyncCallNamed(pe, {{"w", lit(2, 8)}});
+    }
+    compile(sb.sys());
+    EXPECT_EQ(sb.sys().moduleOrNull("pe__arbiter"), nullptr);
+}
+
+TEST(ArbiterTest, PriorityOrderValidated)
+{
+    SysBuilder sb("t");
+    Stage wb = sb.stage("wb", {{"id", uintType(5)}});
+    wb.priorityArbiter({"ghost", "ex"});
+    Stage ex = sb.stage("ex");
+    Stage ma = sb.stage("ma");
+    Arr rf = sb.arr("rf", uintType(32), 32);
+    {
+        StageScope scope(wb);
+        rf.write(wb.arg("id"), lit(0, 32));
+    }
+    {
+        StageScope scope(ex);
+        asyncCall(wb, {lit(1, 5)});
+    }
+    {
+        StageScope scope(ma);
+        asyncCall(wb, {lit(2, 5)});
+    }
+    EXPECT_THROW(compile(sb.sys()), FatalError);
+}
+
+TEST(CompileTest, FullPipelineProducesLoweredSystem)
+{
+    SysBuilder sb("t");
+    Stage adder = sb.stage("adder", {{"a", uintType(8)}, {"b", uintType(8)}});
+    Stage driver = sb.driver();
+    Reg r = sb.reg("r", uintType(8));
+    {
+        StageScope scope(adder);
+        r.write(adder.arg("a") + adder.arg("b"));
+    }
+    {
+        StageScope scope(driver);
+        asyncCall(adder, {lit(1, 8), lit(2, 8)});
+    }
+    compile(sb.sys());
+    EXPECT_TRUE(sb.sys().isLowered());
+    EXPECT_EQ(sb.sys().topoOrder().size(), 2u);
+    EXPECT_THROW(lowerCalls(sb.sys()), FatalError); // double-lower rejected
+}
+
+} // namespace
+} // namespace assassyn

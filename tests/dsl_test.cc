@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Unit tests for the embedded DSL frontend: operator overloading, width
+ * promotion, control constructs, binds, exposures and struct views.
+ */
+#include <gtest/gtest.h>
+
+#include "core/dsl/builder.h"
+#include "core/ir/printer.h"
+
+namespace assassyn {
+namespace {
+
+using namespace dsl;
+
+TEST(DslTest, RequiresOpenScope)
+{
+    EXPECT_THROW(lit(1, 8), FatalError);
+}
+
+TEST(DslTest, BinOpWidthPromotion)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    Val a = lit(3, 8);
+    Val b = lit(4, 16);
+    Val c = a + b;
+    EXPECT_EQ(c.bits(), 16u);
+    Val cmp = a == b;
+    EXPECT_EQ(cmp.bits(), 1u);
+}
+
+TEST(DslTest, SignedExtensionOnPromotion)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    Val a = lit(0xff, intType(8)); // -1
+    Val b = lit(0, intType(16));
+    Val c = a + b;
+    EXPECT_EQ(c.bits(), 16u);
+    // The extension node must be an sext cast.
+    bool found_sext = false;
+    for (const auto &node : s.mod()->nodes()) {
+        if (node->valueKind() != Value::Kind::kInstr)
+            continue;
+        auto *inst = static_cast<Instruction *>(node.get());
+        if (inst->opcode() == Opcode::kCast &&
+            static_cast<Cast *>(inst)->mode() == Cast::Mode::kSExt)
+            found_sext = true;
+    }
+    EXPECT_TRUE(found_sext);
+}
+
+TEST(DslTest, SliceConcatBit)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    Val a = lit(0xab, 8);
+    EXPECT_EQ(a.slice(3, 0).bits(), 4u);
+    EXPECT_EQ(a.bit(7).bits(), 1u);
+    EXPECT_EQ(a.concat(a).bits(), 16u);
+    EXPECT_THROW(a.slice(8, 0), FatalError);
+    EXPECT_THROW(a.slice(0, 1), FatalError);
+}
+
+TEST(DslTest, CastsValidateDirection)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    Val a = lit(1, 8);
+    EXPECT_EQ(a.zext(16).bits(), 16u);
+    EXPECT_EQ(a.trunc(4).bits(), 4u);
+    EXPECT_THROW(a.zext(4), FatalError);
+    EXPECT_THROW(a.trunc(16), FatalError);
+}
+
+TEST(DslTest, ImplicitTruncationRejected)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    Reg r8 = sb.reg("r8", uintType(8));
+    Val wide = lit(0x1234, 16);
+    EXPECT_THROW(r8.write(wide), FatalError);
+    r8.write(wide.trunc(8)); // explicit is fine
+}
+
+TEST(DslTest, LogicalNotRequiresOneBit)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    Val wide = lit(3, 8);
+    EXPECT_THROW(!wide, FatalError);
+    Val one = wide.orReduce();
+    Val inverted = !one;
+    EXPECT_EQ(inverted.bits(), 1u);
+}
+
+TEST(DslTest, WhenAppendsCondBlock)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    Reg r = sb.reg("r", uintType(8));
+    StageScope scope(s);
+    when(lit(1, 1), [&] { r.write(lit(5, 8)); });
+    const auto &insts = s.mod()->body().insts();
+    auto it = std::find_if(insts.begin(), insts.end(), [](Instruction *i) {
+        return i->opcode() == Opcode::kCondBlock;
+    });
+    ASSERT_NE(it, insts.end());
+    auto *cb = static_cast<CondBlock *>(*it);
+    ASSERT_EQ(cb->body()->insts().size(), 1u);
+    EXPECT_EQ(cb->body()->insts()[0]->opcode(), Opcode::kArrayWrite);
+}
+
+TEST(DslTest, WaitUntilBuildsGuard)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s", {{"x", uintType(8)}});
+    StageScope scope(s);
+    waitUntil([&] { return s.argValid("x"); });
+    EXPECT_NE(s.mod()->waitCond(), nullptr);
+    EXPECT_TRUE(s.mod()->hasExplicitWait());
+    EXPECT_FALSE(s.mod()->guard().empty());
+    EXPECT_THROW(waitUntil([&] { return s.argValid("x"); }), FatalError);
+}
+
+TEST(DslTest, AsyncCallChecksArity)
+{
+    SysBuilder sb("t");
+    Stage callee = sb.stage("callee", {{"a", uintType(8)},
+                                       {"b", uintType(8)}});
+    Stage caller = sb.stage("caller");
+    StageScope scope(caller);
+    EXPECT_THROW(asyncCall(callee, {lit(1, 8)}), FatalError);
+    asyncCall(callee, {lit(1, 8), lit(2, 8)});
+}
+
+TEST(DslTest, AsyncCallNamedAllowsPartial)
+{
+    SysBuilder sb("t");
+    Stage callee = sb.stage("callee", {{"a", uintType(8)},
+                                       {"b", uintType(8)}});
+    Stage caller = sb.stage("caller");
+    StageScope scope(caller);
+    asyncCallNamed(callee, {{"b", lit(2, 8)}});
+    auto *call = static_cast<AsyncCall *>(caller.mod()->body().insts().back());
+    EXPECT_EQ(call->args()[0], nullptr);
+    EXPECT_NE(call->args()[1], nullptr);
+}
+
+TEST(DslTest, BindChainFlattensAndAbsorbs)
+{
+    SysBuilder sb("t");
+    Stage callee = sb.stage("callee", {{"a", uintType(8)},
+                                       {"b", uintType(8)}});
+    Stage caller = sb.stage("caller");
+    StageScope scope(caller);
+    BindHandle f1 = bind(callee, {{"a", lit(1, 8)}});
+    BindHandle f2 = bind(f1, {{"b", lit(2, 8)}});
+    auto *b1 = static_cast<Bind *>(f1.node());
+    auto *b2 = static_cast<Bind *>(f2.node());
+    EXPECT_TRUE(b1->isAbsorbed());
+    EXPECT_FALSE(b2->isAbsorbed());
+    EXPECT_NE(b2->boundArgs()[0], nullptr);
+    EXPECT_NE(b2->boundArgs()[1], nullptr);
+    EXPECT_THROW(bind(f2, {{"b", lit(3, 8)}}), FatalError);
+}
+
+TEST(DslTest, ExplicitPopOnlyOnce)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s", {{"x", uintType(8)}});
+    StageScope scope(s);
+    s.pop("x");
+    EXPECT_THROW(s.pop("x"), FatalError);
+}
+
+TEST(DslTest, ExposeAndCrossRef)
+{
+    SysBuilder sb("t");
+    Stage producer = sb.stage("producer");
+    Stage consumer = sb.stage("consumer");
+    {
+        StageScope scope(producer);
+        Val v = (lit(1, 8) + lit(2, 8)).named("three");
+        expose("three", v);
+    }
+    {
+        StageScope scope(consumer);
+        Val x = producer.exposed("three", uintType(8));
+        ASSERT_EQ(x.node()->valueKind(), Value::Kind::kCrossRef);
+        auto *ref = static_cast<CrossRef *>(x.node());
+        EXPECT_EQ(ref->producer(), producer.mod());
+        EXPECT_EQ(ref->exported(), "three");
+    }
+}
+
+TEST(DslTest, StructViewFieldsAndPack)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    StructType entry({{"valid", 1}, {"payload", 32}});
+    EXPECT_EQ(entry.totalBits(), 33u);
+    Val packed = entry.pack({{"valid", lit(1, 1)},
+                             {"payload", lit(42, 32)}});
+    EXPECT_EQ(packed.bits(), 33u);
+    Val v = entry.field(packed, "valid");
+    EXPECT_EQ(v.bits(), 1u);
+    Val p = entry.field(packed, "payload");
+    EXPECT_EQ(p.bits(), 32u);
+    EXPECT_THROW(entry.field(packed, "nope"), FatalError);
+    EXPECT_THROW(entry.field(lit(0, 8), "valid"), FatalError);
+}
+
+TEST(DslTest, StructRejectsDuplicatesAndMissing)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    EXPECT_THROW(StructType({{"a", 1}, {"a", 2}}), FatalError);
+    StructType st({{"a", 1}, {"b", 2}});
+    EXPECT_THROW(st.pack({{"a", lit(0, 1)}}), FatalError);
+}
+
+TEST(DslTest, DriverHasFlag)
+{
+    SysBuilder sb("t");
+    Stage d = sb.driver();
+    EXPECT_TRUE(d.mod()->isDriver());
+}
+
+TEST(DslTest, LogValidatesPlaceholders)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    EXPECT_THROW(log("x = {}", {}), FatalError);
+    log("x = {}", {lit(1, 8)});
+}
+
+TEST(DslTest, SelectExtendsBranches)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s");
+    StageScope scope(s);
+    Val r = select(lit(1, 1), lit(1, 8), lit(2, 16));
+    EXPECT_EQ(r.bits(), 16u);
+    EXPECT_THROW(select(lit(3, 2), lit(1, 8), lit(2, 8)), FatalError);
+}
+
+TEST(DslTest, FifoDepthApi)
+{
+    SysBuilder sb("t");
+    Stage s = sb.stage("s", {{"a", uintType(8)}, {"b", uintType(8)}});
+    s.fifoDepth("a", 1);
+    EXPECT_EQ(s.mod()->port("a")->depth(), 1u);
+    s.fifoDepthAll(7);
+    EXPECT_EQ(s.mod()->port("a")->depth(), 7u);
+    EXPECT_EQ(s.mod()->port("b")->depth(), 7u);
+}
+
+} // namespace
+} // namespace assassyn

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the IR foundation: types, bit utilities, arrays, ports,
+ * modules, systems, and the textual printer.
+ */
+#include <gtest/gtest.h>
+
+#include "core/ir/printer.h"
+#include "core/ir/system.h"
+#include "support/bits.h"
+#include "support/rng.h"
+
+namespace assassyn {
+namespace {
+
+TEST(BitsTest, MaskBits)
+{
+    EXPECT_EQ(maskBits(0), 0u);
+    EXPECT_EQ(maskBits(1), 1u);
+    EXPECT_EQ(maskBits(8), 0xffu);
+    EXPECT_EQ(maskBits(32), 0xffffffffu);
+    EXPECT_EQ(maskBits(64), ~uint64_t(0));
+}
+
+TEST(BitsTest, Truncate)
+{
+    EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+    EXPECT_EQ(truncate(0x100, 8), 0u);
+    EXPECT_EQ(truncate(~uint64_t(0), 64), ~uint64_t(0));
+}
+
+TEST(BitsTest, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xff, 8), -1);
+    EXPECT_EQ(signExtend(0x7f, 8), 127);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(1, 1), -1);
+    EXPECT_EQ(signExtend(0, 1), 0);
+}
+
+TEST(BitsTest, ExtractBits)
+{
+    EXPECT_EQ(extractBits(0xabcd, 7, 0), 0xcdu);
+    EXPECT_EQ(extractBits(0xabcd, 15, 8), 0xabu);
+    EXPECT_EQ(extractBits(0xabcd, 3, 0), 0xdu);
+}
+
+TEST(BitsTest, Log2Ceil)
+{
+    EXPECT_EQ(log2ceil(0), 0u);
+    EXPECT_EQ(log2ceil(1), 0u);
+    EXPECT_EQ(log2ceil(2), 1u);
+    EXPECT_EQ(log2ceil(3), 2u);
+    EXPECT_EQ(log2ceil(4), 2u);
+    EXPECT_EQ(log2ceil(5), 3u);
+    EXPECT_EQ(log2ceil(1024), 10u);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, ShufflePreservesElements)
+{
+    Rng rng(7);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(TypeTest, Basics)
+{
+    DataType t = intType(32);
+    EXPECT_EQ(t.bits(), 32u);
+    EXPECT_TRUE(t.isSigned());
+    EXPECT_FALSE(uintType(8).isSigned());
+    EXPECT_FALSE(bitsType(8).isSigned());
+    EXPECT_EQ(t.toString(), "int<32>");
+    EXPECT_EQ(bitsType(5).toString(), "bits<5>");
+}
+
+TEST(TypeTest, SignedInterpretation)
+{
+    EXPECT_EQ(intType(8).asSigned(0xff), -1);
+    EXPECT_EQ(uintType(8).asSigned(0xff), 255);
+}
+
+TEST(TypeTest, RejectsBadWidths)
+{
+    EXPECT_THROW(uintType(0), FatalError);
+    EXPECT_THROW(uintType(65), FatalError);
+}
+
+TEST(RegArrayTest, InitTruncatesAndPads)
+{
+    RegArray arr("r", uintType(8), 4, {0x1ff, 2});
+    ASSERT_EQ(arr.init().size(), 4u);
+    EXPECT_EQ(arr.init()[0], 0xffu);
+    EXPECT_EQ(arr.init()[1], 2u);
+    EXPECT_EQ(arr.init()[2], 0u);
+}
+
+TEST(RegArrayTest, RejectsZeroSize)
+{
+    EXPECT_THROW(RegArray("r", uintType(8), 0), FatalError);
+}
+
+TEST(ModuleTest, PortManagement)
+{
+    System sys("s");
+    Module *m = sys.addModule("m");
+    Port *a = m->addPort("a", uintType(32));
+    Port *b = m->addPort("b", uintType(16));
+    EXPECT_EQ(a->index(), 0u);
+    EXPECT_EQ(b->index(), 1u);
+    EXPECT_EQ(m->port("a"), a);
+    EXPECT_EQ(m->port(size_t(1)), b);
+    EXPECT_THROW(m->addPort("a", uintType(8)), FatalError);
+    EXPECT_THROW(m->port("zzz"), FatalError);
+}
+
+TEST(ModuleTest, PortDepth)
+{
+    System sys("s");
+    Module *m = sys.addModule("m");
+    Port *a = m->addPort("a", uintType(32));
+    EXPECT_EQ(a->depth(), kDefaultFifoDepth);
+    a->setDepth(4);
+    EXPECT_EQ(a->depth(), 4u);
+    EXPECT_THROW(a->setDepth(0), FatalError);
+}
+
+TEST(ModuleTest, ExposureTable)
+{
+    System sys("s");
+    Module *m = sys.addModule("m");
+    auto *c = m->create<ConstInt>(uintType(4), 9);
+    m->expose("nine", c);
+    EXPECT_EQ(m->exposedOrNull("nine"), c);
+    EXPECT_EQ(m->exposedOrNull("ten"), nullptr);
+    EXPECT_THROW(m->expose("nine", c), FatalError);
+}
+
+TEST(ModuleTest, PopOfIsUnique)
+{
+    System sys("s");
+    Module *m = sys.addModule("m");
+    Port *a = m->addPort("a", uintType(32));
+    FifoPop *p1 = m->popOf(a);
+    FifoPop *p2 = m->popOf(a);
+    EXPECT_EQ(p1, p2);
+}
+
+TEST(SystemTest, DuplicateNamesRejected)
+{
+    System sys("s");
+    sys.addModule("m");
+    EXPECT_THROW(sys.addModule("m"), FatalError);
+    sys.addArray("a", uintType(8), 4);
+    EXPECT_THROW(sys.addArray("a", uintType(8), 4), FatalError);
+}
+
+TEST(SystemTest, Lookup)
+{
+    System sys("s");
+    Module *m = sys.addModule("m");
+    RegArray *a = sys.addArray("a", uintType(8), 4);
+    EXPECT_EQ(sys.module("m"), m);
+    EXPECT_EQ(sys.array("a"), a);
+    EXPECT_EQ(sys.moduleOrNull("nope"), nullptr);
+    EXPECT_THROW(sys.module("nope"), FatalError);
+}
+
+TEST(InstructionTest, Purity)
+{
+    System sys("s");
+    Module *m = sys.addModule("m");
+    auto *c = m->create<ConstInt>(uintType(8), 1);
+    auto *add = m->create<BinOp>(BinOpcode::kAdd, uintType(8), c, c);
+    EXPECT_TRUE(add->isPure());
+    RegArray *arr = sys.addArray("r", uintType(8), 1);
+    auto *wr = m->create<ArrayWrite>(arr, c, c);
+    EXPECT_FALSE(wr->isPure());
+    auto *rd = m->create<ArrayRead>(arr, c);
+    EXPECT_TRUE(rd->isPure());
+}
+
+TEST(InstructionTest, SliceTypes)
+{
+    System sys("s");
+    Module *m = sys.addModule("m");
+    auto *c = m->create<ConstInt>(uintType(32), 0);
+    auto *s = m->create<Slice>(c, 6, 0);
+    EXPECT_EQ(s->type().bits(), 7u);
+    auto *cc = m->create<Concat>(c, s);
+    EXPECT_EQ(cc->type().bits(), 39u);
+}
+
+TEST(PrinterTest, RendersModule)
+{
+    System sys("s");
+    Module *m = sys.addModule("decode");
+    Port *p = m->addPort("inst", uintType(32));
+    FifoPop *pop = m->popOf(p);
+    m->body().append(pop);
+    auto *op = m->create<Slice>(pop, 6, 0);
+    m->body().append(op);
+    m->expose("opcode", op);
+    std::string text = printSystem(sys);
+    EXPECT_NE(text.find("stage decode"), std::string::npos);
+    EXPECT_NE(text.find("fifo.pop decode.inst"), std::string::npos);
+    EXPECT_NE(text.find("expose opcode"), std::string::npos);
+}
+
+TEST(PrinterTest, RendersCondBlockNested)
+{
+    System sys("s");
+    Module *m = sys.addModule("m");
+    auto *cond = m->create<ConstInt>(uintType(1), 1);
+    auto *blk = m->create<CondBlock>(cond);
+    m->body().append(blk);
+    auto *fin = m->create<Finish>();
+    blk->body()->append(fin);
+    std::string text = printModule(*m);
+    EXPECT_NE(text.find("when"), std::string::npos);
+    EXPECT_NE(text.find("finish"), std::string::npos);
+}
+
+
+TEST(PrinterTest, DumpsDotStageGraph)
+{
+    System sys("g");
+    Module *driver = sys.addModule("driver");
+    driver->setDriver(true);
+    Module *a = sys.addModule("a");
+    Module *b = sys.addModule("b");
+    Port *pa = a->addPort("x", uintType(8));
+    b->addPort("x", uintType(8));
+    // driver -> a (call), a -> b (call), b ..> a (comb ref)
+    auto *c8 = driver->create<ConstInt>(uintType(8), 1);
+    driver->body().append(
+        driver->create<AsyncCall>(a, std::vector<Value *>{c8}));
+    FifoPop *pop = a->popOf(pa);
+    a->body().append(pop);
+    a->body().append(a->create<AsyncCall>(b, std::vector<Value *>{pop}));
+    a->expose("v", pop);
+    b->create<CrossRef>(a, "v", uintType(8));
+    std::string dot = dumpDot(sys);
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("doubleoctagon"), std::string::npos);
+    EXPECT_NE(dot.find("\"driver\" -> \"a\""), std::string::npos);
+    EXPECT_NE(dot.find("\"a\" -> \"b\""), std::string::npos);
+    EXPECT_NE(dot.find("\"a\" -> \"b\" [style=dashed]"), std::string::npos);
+}
+
+} // namespace
+} // namespace assassyn

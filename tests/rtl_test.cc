@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Unit tests for the RTL backend: netlist elaboration (Fig. 10), the
+ * netlist simulator, cycle alignment against the event-driven simulator,
+ * the SystemVerilog emitter, and the area model.
+ */
+#include <gtest/gtest.h>
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+#include "rtl/netlist.h"
+#include "rtl/netlist_sim.h"
+#include "rtl/verilog.h"
+#include "sim/simulator.h"
+#include "synth/area.h"
+
+namespace assassyn {
+namespace {
+
+using namespace dsl;
+
+/** The inc-and-add pipeline of Fig. 7, with a self-stopping driver. */
+std::unique_ptr<System>
+buildIncAdd(Reg *out_reg = nullptr)
+{
+    SysBuilder sb("inc_add");
+    Stage adder = sb.stage("adder", {{"a", uintType(32)},
+                                     {"b", uintType(32)}});
+    Stage inc = sb.driver("inc");
+    Reg cnt = sb.reg("cnt", uintType(32));
+    Reg out = sb.reg("out", uintType(32));
+    {
+        StageScope scope(adder);
+        Val c = adder.arg("a") + adder.arg("b");
+        out.write(c);
+        log("c = {}", {c});
+    }
+    {
+        StageScope scope(inc);
+        Val v = cnt.read();
+        cnt.write(v + 1);
+        asyncCall(adder, {v, v});
+        when(v == 20, [&] { finish(); });
+    }
+    compile(sb.sys());
+    if (out_reg)
+        *out_reg = out;
+    return sb.take();
+}
+
+TEST(NetlistTest, ElaboratesBlocks)
+{
+    auto sys = buildIncAdd();
+    rtl::Netlist nl(*sys);
+    EXPECT_EQ(nl.fifos().size(), 2u);    // adder.a, adder.b
+    EXPECT_EQ(nl.counters().size(), 1u); // adder only (driver has none)
+    EXPECT_EQ(nl.arrays().size(), 2u);   // cnt, out
+    EXPECT_FALSE(nl.cells().empty());
+    // Each FIFO has exactly one pusher (the driver) and one dequeue site.
+    for (const auto &fifo : nl.fifos()) {
+        EXPECT_EQ(fifo.pushes.size(), 1u);
+        EXPECT_EQ(fifo.deq_enables.size(), 1u);
+    }
+    // Monitors: the adder's log, the driver's finish.
+    EXPECT_EQ(nl.monitors().size(), 2u);
+}
+
+TEST(NetlistTest, RequiresLoweredSystem)
+{
+    SysBuilder sb("t");
+    sb.driver();
+    EXPECT_THROW(rtl::Netlist nl(sb.sys()), FatalError);
+}
+
+TEST(NetlistTest, CellOrderIsTopological)
+{
+    auto sys = buildIncAdd();
+    rtl::Netlist nl(*sys);
+    // Every cell's inputs must be consts, state outputs, or outputs of
+    // earlier cells.
+    std::set<uint32_t> defined;
+    for (const auto &[net, v] : nl.constNets())
+        defined.insert(net);
+    for (const auto &fifo : nl.fifos()) {
+        defined.insert(fifo.pop_data);
+        defined.insert(fifo.pop_valid);
+    }
+    for (const auto &ctr : nl.counters())
+        defined.insert(ctr.nonzero);
+    for (const auto &cell : nl.cells()) {
+        for (uint32_t in : {cell.a, cell.b, cell.c}) {
+            if (in == 0 && cell.op != rtl::CellOp::kMux)
+                continue; // unused operand slots default to 0
+            // Operand 0 may legitimately be net 0 (const0); that's in
+            // `defined` already.
+            if (in != 0) {
+                EXPECT_TRUE(defined.count(in))
+                    << "cell output " << cell.out << " uses undefined net "
+                    << in;
+            }
+        }
+        defined.insert(cell.out);
+    }
+}
+
+TEST(NetlistSimTest, MatchesExpectedBehavior)
+{
+    Reg out;
+    auto sys = buildIncAdd(&out);
+    rtl::Netlist nl(*sys);
+    rtl::NetlistSim s(nl);
+    s.run(100);
+    EXPECT_TRUE(s.finished());
+    ASSERT_GE(s.logOutput().size(), 2u);
+    EXPECT_EQ(s.logOutput()[0], "c = 0");
+    EXPECT_EQ(s.logOutput()[1], "c = 2");
+}
+
+/** Q5 alignment: both engines, cycle-for-cycle, byte-for-byte. */
+TEST(AlignmentTest, IncAddPerfectAlignment)
+{
+    Reg out;
+    auto sys = buildIncAdd(&out);
+
+    sim::Simulator esim(*sys);
+    esim.run(1000);
+
+    rtl::Netlist nl(*sys);
+    rtl::NetlistSim rsim(nl);
+    rsim.run(1000);
+
+    EXPECT_TRUE(esim.finished());
+    EXPECT_TRUE(rsim.finished());
+    EXPECT_EQ(esim.cycle(), rsim.cycle());
+    EXPECT_EQ(esim.logOutput(), rsim.logOutput());
+    EXPECT_EQ(esim.readArray(out.array(), 0),
+              rsim.readArray(out.array(), 0));
+}
+
+TEST(AlignmentTest, ArbiterDesignAligns)
+{
+    SysBuilder sb("arb");
+    Stage wb = sb.stage("wb", {{"id", uintType(5)}, {"res", uintType(32)}});
+    wb.roundRobinArbiter();
+    Stage ex = sb.stage("ex");
+    Stage ma = sb.stage("ma");
+    Stage d = sb.driver();
+    Arr rf = sb.arr("rf", uintType(32), 32);
+    Reg cyc = sb.reg("cyc", uintType(8));
+    {
+        StageScope scope(wb);
+        rf.write(wb.arg("id"), wb.arg("res"));
+        log("wb id={} res={}", {wb.arg("id"), wb.arg("res")});
+    }
+    {
+        StageScope scope(ex);
+        asyncCall(wb, {lit(1, 5), lit(100, 32)});
+    }
+    {
+        StageScope scope(ma);
+        asyncCall(wb, {lit(2, 5), lit(200, 32)});
+    }
+    {
+        StageScope scope(d);
+        Val c = cyc.read();
+        cyc.write(c + 1);
+        when(c == 0, [&] {
+            asyncCall(ex, {});
+            asyncCall(ma, {});
+        });
+        when(c == 10, [&] { finish(); });
+    }
+    compile(sb.sys());
+    auto sys = sb.take();
+
+    sim::Simulator esim(*sys);
+    esim.run(100);
+    rtl::Netlist nl(*sys);
+    rtl::NetlistSim rsim(nl);
+    rsim.run(100);
+
+    EXPECT_EQ(esim.cycle(), rsim.cycle());
+    EXPECT_EQ(esim.logOutput(), rsim.logOutput());
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(esim.readArray(rf.array(), i), rsim.readArray(rf.array(), i));
+}
+
+TEST(AlignmentTest, CrossStageRefAligns)
+{
+    SysBuilder sb("xref");
+    Stage prod = sb.stage("prod");
+    Stage cons = sb.driver("cons");
+    Reg c = sb.reg("c", uintType(8));
+    Reg seen = sb.reg("seen", uintType(8));
+    {
+        StageScope scope(prod);
+        expose("double", c.read() * 2);
+    }
+    {
+        StageScope scope(cons);
+        Val v = c.read();
+        c.write(v + 1);
+        seen.write(prod.exposed("double", uintType(8)));
+        log("seen {}", {prod.exposed("double", uintType(8))});
+        when(v == 9, [&] { finish(); });
+    }
+    compile(sb.sys());
+    auto sys = sb.take();
+
+    sim::Simulator esim(*sys);
+    esim.run(100);
+    rtl::Netlist nl(*sys);
+    rtl::NetlistSim rsim(nl);
+    rsim.run(100);
+
+    EXPECT_EQ(esim.cycle(), rsim.cycle());
+    EXPECT_EQ(esim.logOutput(), rsim.logOutput());
+    EXPECT_EQ(esim.readArray(seen.array(), 0),
+              rsim.readArray(seen.array(), 0));
+}
+
+TEST(VerilogTest, EmitsBalancedStructure)
+{
+    auto sys = buildIncAdd();
+    rtl::Netlist nl(*sys);
+    std::string sv = rtl::emitVerilog(nl);
+    // Library templates plus the design top.
+    size_t modules = 0, endmodules = 0, pos = 0;
+    while ((pos = sv.find("\nmodule ", pos)) != std::string::npos) {
+        ++modules;
+        ++pos;
+    }
+    pos = 0;
+    while ((pos = sv.find("endmodule", pos)) != std::string::npos) {
+        ++endmodules;
+        ++pos;
+    }
+    EXPECT_EQ(modules, endmodules);
+    EXPECT_NE(sv.find("module inc_add_top"), std::string::npos);
+    EXPECT_NE(sv.find("assassyn_fifo"), std::string::npos);
+    EXPECT_NE(sv.find("assassyn_event_counter"), std::string::npos);
+    EXPECT_NE(sv.find("$display"), std::string::npos);
+    EXPECT_NE(sv.find("$finish"), std::string::npos);
+}
+
+TEST(VerilogTest, Deterministic)
+{
+    auto sys1 = buildIncAdd();
+    auto sys2 = buildIncAdd();
+    rtl::Netlist nl1(*sys1), nl2(*sys2);
+    EXPECT_EQ(rtl::emitVerilog(nl1), rtl::emitVerilog(nl2));
+}
+
+TEST(AreaTest, BreakdownSumsToTotal)
+{
+    auto sys = buildIncAdd();
+    rtl::Netlist nl(*sys);
+    synth::AreaReport rep = synth::estimateArea(nl);
+    EXPECT_GT(rep.total(), 0.0);
+    EXPECT_NEAR(rep.total(), rep.seq + rep.comb, 1e-9);
+    EXPECT_GT(rep.fifo, 0.0); // two stage-buffer FIFOs
+    EXPECT_GT(rep.sm, 0.0);   // one event counter
+    EXPECT_GT(rep.func, 0.0);
+}
+
+TEST(AreaTest, MemoryIsBlackboxed)
+{
+    SysBuilder sb("m");
+    Stage d = sb.driver();
+    Arr big = sb.mem("big", uintType(32), 1024);
+    Reg out = sb.reg("out", uintType(32));
+    {
+        StageScope scope(d);
+        out.write(big.read(lit(3, 10)));
+    }
+    compile(sb.sys());
+    auto sys = sb.take();
+    rtl::Netlist nl(*sys);
+    synth::AreaReport rep = synth::estimateArea(nl);
+    // A 32Kb SRAM would dwarf everything; blackboxing keeps it out.
+    EXPECT_LT(rep.total(), 1000.0);
+}
+
+TEST(AreaTest, FifoDepthScalesArea)
+{
+    auto build = [](unsigned depth) {
+        SysBuilder sb("d");
+        Stage sink = sb.stage("sink", {{"x", uintType(32)}});
+        sink.fifoDepth("x", depth);
+        Stage d = sb.driver();
+        Reg out = sb.reg("out", uintType(32));
+        {
+            StageScope scope(sink);
+            out.write(sink.arg("x"));
+        }
+        {
+            StageScope scope(d);
+            asyncCall(sink, {lit(1, 32)});
+        }
+        compile(sb.sys());
+        return sb.take();
+    };
+    auto sys1 = build(1);
+    auto sys8 = build(8);
+    rtl::Netlist nl1(*sys1), nl8(*sys8);
+    double a1 = synth::estimateArea(nl1).fifo;
+    double a8 = synth::estimateArea(nl8).fifo;
+    EXPECT_GT(a8, 2.0 * a1);
+}
+
+} // namespace
+} // namespace assassyn
