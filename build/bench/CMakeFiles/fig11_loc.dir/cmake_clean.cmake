@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_loc.dir/fig11_loc.cc.o"
+  "CMakeFiles/fig11_loc.dir/fig11_loc.cc.o.d"
+  "fig11_loc"
+  "fig11_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_perf_per_area.dir/fig12_perf_per_area.cc.o"
+  "CMakeFiles/fig12_perf_per_area.dir/fig12_perf_per_area.cc.o.d"
+  "fig12_perf_per_area"
+  "fig12_perf_per_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_perf_per_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_cpu_ipc.dir/fig15_cpu_ipc.cc.o"
+  "CMakeFiles/fig15_cpu_ipc.dir/fig15_cpu_ipc.cc.o.d"
+  "fig15_cpu_ipc"
+  "fig15_cpu_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_cpu_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

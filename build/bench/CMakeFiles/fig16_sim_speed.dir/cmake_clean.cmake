@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sim_speed.dir/fig16_sim_speed.cc.o"
+  "CMakeFiles/fig16_sim_speed.dir/fig16_sim_speed.cc.o.d"
+  "fig16_sim_speed"
+  "fig16_sim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cpu_variants.dir/fig17_cpu_variants.cc.o"
+  "CMakeFiles/fig17_cpu_variants.dir/fig17_cpu_variants.cc.o.d"
+  "fig17_cpu_variants"
+  "fig17_cpu_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cpu_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

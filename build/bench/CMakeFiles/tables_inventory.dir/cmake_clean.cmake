@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_inventory.dir/tables_inventory.cc.o"
+  "CMakeFiles/tables_inventory.dir/tables_inventory.cc.o.d"
+  "tables_inventory"
+  "tables_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_demo.dir/cpu_demo.cpp.o"
+  "CMakeFiles/cpu_demo.dir/cpu_demo.cpp.o.d"
+  "cpu_demo"
+  "cpu_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

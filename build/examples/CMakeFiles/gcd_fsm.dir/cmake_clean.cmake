@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcd_fsm.dir/gcd_fsm.cpp.o"
+  "CMakeFiles/gcd_fsm.dir/gcd_fsm.cpp.o.d"
+  "gcd_fsm"
+  "gcd_fsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcd_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_fig4.dir/pipeline_fig4.cpp.o"
+  "CMakeFiles/pipeline_fig4.dir/pipeline_fig4.cpp.o.d"
+  "pipeline_fig4"
+  "pipeline_fig4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_fig4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

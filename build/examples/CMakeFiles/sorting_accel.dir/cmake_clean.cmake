@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting_accel.dir/sorting_accel.cpp.o"
+  "CMakeFiles/sorting_accel.dir/sorting_accel.cpp.o.d"
+  "sorting_accel"
+  "sorting_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

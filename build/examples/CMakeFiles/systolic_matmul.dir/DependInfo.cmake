@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/systolic_matmul.cpp" "examples/CMakeFiles/systolic_matmul.dir/systolic_matmul.cpp.o" "gcc" "examples/CMakeFiles/systolic_matmul.dir/systolic_matmul.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/assassyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/assassyn_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/assassyn_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/assassyn_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/assassyn_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/assassyn_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/assassyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/assassyn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

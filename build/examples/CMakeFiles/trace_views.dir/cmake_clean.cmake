@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_views.dir/trace_views.cpp.o"
+  "CMakeFiles/trace_views.dir/trace_views.cpp.o.d"
+  "trace_views"
+  "trace_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

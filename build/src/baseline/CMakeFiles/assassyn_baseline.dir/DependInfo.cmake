@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/gem5like.cc" "src/baseline/CMakeFiles/assassyn_baseline.dir/gem5like.cc.o" "gcc" "src/baseline/CMakeFiles/assassyn_baseline.dir/gem5like.cc.o.d"
+  "/root/repo/src/baseline/hls.cc" "src/baseline/CMakeFiles/assassyn_baseline.dir/hls.cc.o" "gcc" "src/baseline/CMakeFiles/assassyn_baseline.dir/hls.cc.o.d"
+  "/root/repo/src/baseline/hls_workloads.cc" "src/baseline/CMakeFiles/assassyn_baseline.dir/hls_workloads.cc.o" "gcc" "src/baseline/CMakeFiles/assassyn_baseline.dir/hls_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/assassyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/designs/CMakeFiles/assassyn_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/assassyn_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/assassyn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assassyn_baseline.dir/gem5like.cc.o"
+  "CMakeFiles/assassyn_baseline.dir/gem5like.cc.o.d"
+  "CMakeFiles/assassyn_baseline.dir/hls.cc.o"
+  "CMakeFiles/assassyn_baseline.dir/hls.cc.o.d"
+  "CMakeFiles/assassyn_baseline.dir/hls_workloads.cc.o"
+  "CMakeFiles/assassyn_baseline.dir/hls_workloads.cc.o.d"
+  "libassassyn_baseline.a"
+  "libassassyn_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assassyn_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

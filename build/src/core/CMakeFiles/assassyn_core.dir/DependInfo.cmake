@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compiler/analysis.cc" "src/core/CMakeFiles/assassyn_core.dir/compiler/analysis.cc.o" "gcc" "src/core/CMakeFiles/assassyn_core.dir/compiler/analysis.cc.o.d"
+  "/root/repo/src/core/compiler/lower.cc" "src/core/CMakeFiles/assassyn_core.dir/compiler/lower.cc.o" "gcc" "src/core/CMakeFiles/assassyn_core.dir/compiler/lower.cc.o.d"
+  "/root/repo/src/core/compiler/transform.cc" "src/core/CMakeFiles/assassyn_core.dir/compiler/transform.cc.o" "gcc" "src/core/CMakeFiles/assassyn_core.dir/compiler/transform.cc.o.d"
+  "/root/repo/src/core/dsl/builder.cc" "src/core/CMakeFiles/assassyn_core.dir/dsl/builder.cc.o" "gcc" "src/core/CMakeFiles/assassyn_core.dir/dsl/builder.cc.o.d"
+  "/root/repo/src/core/ir/printer.cc" "src/core/CMakeFiles/assassyn_core.dir/ir/printer.cc.o" "gcc" "src/core/CMakeFiles/assassyn_core.dir/ir/printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/assassyn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assassyn_core.dir/compiler/analysis.cc.o"
+  "CMakeFiles/assassyn_core.dir/compiler/analysis.cc.o.d"
+  "CMakeFiles/assassyn_core.dir/compiler/lower.cc.o"
+  "CMakeFiles/assassyn_core.dir/compiler/lower.cc.o.d"
+  "CMakeFiles/assassyn_core.dir/compiler/transform.cc.o"
+  "CMakeFiles/assassyn_core.dir/compiler/transform.cc.o.d"
+  "CMakeFiles/assassyn_core.dir/dsl/builder.cc.o"
+  "CMakeFiles/assassyn_core.dir/dsl/builder.cc.o.d"
+  "CMakeFiles/assassyn_core.dir/ir/printer.cc.o"
+  "CMakeFiles/assassyn_core.dir/ir/printer.cc.o.d"
+  "libassassyn_core.a"
+  "libassassyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assassyn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

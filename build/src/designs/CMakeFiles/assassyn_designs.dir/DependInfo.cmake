@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/accel_data.cc" "src/designs/CMakeFiles/assassyn_designs.dir/accel_data.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/accel_data.cc.o.d"
+  "/root/repo/src/designs/cpu.cc" "src/designs/CMakeFiles/assassyn_designs.dir/cpu.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/cpu.cc.o.d"
+  "/root/repo/src/designs/fft.cc" "src/designs/CMakeFiles/assassyn_designs.dir/fft.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/fft.cc.o.d"
+  "/root/repo/src/designs/kmp.cc" "src/designs/CMakeFiles/assassyn_designs.dir/kmp.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/kmp.cc.o.d"
+  "/root/repo/src/designs/merge_sort.cc" "src/designs/CMakeFiles/assassyn_designs.dir/merge_sort.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/merge_sort.cc.o.d"
+  "/root/repo/src/designs/ooo.cc" "src/designs/CMakeFiles/assassyn_designs.dir/ooo.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/ooo.cc.o.d"
+  "/root/repo/src/designs/priority_queue.cc" "src/designs/CMakeFiles/assassyn_designs.dir/priority_queue.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/priority_queue.cc.o.d"
+  "/root/repo/src/designs/radix_sort.cc" "src/designs/CMakeFiles/assassyn_designs.dir/radix_sort.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/radix_sort.cc.o.d"
+  "/root/repo/src/designs/spmv.cc" "src/designs/CMakeFiles/assassyn_designs.dir/spmv.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/spmv.cc.o.d"
+  "/root/repo/src/designs/stencil.cc" "src/designs/CMakeFiles/assassyn_designs.dir/stencil.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/stencil.cc.o.d"
+  "/root/repo/src/designs/systolic.cc" "src/designs/CMakeFiles/assassyn_designs.dir/systolic.cc.o" "gcc" "src/designs/CMakeFiles/assassyn_designs.dir/systolic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/assassyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/assassyn_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/assassyn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

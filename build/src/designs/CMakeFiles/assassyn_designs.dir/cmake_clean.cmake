@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assassyn_designs.dir/accel_data.cc.o"
+  "CMakeFiles/assassyn_designs.dir/accel_data.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/cpu.cc.o"
+  "CMakeFiles/assassyn_designs.dir/cpu.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/fft.cc.o"
+  "CMakeFiles/assassyn_designs.dir/fft.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/kmp.cc.o"
+  "CMakeFiles/assassyn_designs.dir/kmp.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/merge_sort.cc.o"
+  "CMakeFiles/assassyn_designs.dir/merge_sort.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/ooo.cc.o"
+  "CMakeFiles/assassyn_designs.dir/ooo.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/priority_queue.cc.o"
+  "CMakeFiles/assassyn_designs.dir/priority_queue.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/radix_sort.cc.o"
+  "CMakeFiles/assassyn_designs.dir/radix_sort.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/spmv.cc.o"
+  "CMakeFiles/assassyn_designs.dir/spmv.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/stencil.cc.o"
+  "CMakeFiles/assassyn_designs.dir/stencil.cc.o.d"
+  "CMakeFiles/assassyn_designs.dir/systolic.cc.o"
+  "CMakeFiles/assassyn_designs.dir/systolic.cc.o.d"
+  "libassassyn_designs.a"
+  "libassassyn_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assassyn_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/iss.cc" "src/isa/CMakeFiles/assassyn_isa.dir/iss.cc.o" "gcc" "src/isa/CMakeFiles/assassyn_isa.dir/iss.cc.o.d"
+  "/root/repo/src/isa/riscv.cc" "src/isa/CMakeFiles/assassyn_isa.dir/riscv.cc.o" "gcc" "src/isa/CMakeFiles/assassyn_isa.dir/riscv.cc.o.d"
+  "/root/repo/src/isa/workloads.cc" "src/isa/CMakeFiles/assassyn_isa.dir/workloads.cc.o" "gcc" "src/isa/CMakeFiles/assassyn_isa.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/assassyn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

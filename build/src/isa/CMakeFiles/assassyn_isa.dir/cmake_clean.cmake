@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assassyn_isa.dir/iss.cc.o"
+  "CMakeFiles/assassyn_isa.dir/iss.cc.o.d"
+  "CMakeFiles/assassyn_isa.dir/riscv.cc.o"
+  "CMakeFiles/assassyn_isa.dir/riscv.cc.o.d"
+  "CMakeFiles/assassyn_isa.dir/workloads.cc.o"
+  "CMakeFiles/assassyn_isa.dir/workloads.cc.o.d"
+  "libassassyn_isa.a"
+  "libassassyn_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assassyn_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/netlist.cc" "src/rtl/CMakeFiles/assassyn_rtl.dir/netlist.cc.o" "gcc" "src/rtl/CMakeFiles/assassyn_rtl.dir/netlist.cc.o.d"
+  "/root/repo/src/rtl/netlist_sim.cc" "src/rtl/CMakeFiles/assassyn_rtl.dir/netlist_sim.cc.o" "gcc" "src/rtl/CMakeFiles/assassyn_rtl.dir/netlist_sim.cc.o.d"
+  "/root/repo/src/rtl/verilog.cc" "src/rtl/CMakeFiles/assassyn_rtl.dir/verilog.cc.o" "gcc" "src/rtl/CMakeFiles/assassyn_rtl.dir/verilog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/assassyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/assassyn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

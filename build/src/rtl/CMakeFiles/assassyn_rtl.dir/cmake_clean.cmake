@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assassyn_rtl.dir/netlist.cc.o"
+  "CMakeFiles/assassyn_rtl.dir/netlist.cc.o.d"
+  "CMakeFiles/assassyn_rtl.dir/netlist_sim.cc.o"
+  "CMakeFiles/assassyn_rtl.dir/netlist_sim.cc.o.d"
+  "CMakeFiles/assassyn_rtl.dir/verilog.cc.o"
+  "CMakeFiles/assassyn_rtl.dir/verilog.cc.o.d"
+  "libassassyn_rtl.a"
+  "libassassyn_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assassyn_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

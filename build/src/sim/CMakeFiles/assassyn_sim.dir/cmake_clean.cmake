@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assassyn_sim.dir/simulator.cc.o"
+  "CMakeFiles/assassyn_sim.dir/simulator.cc.o.d"
+  "libassassyn_sim.a"
+  "libassassyn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assassyn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libassassyn_sim.a"
+)

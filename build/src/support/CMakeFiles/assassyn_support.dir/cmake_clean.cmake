@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assassyn_support.dir/logging.cc.o"
+  "CMakeFiles/assassyn_support.dir/logging.cc.o.d"
+  "libassassyn_support.a"
+  "libassassyn_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assassyn_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

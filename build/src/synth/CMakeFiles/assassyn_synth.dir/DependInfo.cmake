@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/area.cc" "src/synth/CMakeFiles/assassyn_synth.dir/area.cc.o" "gcc" "src/synth/CMakeFiles/assassyn_synth.dir/area.cc.o.d"
+  "/root/repo/src/synth/timing.cc" "src/synth/CMakeFiles/assassyn_synth.dir/timing.cc.o" "gcc" "src/synth/CMakeFiles/assassyn_synth.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rtl/CMakeFiles/assassyn_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/assassyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/assassyn_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

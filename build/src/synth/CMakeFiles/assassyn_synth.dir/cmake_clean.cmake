@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assassyn_synth.dir/area.cc.o"
+  "CMakeFiles/assassyn_synth.dir/area.cc.o.d"
+  "CMakeFiles/assassyn_synth.dir/timing.cc.o"
+  "CMakeFiles/assassyn_synth.dir/timing.cc.o.d"
+  "libassassyn_synth.a"
+  "libassassyn_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assassyn_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

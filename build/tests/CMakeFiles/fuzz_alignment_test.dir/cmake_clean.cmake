@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_alignment_test.dir/fuzz_alignment_test.cc.o"
+  "CMakeFiles/fuzz_alignment_test.dir/fuzz_alignment_test.cc.o.d"
+  "fuzz_alignment_test"
+  "fuzz_alignment_test.pdb"
+  "fuzz_alignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_alignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_cpu_test.dir/fuzz_cpu_test.cc.o"
+  "CMakeFiles/fuzz_cpu_test.dir/fuzz_cpu_test.cc.o.d"
+  "fuzz_cpu_test"
+  "fuzz_cpu_test.pdb"
+  "fuzz_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

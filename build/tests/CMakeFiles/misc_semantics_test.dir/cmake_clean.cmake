@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misc_semantics_test.dir/misc_semantics_test.cc.o"
+  "CMakeFiles/misc_semantics_test.dir/misc_semantics_test.cc.o.d"
+  "misc_semantics_test"
+  "misc_semantics_test.pdb"
+  "misc_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misc_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op_semantics_test.dir/op_semantics_test.cc.o"
+  "CMakeFiles/op_semantics_test.dir/op_semantics_test.cc.o.d"
+  "op_semantics_test"
+  "op_semantics_test.pdb"
+  "op_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_and_lint_test.dir/trace_and_lint_test.cc.o"
+  "CMakeFiles/trace_and_lint_test.dir/trace_and_lint_test.cc.o.d"
+  "trace_and_lint_test"
+  "trace_and_lint_test.pdb"
+  "trace_and_lint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_and_lint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/dsl_test[1]_include.cmake")
+include("/root/repo/build/tests/compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/designs_test[1]_include.cmake")
+include("/root/repo/build/tests/accel_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/ooo_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_alignment_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/vcd_test[1]_include.cmake")
+include("/root/repo/build/tests/op_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/extra_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/fsm_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_and_lint_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_hls_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_semantics_test[1]_include.cmake")
