@@ -12,12 +12,15 @@
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ir/system.h"
 #include "rtl/netlist.h"
 #include "rtl/netlist_sim.h"
+#include "sim/metrics.h"
 #include "sim/simulator.h"
+#include "support/json.h"
 #include "synth/area.h"
 
 namespace assassyn {
@@ -27,6 +30,7 @@ namespace bench {
 struct TimedRun {
     uint64_t cycles = 0;
     double seconds = 0;
+    sim::MetricsRegistry metrics; ///< full counter snapshot of the run
 
     double kcps() const { return cycles / seconds / 1e3; }
 };
@@ -46,6 +50,7 @@ runEventSim(const System &sys, uint64_t max_cycles = 50'000'000)
     TimedRun r;
     r.cycles = s.cycle();
     r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.metrics = s.metrics();
     return r;
 }
 
@@ -63,8 +68,78 @@ runNetlistSim(const System &sys, uint64_t max_cycles = 50'000'000)
     TimedRun r;
     r.cycles = s.cycle();
     r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.metrics = s.metrics();
     return r;
 }
+
+/**
+ * Abort with a full per-counter diff unless the two runs' metrics
+ * snapshots are bit-identical — the figure binaries' upgrade of the old
+ * cycles-only alignment check (docs/observability.md).
+ */
+inline void
+requireAligned(const TimedRun &ev, const TimedRun &nl,
+               const std::string &what)
+{
+    if (ev.metrics != nl.metrics)
+        fatal("alignment violation on ", what, ":\n",
+              ev.metrics.diff(nl.metrics));
+}
+
+/**
+ * Accumulates one metrics snapshot per run and writes the machine-readable
+ * report (schema assassyn.metrics.v1) consumed by plotting scripts: a
+ * top-level array of run objects, each carrying the design name, any
+ * scalar figures of merit (e.g. IPC), and the full counter snapshot.
+ */
+class MetricsReport {
+  public:
+    void
+    add(const std::string &design, const sim::MetricsRegistry &metrics,
+        std::vector<std::pair<std::string, double>> figures = {})
+    {
+        runs_.push_back({design, metrics, std::move(figures)});
+    }
+
+    void
+    write(const std::string &path) const
+    {
+        JsonWriter w;
+        w.beginObject();
+        w.key("schema");
+        w.value("assassyn.metrics.v1");
+        w.key("runs");
+        w.beginArray();
+        for (const Run &r : runs_) {
+            w.beginObject();
+            w.key("design");
+            w.value(r.design);
+            for (const auto &[name, value] : r.figures) {
+                w.key(name);
+                w.value(value);
+            }
+            w.key("metrics");
+            r.metrics.writeJson(w);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        FILE *f = std::fopen(path.c_str(), "w");
+        if (!f)
+            fatal("cannot write metrics report '", path, "'");
+        std::fputs(w.str().c_str(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+    }
+
+  private:
+    struct Run {
+        std::string design;
+        sim::MetricsRegistry metrics;
+        std::vector<std::pair<std::string, double>> figures;
+    };
+    std::vector<Run> runs_;
+};
 
 /** Cycle count only (event simulator, logs off). */
 inline uint64_t

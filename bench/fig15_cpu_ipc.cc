@@ -28,6 +28,7 @@ printTable()
     std::printf("=== Fig. 15(a): CPU IPC (sodor=paper ref, gem5-like and "
                 "ours measured) ===\n");
     std::printf("%-10s %8s %8s %8s\n", "workload", "sodor", "gem5", "ours");
+    MetricsReport report;
     std::vector<double> sodor_v, gem5_v, ours_v;
     for (const SodorIpc &ref : kSodorIpc) {
         auto image = isa::buildMemoryImage(isa::workload(ref.name));
@@ -42,6 +43,9 @@ printTable()
         s.run(50'000'000);
         double ipc =
             double(s.readArray(cpu.retired, 0)) / double(s.cycle());
+        report.add("cpu." + std::string(ref.name), s.metrics(),
+                   {{"ipc", ipc}, {"gem5_ipc", g.ipc},
+                    {"sodor_ipc", ref.ipc}});
 
         std::printf("%-10s %8.2f %8.2f %8.2f\n", ref.name, ref.ipc, g.ipc,
                     ipc);
@@ -51,6 +55,8 @@ printTable()
     }
     std::printf("%-10s %8.2f %8.2f %8.2f   (paper: 0.76 / 0.79 / 0.78)\n",
                 "g-mean", gmean(sodor_v), gmean(gem5_v), gmean(ours_v));
+    report.write("fig15_metrics.json");
+    std::printf("metrics report: fig15_metrics.json\n");
 
     std::printf("\n=== Fig. 15(b): accelerator speedup over HLS ===\n");
     std::printf("%-8s %9s   (paper)\n", "design", "speedup");

@@ -195,4 +195,10 @@ class Module {
     std::vector<std::unique_ptr<Value>> nodes_;
 };
 
+inline std::string
+Port::fullName() const
+{
+    return owner_->name() + "." + name_;
+}
+
 } // namespace assassyn

@@ -33,6 +33,14 @@ class Port {
     const std::string &name() const { return name_; }
     const DataType &type() const { return type_; }
 
+    /**
+     * The globally unique "<stage>.<port>" name. This is the stable
+     * identity used for metric keys (sim/metrics.h), trace output, and
+     * diagnostics: stage names are unique per system and port names
+     * unique per stage, both enforced at construction.
+     */
+    std::string fullName() const; // defined in module.h (needs Module)
+
     unsigned depth() const { return depth_; }
 
     /** Tune the stage-buffer depth (paper Sec. 3.9). */

@@ -16,39 +16,83 @@ struct FifoRt {
     uint32_t head = 0;
     uint32_t count = 0;
 
+    // Observability: committed traffic and end-of-cycle occupancy,
+    // mirroring sim::Simulator's per-FIFO accounting key for key.
+    uint64_t pushes = 0;
+    uint64_t pops = 0;
+    sim::Histogram occupancy;
+
     uint64_t peek() const { return count ? buf[head] : 0; }
+};
+
+/** Per-stage execution statistics, measured from the netlist. */
+struct ModStat {
+    const Module *mod = nullptr;
+    uint32_t exec_net = 0;  ///< exec_valid (pending & wait_cond)
+    int counter_idx = -1;   ///< CounterBlock index; -1 for drivers
+    uint64_t execs = 0;
+    uint64_t wait_spins = 0;
+    uint64_t idle_cycles = 0;
+    uint64_t events_in = 0;
+    uint64_t saturations = 0;
 };
 
 } // namespace
 
 struct NetlistSim::Impl {
     const Netlist &nl;
-    bool capture_logs;
+    NetlistSimOptions opts;
 
     std::vector<uint64_t> nets;
     std::vector<FifoRt> fifos;
     std::vector<std::vector<uint64_t>> arrays;
     std::vector<uint64_t> counters;
+    std::vector<uint64_t> array_writes; ///< committed writes per array
+    std::vector<ModStat> mod_stats;
+    std::vector<uint32_t> counter_stat; ///< CounterBlock -> mod_stats index
     std::map<const RegArray *, uint32_t> array_id;
 
     uint64_t cycle = 0;
     bool finished = false;
+    uint64_t total_execs = 0;
+    uint64_t total_events = 0;
     std::vector<std::string> logs;
+    HookList pre_hooks;
+    HookList post_hooks;
 
-    Impl(const Netlist &n, bool capture) : nl(n), capture_logs(capture)
+    Impl(const Netlist &n, NetlistSimOptions o) : nl(n), opts(o)
     {
         nets.assign(nl.numNets(), 0);
         for (const auto &[net, value] : nl.constNets())
             nets[net] = value;
         fifos.resize(nl.fifos().size());
-        for (size_t i = 0; i < fifos.size(); ++i)
+        for (size_t i = 0; i < fifos.size(); ++i) {
             fifos[i].buf.assign(nl.fifos()[i].depth, 0);
+            fifos[i].occupancy.buckets.assign(nl.fifos()[i].depth + 1, 0);
+        }
         arrays.reserve(nl.arrays().size());
         for (size_t i = 0; i < nl.arrays().size(); ++i) {
             array_id[nl.arrays()[i].array] = static_cast<uint32_t>(i);
             arrays.push_back(nl.arrays()[i].array->init());
         }
+        array_writes.assign(nl.arrays().size(), 0);
         counters.assign(nl.counters().size(), 0);
+
+        std::map<const Module *, int> counter_of;
+        for (size_t i = 0; i < nl.counters().size(); ++i)
+            counter_of[nl.counters()[i].mod] = static_cast<int>(i);
+        counter_stat.assign(nl.counters().size(), 0);
+        for (const Module *mod : nl.sys().topoOrder()) {
+            ModStat st;
+            st.mod = mod;
+            st.exec_net = nl.execNet(mod);
+            auto it = counter_of.find(mod);
+            st.counter_idx = it == counter_of.end() ? -1 : it->second;
+            if (st.counter_idx >= 0)
+                counter_stat[st.counter_idx] =
+                    static_cast<uint32_t>(mod_stats.size());
+            mod_stats.push_back(st);
+        }
     }
 
     static uint64_t
@@ -172,6 +216,8 @@ struct NetlistSim::Impl {
     void
     step()
     {
+        pre_hooks.fire(cycle);
+
         // Drive state-derived nets: FIFO pop interfaces and event-pending
         // flags, all functions of sequential state at the clock edge.
         for (size_t i = 0; i < fifos.size(); ++i) {
@@ -198,6 +244,23 @@ struct NetlistSim::Impl {
                 fatal("cycle ", cycle,
                       ": combinational logic did not settle");
             evalSweep(settled);
+        }
+
+        // Per-stage accounting, from the settled exec_valid nets. This
+        // is the same classification the event-driven simulator makes in
+        // its phase 1 (executed / spinning on wait_until / idle), so the
+        // counters align bit for bit.
+        for (ModStat &st : mod_stats) {
+            bool pending = st.counter_idx < 0 ||
+                           counters[st.counter_idx] > 0;
+            if (nets[st.exec_net]) {
+                ++st.execs;
+                ++total_execs;
+            } else if (pending) {
+                ++st.wait_spins;
+            } else {
+                ++st.idle_cycles;
+            }
         }
 
         // Testbench monitors, in elaboration (topological) order.
@@ -233,6 +296,7 @@ struct NetlistSim::Impl {
             if (deq && rt.count) {
                 rt.head = (rt.head + 1) % rt.buf.size();
                 --rt.count;
+                ++rt.pops;
             }
             int pushes = 0;
             uint64_t data = 0;
@@ -244,17 +308,20 @@ struct NetlistSim::Impl {
             }
             if (pushes > 1)
                 fatal("cycle ", cycle, ": multiple pushes to FIFO '",
-                      blk.port->owner()->name(), ".", blk.port->name(),
-                      "' in one cycle");
+                      blk.port->fullName(), "' in one cycle");
             if (pushes == 1) {
                 if (rt.count == rt.buf.size())
                     fatal("cycle ", cycle, ": FIFO overflow on '",
-                          blk.port->owner()->name(), ".", blk.port->name(),
-                          "' (depth ", rt.buf.size(), ")");
+                          blk.port->fullName(), "' (depth ",
+                          rt.buf.size(), ")");
                 rt.buf[(rt.head + rt.count) % rt.buf.size()] =
                     truncate(data, blk.width);
                 ++rt.count;
+                ++rt.pushes;
             }
+            // End-of-cycle occupancy sample, the instant the event
+            // simulator samples too.
+            rt.occupancy.record(rt.count);
         }
         for (size_t i = 0; i < arrays.size(); ++i) {
             const ArrayBlock &blk = nl.arrays()[i];
@@ -276,6 +343,7 @@ struct NetlistSim::Impl {
                           blk.array->name(), "[", idx, "]'");
                 arrays[i][idx] =
                     truncate(data, blk.array->elemType().bits());
+                ++array_writes[i];
             }
         }
         for (size_t i = 0; i < counters.size(); ++i) {
@@ -283,22 +351,33 @@ struct NetlistSim::Impl {
             uint64_t inc = 0;
             for (uint32_t en : blk.incs)
                 inc += nets[en] ? 1 : 0;
-            counters[i] += inc;
-            counters[i] -= nets[blk.dec] ? 1 : 0;
-            if (counters[i] > 255)
-                fatal("cycle ", cycle, ": event counter overflow on stage '",
-                      blk.mod->name(), "'");
+            ModStat &st = mod_stats[counter_stat[i]];
+            st.events_in += inc;
+            total_events += inc;
+            uint64_t next = counters[i] + inc - (nets[blk.dec] ? 1 : 0);
+            if (next > opts.max_pending_events) {
+                if (!opts.saturate_events)
+                    fatal("cycle ", cycle,
+                          ": event counter overflow on stage '",
+                          blk.mod->name(), "'");
+                // The bounded hardware counter saturates; drops counted.
+                st.saturations += next - opts.max_pending_events;
+                next = opts.max_pending_events;
+            }
+            counters[i] = next;
         }
 
+        post_hooks.fire(cycle);
         ++cycle;
         if (finish_req)
             finished = true;
     }
 
+
     void
     emitLog(const MonitorBlock &mon)
     {
-        if (!capture_logs)
+        if (!opts.capture_logs)
             return;
         const auto *lg = static_cast<const Log *>(mon.inst);
         std::ostringstream os;
@@ -322,8 +401,12 @@ struct NetlistSim::Impl {
     }
 };
 
+NetlistSim::NetlistSim(const Netlist &nl, NetlistSimOptions opts)
+    : impl_(std::make_unique<Impl>(nl, opts))
+{}
+
 NetlistSim::NetlistSim(const Netlist &nl, bool capture_logs)
-    : impl_(std::make_unique<Impl>(nl, capture_logs))
+    : NetlistSim(nl, NetlistSimOptions{capture_logs, 255, false})
 {}
 
 NetlistSim::~NetlistSim() = default;
@@ -368,6 +451,49 @@ uint64_t
 NetlistSim::netValue(uint32_t net) const
 {
     return impl_->nets.at(net);
+}
+
+sim::MetricsRegistry
+NetlistSim::metrics() const
+{
+    using sim::arrayKey;
+    using sim::fifoKey;
+    using sim::stageKey;
+    sim::MetricsRegistry reg;
+    reg.set("cycles", impl_->cycle);
+    reg.set("total.executions", impl_->total_execs);
+    reg.set("total.events", impl_->total_events);
+    for (const ModStat &st : impl_->mod_stats) {
+        reg.set(stageKey(*st.mod, "execs"), st.execs);
+        reg.set(stageKey(*st.mod, "wait_spins"), st.wait_spins);
+        reg.set(stageKey(*st.mod, "idle_cycles"), st.idle_cycles);
+        reg.set(stageKey(*st.mod, "events_in"), st.events_in);
+        reg.set(stageKey(*st.mod, "event_saturations"), st.saturations);
+    }
+    for (size_t i = 0; i < impl_->fifos.size(); ++i) {
+        const Port &port = *impl_->nl.fifos()[i].port;
+        const FifoRt &rt = impl_->fifos[i];
+        reg.set(fifoKey(port, "pushes"), rt.pushes);
+        reg.set(fifoKey(port, "pops"), rt.pops);
+        reg.set(fifoKey(port, "high_water"), rt.occupancy.high_water);
+        reg.histogram(fifoKey(port, "occupancy")) = rt.occupancy;
+    }
+    for (size_t i = 0; i < impl_->nl.arrays().size(); ++i)
+        reg.set(arrayKey(*impl_->nl.arrays()[i].array, "writes"),
+                impl_->array_writes[i]);
+    return reg;
+}
+
+void
+NetlistSim::addPreCycleHook(CycleHook hook)
+{
+    impl_->pre_hooks.add(std::move(hook));
+}
+
+void
+NetlistSim::addPostCycleHook(CycleHook hook)
+{
+    impl_->post_hooks.add(std::move(hook));
 }
 
 } // namespace rtl

@@ -19,13 +19,36 @@
 #include <vector>
 
 #include "rtl/netlist.h"
+#include "sim/metrics.h"
+#include "support/hooks.h"
 
 namespace assassyn {
 namespace rtl {
 
+/** Runtime configuration of a netlist-level simulation. */
+struct NetlistSimOptions {
+    /** Collect $display output; disable for throughput benchmarks. */
+    bool capture_logs = true;
+
+    /**
+     * Pending-event counter bound. The generated RTL uses an 8-bit
+     * counter, hence the 255 default; kept configurable so differential
+     * tests can tighten it in lockstep with SimOptions.
+     */
+    uint64_t max_pending_events = 255;
+
+    /**
+     * Saturate (instead of abort) when an event counter hits the bound,
+     * mirroring sim::SimOptions::saturate_events so both backends stay
+     * bit-identical under overflow.
+     */
+    bool saturate_events = false;
+};
+
 /** Executes an elaborated Netlist cycle by cycle. */
 class NetlistSim {
   public:
+    explicit NetlistSim(const Netlist &nl, NetlistSimOptions opts);
     explicit NetlistSim(const Netlist &nl, bool capture_logs = true);
     ~NetlistSim();
 
@@ -45,6 +68,19 @@ class NetlistSim {
 
     /** Current value of a net (post the last evaluated cycle). */
     uint64_t netValue(uint32_t net) const;
+
+    /**
+     * Snapshot of the same counters and histograms the event-driven
+     * simulator collects (sim/metrics.h), measured from the netlist:
+     * the paper's cycle-alignment guarantee extends to every key here.
+     */
+    sim::MetricsRegistry metrics() const;
+
+    /** Hook fired before each cycle's combinational evaluation. */
+    void addPreCycleHook(CycleHook hook);
+
+    /** Hook fired after each cycle's sequential commit. */
+    void addPostCycleHook(CycleHook hook);
 
   private:
     struct Impl;

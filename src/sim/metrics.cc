@@ -1,0 +1,146 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/ir/array.h"
+#include "core/ir/module.h"
+#include "support/json.h"
+
+namespace assassyn {
+namespace sim {
+
+bool
+Histogram::operator==(const Histogram &other) const
+{
+    if (high_water != other.high_water || samples != other.samples)
+        return false;
+    // Bucket vectors may differ in trailing-zero padding (one backend
+    // sized its vector to the FIFO depth, another grew on demand).
+    size_t n = std::max(buckets.size(), other.buckets.size());
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t a = i < buckets.size() ? buckets[i] : 0;
+        uint64_t b = i < other.buckets.size() ? other.buckets[i] : 0;
+        if (a != b)
+            return false;
+    }
+    return true;
+}
+
+bool
+MetricsRegistry::operator==(const MetricsRegistry &other) const
+{
+    return counters_ == other.counters_ && histograms_ == other.histograms_;
+}
+
+std::string
+MetricsRegistry::diff(const MetricsRegistry &other) const
+{
+    std::ostringstream os;
+    for (const auto &[key, value] : counters_) {
+        auto it = other.counters_.find(key);
+        if (it == other.counters_.end())
+            os << "counter '" << key << "': " << value
+               << " vs <missing>\n";
+        else if (it->second != value)
+            os << "counter '" << key << "': " << value << " vs "
+               << it->second << "\n";
+    }
+    for (const auto &[key, value] : other.counters_)
+        if (!counters_.count(key))
+            os << "counter '" << key << "': <missing> vs " << value
+               << "\n";
+    for (const auto &[key, hist] : histograms_) {
+        auto it = other.histograms_.find(key);
+        if (it == other.histograms_.end()) {
+            os << "histogram '" << key << "': <missing on rhs>\n";
+        } else if (hist != it->second) {
+            os << "histogram '" << key << "': high_water " << hist.high_water
+               << " vs " << it->second.high_water << ", samples "
+               << hist.samples << " vs " << it->second.samples << "\n";
+            size_t n = std::max(hist.buckets.size(),
+                                it->second.buckets.size());
+            for (size_t i = 0; i < n; ++i) {
+                uint64_t a = i < hist.buckets.size() ? hist.buckets[i] : 0;
+                uint64_t b = i < it->second.buckets.size()
+                                 ? it->second.buckets[i]
+                                 : 0;
+                if (a != b)
+                    os << "  bucket[" << i << "]: " << a << " vs " << b
+                       << "\n";
+            }
+        }
+    }
+    for (const auto &[key, hist] : other.histograms_)
+        if (!histograms_.count(key))
+            os << "histogram '" << key << "': <missing on lhs>\n";
+    (void)other;
+    return os.str();
+}
+
+void
+MetricsRegistry::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[key, value] : counters_) {
+        w.key(key);
+        w.value(value);
+    }
+    w.endObject();
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[key, hist] : histograms_) {
+        w.key(key);
+        w.beginObject();
+        w.key("high_water");
+        w.value(hist.high_water);
+        w.key("samples");
+        w.value(hist.samples);
+        w.key("buckets");
+        w.beginArray();
+        for (uint64_t b : hist.buckets)
+            w.value(b);
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+}
+
+std::string
+MetricsRegistry::toJson(const std::string &design) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("design");
+    w.value(design);
+    w.key("schema");
+    w.value("assassyn.metrics.v1");
+    w.key("metrics");
+    writeJson(w);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+stageKey(const Module &mod, const char *what)
+{
+    return "stage." + mod.name() + "." + what;
+}
+
+std::string
+fifoKey(const Port &port, const char *what)
+{
+    return "fifo." + port.fullName() + "." + what;
+}
+
+std::string
+arrayKey(const RegArray &array, const char *what)
+{
+    return "array." + array.name() + "." + what;
+}
+
+} // namespace sim
+} // namespace assassyn

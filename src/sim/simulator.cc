@@ -62,6 +62,12 @@ struct FifoState {
     uint64_t push_val = 0;
     bool deq_pending = false;
 
+    // Observability (sim/metrics.h): committed traffic and end-of-cycle
+    // occupancy distribution.
+    uint64_t pushes = 0;
+    uint64_t pops = 0;
+    Histogram occupancy;
+
     uint64_t peek() const { return count ? buf[head] : 0; }
 };
 
@@ -71,6 +77,7 @@ struct ArrState {
     bool write_pending = false;
     uint64_t widx = 0;
     uint64_t wval = 0;
+    uint64_t writes = 0; ///< committed write traffic
 };
 
 struct ModState {
@@ -81,6 +88,10 @@ struct ModState {
     bool strobe = false; ///< executed this cycle (VCD tracing)
     bool waited = false; ///< had an event but the wait_until failed
     uint64_t execs = 0;
+    uint64_t wait_spins = 0;  ///< cycles spent spinning on wait_until
+    uint64_t idle_cycles = 0; ///< cycles with no pending event
+    uint64_t events_in = 0;   ///< subscriptions received (committed)
+    uint64_t saturations = 0; ///< event increments dropped at the bound
 };
 
 } // namespace
@@ -117,6 +128,8 @@ struct Simulator::Impl {
     uint64_t total_execs = 0;
     uint64_t total_subs = 0;
     std::vector<std::string> logs;
+    HookList pre_hooks;
+    HookList post_hooks;
     Rng rng;
 
     explicit Impl(const System &s, SimOptions o)
@@ -147,6 +160,7 @@ struct Simulator::Impl {
                 FifoState f;
                 f.port = port.get();
                 f.buf.assign(port->depth(), 0);
+                f.occupancy.buckets.assign(port->depth() + 1, 0);
                 fifos.push_back(std::move(f));
             }
         }
@@ -730,8 +744,7 @@ struct Simulator::Impl {
                     FifoState &f = fifos[s.aux];
                     if (f.push_pending)
                         fatal("cycle ", cycle, ": multiple pushes to FIFO '",
-                              f.port->owner()->name(), ".", f.port->name(),
-                              "' in one cycle");
+                              f.port->fullName(), "' in one cycle");
                     f.push_pending = true;
                     f.push_val = truncate(slots[s.a], s.bits);
                 }
@@ -808,6 +821,8 @@ struct Simulator::Impl {
     void
     stepCycle()
     {
+        pre_hooks.fire(cycle);
+
         // Phase 0: shadow evaluation of exposed combinational cones, in
         // topological order, from state at the start of the cycle.
         for (uint32_t mid : topo_idx)
@@ -826,8 +841,10 @@ struct Simulator::Impl {
             ms.strobe = false;
             ms.waited = false;
             bool pending = ms.mod->isDriver() || ms.pending > 0;
-            if (!pending)
+            if (!pending) {
+                ++ms.idle_cycles;
                 continue;
+            }
             if (runProgram(progs[mid].active)) {
                 ++ms.execs;
                 ++total_execs;
@@ -836,6 +853,7 @@ struct Simulator::Impl {
                     ms.dec = true;
             } else {
                 ms.waited = true;
+                ++ms.wait_spins;
             }
         }
 
@@ -844,30 +862,44 @@ struct Simulator::Impl {
             if (f.deq_pending && f.count) {
                 f.head = (f.head + 1) % f.buf.size();
                 --f.count;
+                ++f.pops;
             }
             f.deq_pending = false;
             if (f.push_pending) {
                 if (f.count == f.buf.size())
                     fatal("cycle ", cycle, ": FIFO overflow on '",
-                          f.port->owner()->name(), ".", f.port->name(),
-                          "' (depth ", f.buf.size(),
+                          f.port->fullName(), "' (depth ", f.buf.size(),
                           "); tune fifo_depth or add backpressure");
                 f.buf[(f.head + f.count) % f.buf.size()] = f.push_val;
                 ++f.count;
+                ++f.pushes;
                 f.push_pending = false;
             }
+            // End-of-cycle occupancy sample: the same instant the RTL
+            // backend samples, so histograms align bit-for-bit.
+            f.occupancy.record(f.count);
         }
         for (ArrState &arr : arrays) {
             if (arr.write_pending) {
                 arr.data[arr.widx] = arr.wval;
                 arr.write_pending = false;
+                ++arr.writes;
             }
         }
         for (ModState &ms : mods) {
-            ms.pending = ms.pending - (ms.dec ? 1 : 0) + ms.inc;
-            if (ms.pending > opts.max_pending_events)
-                fatal("cycle ", cycle, ": event counter overflow on stage '",
-                      ms.mod->name(), "'");
+            ms.events_in += ms.inc;
+            uint64_t next = ms.pending - (ms.dec ? 1 : 0) + ms.inc;
+            if (next > opts.max_pending_events) {
+                if (!opts.saturate_events)
+                    fatal("cycle ", cycle,
+                          ": event counter overflow on stage '",
+                          ms.mod->name(), "'");
+                // Saturating bounded counter, as the RTL implements it:
+                // excess increments are dropped, and each drop counted.
+                ms.saturations += next - opts.max_pending_events;
+                next = opts.max_pending_events;
+            }
+            ms.pending = next;
             ms.dec = false;
             ms.inc = 0;
         }
@@ -875,9 +907,23 @@ struct Simulator::Impl {
             sampleVcd();
         if (trace_file)
             writeTrace();
+        post_hooks.fire(cycle);
         ++cycle;
         if (finish_pending)
             finished = true;
+    }
+
+    /**
+     * Why a spinning stage failed its wait_until this cycle. An explicit
+     * wait_until is the developer's own guard; an implicit one was
+     * synthesized by the compiler from the validity of the FIFO
+     * arguments the body consumes, so spinning there means an input
+     * FIFO is still empty.
+     */
+    static const char *
+    stallReason(const Module &mod)
+    {
+        return mod.hasExplicitWait() ? "wait_until" : "fifo_empty";
     }
 
     /** One event-trace line per cycle with any activity. */
@@ -895,8 +941,9 @@ struct Simulator::Impl {
             if (ms.strobe)
                 std::fprintf(trace_file, " %s", ms.mod->name().c_str());
             else if (ms.waited)
-                std::fprintf(trace_file, " %s(wait)",
-                             ms.mod->name().c_str());
+                std::fprintf(trace_file, " %s(wait:%s)",
+                             ms.mod->name().c_str(),
+                             stallReason(*ms.mod));
         }
         std::fprintf(trace_file, "\n");
         std::fflush(trace_file);
@@ -957,6 +1004,43 @@ SimStats
 Simulator::stats() const
 {
     return {impl_->cycle, impl_->total_execs, impl_->total_subs};
+}
+
+MetricsRegistry
+Simulator::metrics() const
+{
+    MetricsRegistry reg;
+    reg.set("cycles", impl_->cycle);
+    reg.set("total.executions", impl_->total_execs);
+    reg.set("total.events", impl_->total_subs);
+    for (const ModState &ms : impl_->mods) {
+        reg.set(stageKey(*ms.mod, "execs"), ms.execs);
+        reg.set(stageKey(*ms.mod, "wait_spins"), ms.wait_spins);
+        reg.set(stageKey(*ms.mod, "idle_cycles"), ms.idle_cycles);
+        reg.set(stageKey(*ms.mod, "events_in"), ms.events_in);
+        reg.set(stageKey(*ms.mod, "event_saturations"), ms.saturations);
+    }
+    for (const FifoState &f : impl_->fifos) {
+        reg.set(fifoKey(*f.port, "pushes"), f.pushes);
+        reg.set(fifoKey(*f.port, "pops"), f.pops);
+        reg.set(fifoKey(*f.port, "high_water"), f.occupancy.high_water);
+        reg.histogram(fifoKey(*f.port, "occupancy")) = f.occupancy;
+    }
+    for (const ArrState &arr : impl_->arrays)
+        reg.set(arrayKey(*arr.array, "writes"), arr.writes);
+    return reg;
+}
+
+void
+Simulator::addPreCycleHook(CycleHook hook)
+{
+    impl_->pre_hooks.add(std::move(hook));
+}
+
+void
+Simulator::addPostCycleHook(CycleHook hook)
+{
+    impl_->post_hooks.add(std::move(hook));
 }
 
 } // namespace sim

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "core/ir/system.h"
+#include "sim/metrics.h"
+#include "support/hooks.h"
 #include "support/rng.h"
 
 namespace assassyn {
@@ -66,6 +68,18 @@ struct SimOptions {
 
     /** Event-counter saturation bound, mirroring the 8-bit RTL counter. */
     uint64_t max_pending_events = 255;
+
+    /**
+     * What happens when a stage's pending-event counter would exceed
+     * max_pending_events. With false (default), the run aborts — the
+     * design is broken and silently dropping events would hide it. With
+     * true, the counter saturates exactly like the bounded hardware
+     * counter of the RTL backend: excess increments are dropped, each
+     * drop is counted under stage.<mod>.event_saturations, and the run
+     * continues. The same option on rtl::NetlistSimOptions keeps both
+     * backends bit-identical (tests/metrics_alignment_test.cc).
+     */
+    bool saturate_events = false;
 };
 
 /** Aggregate statistics of a finished run. */
@@ -113,6 +127,23 @@ class Simulator {
 
     /** Run statistics so far. */
     SimStats stats() const;
+
+    /**
+     * Snapshot of every performance counter and occupancy histogram
+     * (see sim/metrics.h for the key scheme). Collected continuously;
+     * may be taken mid-run or after finish. Bit-identical to the
+     * snapshot of an rtl::NetlistSim run over the same design.
+     */
+    MetricsRegistry metrics() const;
+
+    /**
+     * Register a hook fired before each cycle's execution phase, seeing
+     * architectural state as of the start of that cycle.
+     */
+    void addPreCycleHook(CycleHook hook);
+
+    /** Register a hook fired after each cycle's commit phase. */
+    void addPostCycleHook(CycleHook hook);
 
   private:
     struct Impl;

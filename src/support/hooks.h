@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Testbench-style per-cycle callback hooks, shared by both simulation
+ * backends (sim::Simulator and rtl::NetlistSim).
+ *
+ * A pre-cycle hook observes architectural state as it stood at the
+ * *start* of the cycle about to execute; a post-cycle hook observes the
+ * committed state after phase 2 (the registered side effects of Fig. 9
+ * have been applied). Hooks fire in registration order and may capture
+ * the owning simulator to poke or inspect state — the classic
+ * cycle-callback testbench idiom.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace assassyn {
+
+/** One per-cycle callback; receives the index of the current cycle. */
+using CycleHook = std::function<void(uint64_t cycle)>;
+
+/** An ordered list of cycle hooks. */
+class HookList {
+  public:
+    void add(CycleHook hook) { hooks_.push_back(std::move(hook)); }
+
+    void
+    fire(uint64_t cycle) const
+    {
+        for (const CycleHook &hook : hooks_)
+            hook(cycle);
+    }
+
+    bool empty() const { return hooks_.empty(); }
+    size_t size() const { return hooks_.size(); }
+
+  private:
+    std::vector<CycleHook> hooks_;
+};
+
+} // namespace assassyn

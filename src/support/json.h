@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A minimal streaming JSON writer, used by the observability subsystem
+ * (sim/metrics.h) and the bench/ report emitters. Deliberately tiny: it
+ * only writes (never parses), pretty-prints with two-space indentation,
+ * and escapes strings per RFC 8259. No dynamic dispatch, no DOM.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace assassyn {
+
+/** Streams pretty-printed JSON into an owned string buffer. */
+class JsonWriter {
+  public:
+    JsonWriter() = default;
+
+    /** The document produced so far. */
+    const std::string &str() const { return out_; }
+
+    /** RFC 8259 string escaping. */
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size() + 2);
+        for (char c : s) {
+            switch (c) {
+              case '"': out += "\\\""; break;
+              case '\\': out += "\\\\"; break;
+              case '\n': out += "\\n"; break;
+              case '\r': out += "\\r"; break;
+              case '\t': out += "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+            }
+        }
+        return out;
+    }
+
+    void
+    beginObject()
+    {
+        openValue();
+        out_ += '{';
+        stack_.push_back(true);
+        first_ = true;
+    }
+
+    void
+    endObject()
+    {
+        close('}');
+    }
+
+    void
+    beginArray()
+    {
+        openValue();
+        out_ += '[';
+        stack_.push_back(false);
+        first_ = true;
+    }
+
+    void
+    endArray()
+    {
+        close(']');
+    }
+
+    /** Write an object key; the next value call provides its value. */
+    void
+    key(const std::string &k)
+    {
+        if (stack_.empty() || !stack_.back())
+            fatal("JsonWriter: key() outside an object");
+        separate();
+        out_ += '"';
+        out_ += escape(k);
+        out_ += "\": ";
+        have_key_ = true;
+    }
+
+    void
+    value(uint64_t v)
+    {
+        openValue();
+        out_ += std::to_string(v);
+    }
+
+    void
+    value(int64_t v)
+    {
+        openValue();
+        out_ += std::to_string(v);
+    }
+
+    void
+    value(int v)
+    {
+        value(static_cast<int64_t>(v));
+    }
+
+    void
+    value(double v)
+    {
+        openValue();
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        out_ += buf;
+    }
+
+    void
+    value(bool v)
+    {
+        openValue();
+        out_ += v ? "true" : "false";
+    }
+
+    void
+    value(const std::string &v)
+    {
+        openValue();
+        out_ += '"';
+        out_ += escape(v);
+        out_ += '"';
+    }
+
+    void
+    value(const char *v)
+    {
+        value(std::string(v));
+    }
+
+  private:
+    /** Emit a comma/newline/indent before a sibling element. */
+    void
+    separate()
+    {
+        if (!first_)
+            out_ += ',';
+        if (!stack_.empty()) {
+            out_ += '\n';
+            out_.append(stack_.size() * 2, ' ');
+        }
+        first_ = false;
+    }
+
+    /** Position the cursor for a value (fresh element unless keyed). */
+    void
+    openValue()
+    {
+        if (have_key_) {
+            have_key_ = false;
+            return;
+        }
+        if (!stack_.empty() && stack_.back())
+            fatal("JsonWriter: value without key inside an object");
+        if (!stack_.empty())
+            separate();
+    }
+
+    void
+    close(char bracket)
+    {
+        if (stack_.empty())
+            fatal("JsonWriter: unbalanced close");
+        stack_.pop_back();
+        if (!first_) {
+            out_ += '\n';
+            out_.append(stack_.size() * 2, ' ');
+        }
+        out_ += bracket;
+        first_ = false;
+    }
+
+    std::string out_;
+    std::vector<bool> stack_; ///< true = object, false = array
+    bool first_ = true;
+    bool have_key_ = false;
+};
+
+} // namespace assassyn

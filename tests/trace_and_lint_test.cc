@@ -65,13 +65,74 @@ TEST(EventTraceTest, NamesExecutingAndWaitingStages)
     ASSERT_TRUE(s.finished());
 
     std::string text = slurp(path);
-    // While go==0 the worker spins: the trace must show worker(wait);
-    // after release it must show a plain worker execution.
-    EXPECT_NE(text.find("worker(wait)"), std::string::npos);
+    // While go==0 the worker spins on its explicit wait_until: the trace
+    // names both the stall and its reason; after release it must show a
+    // plain worker execution.
+    EXPECT_NE(text.find("worker(wait:wait_until)"), std::string::npos);
     bool plain_exec = text.find(" worker\n") != std::string::npos ||
                       text.find(" worker ") != std::string::npos;
     EXPECT_TRUE(plain_exec) << text;
     EXPECT_NE(text.find("driver"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+/**
+ * Golden-file regression of the full trace format, covering both stall
+ * reasons: `join` has no explicit wait_until, so its spin is the
+ * compiler-synthesized argument-validity wait (fifo_empty), while
+ * `gate` spins on a developer wait_until. The expected file lives at
+ * tests/golden/stall_trace.golden; regenerate it by printing the trace
+ * from this test when the format intentionally changes.
+ */
+TEST(EventTraceTest, StallReasonsMatchGoldenTrace)
+{
+    SysBuilder sb("golden");
+    Stage join = sb.stage("join", {{"a", uintType(8)}, {"b", uintType(8)}});
+    Stage gate = sb.stage("gate", {{"x", uintType(8)}});
+    Stage d = sb.driver();
+    Reg go = sb.reg("go", uintType(1));
+    Reg cyc = sb.reg("cyc", uintType(8));
+    Reg out = sb.reg("out", uintType(8));
+    Reg held = sb.reg("held", uintType(8));
+    {
+        StageScope scope(join);
+        out.write(join.arg("a") + join.arg("b"));
+    }
+    {
+        StageScope scope(gate);
+        waitUntil([&] { return gate.argValid("x") & (go.read() == 1); });
+        held.write(gate.arg("x"));
+    }
+    {
+        StageScope scope(d);
+        Val c = cyc.read();
+        cyc.write(c + 1);
+        // join gets `a` immediately but `b` only at cycle 3: it spins on
+        // the synthesized arg-validity wait (fifo_empty) in between.
+        when(c == 0, [&] {
+            asyncCallNamed(join, {{"a", lit(3, 8)}});
+            asyncCall(gate, {lit(9, 8)});
+        });
+        when(c == 3, [&] { asyncCallNamed(join, {{"b", lit(4, 8)}}); });
+        when(c == 5, [&] { go.write(lit(1, 1)); });
+        when(c == 8, [&] { finish(); });
+    }
+    compile(sb.sys());
+
+    std::string path = std::string(::testing::TempDir()) + "stall.trace";
+    sim::SimOptions opts;
+    opts.trace_path = path;
+    sim::Simulator s(sb.sys(), opts);
+    s.run(20);
+    ASSERT_TRUE(s.finished());
+    EXPECT_EQ(s.readArray(out.array(), 0), 7u);
+    EXPECT_EQ(s.readArray(held.array(), 0), 9u);
+
+    std::string got = slurp(path);
+    std::string want =
+        slurp(std::string(ASSASSYN_SOURCE_DIR) + "/tests/golden/stall_trace.golden");
+    ASSERT_FALSE(want.empty()) << "golden file missing";
+    EXPECT_EQ(got, want) << "--- actual trace ---\n" << got;
     std::remove(path.c_str());
 }
 
