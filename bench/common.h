@@ -43,10 +43,13 @@ runEventSim(const System &sys, uint64_t max_cycles = 50'000'000)
     opts.capture_logs = false;
     auto t0 = std::chrono::steady_clock::now();
     sim::Simulator s(sys, opts);
-    s.run(max_cycles);
+    sim::RunResult res = s.run(max_cycles);
     auto t1 = std::chrono::steady_clock::now();
     if (!s.finished())
-        fatal("benchmark design did not finish");
+        fatal("benchmark design did not finish (",
+              sim::runStatusName(res.status),
+              res.error.empty() ? "" : ": ", res.error, ")",
+              res.hazard.empty() ? "" : "\n" + res.hazard.toString());
     TimedRun r;
     r.cycles = s.cycle();
     r.seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -61,10 +64,13 @@ runNetlistSim(const System &sys, uint64_t max_cycles = 50'000'000)
     auto t0 = std::chrono::steady_clock::now();
     rtl::Netlist nl(sys);
     rtl::NetlistSim s(nl, /*capture_logs=*/false);
-    s.run(max_cycles);
+    sim::RunResult res = s.run(max_cycles);
     auto t1 = std::chrono::steady_clock::now();
     if (!s.finished())
-        fatal("benchmark design did not finish (netlist)");
+        fatal("benchmark design did not finish (netlist: ",
+              sim::runStatusName(res.status),
+              res.error.empty() ? "" : ": ", res.error, ")",
+              res.hazard.empty() ? "" : "\n" + res.hazard.toString());
     TimedRun r;
     r.cycles = s.cycle();
     r.seconds = std::chrono::duration<double>(t1 - t0).count();

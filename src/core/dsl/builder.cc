@@ -402,6 +402,19 @@ Stage::fifoDepthAll(unsigned depth) const
         p->setDepth(depth);
 }
 
+void
+Stage::fifoPolicy(const std::string &port_name, FifoPolicy policy) const
+{
+    mod_->port(port_name)->setPolicy(policy);
+}
+
+void
+Stage::fifoPolicyAll(FifoPolicy policy) const
+{
+    for (const auto &p : mod_->ports())
+        p->setPolicy(policy);
+}
+
 // --------------------------------------------------------------------------
 // Control constructs
 // --------------------------------------------------------------------------

@@ -263,6 +263,12 @@ class Stage {
     /** Apply one depth to all ports. */
     void fifoDepthAll(unsigned depth) const;
 
+    /** Choose a port's full-FIFO backpressure policy (docs/robustness.md). */
+    void fifoPolicy(const std::string &port_name, FifoPolicy policy) const;
+
+    /** Apply one backpressure policy to all ports. */
+    void fifoPolicyAll(FifoPolicy policy) const;
+
     void
     staticTiming() const
     {

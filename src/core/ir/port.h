@@ -22,6 +22,37 @@ class Module;
 /** Default stage-buffer depth when fifo_depth is not called. */
 inline constexpr unsigned kDefaultFifoDepth = 2;
 
+/**
+ * What a full stage-buffer FIFO does with an incoming push. An attribute
+ * of the port itself (like depth), so both backends — the event-driven
+ * simulator and the elaborated RTL — implement the identical policy and
+ * stay cycle-aligned through backpressure.
+ */
+enum class FifoPolicy : uint8_t {
+    /** A push into a full FIFO aborts the run (the design is broken). */
+    kAbort,
+    /**
+     * Stages that push into this FIFO do not execute while it is full;
+     * their pending events are retained, exactly like a failed
+     * wait_until. Lossless backpressure.
+     */
+    kStallProducer,
+    /** A push into a full FIFO is silently discarded (and counted). */
+    kDropNewest,
+};
+
+/** Human-readable policy name (diagnostics, docs, wait-for graphs). */
+inline const char *
+fifoPolicyName(FifoPolicy policy)
+{
+    switch (policy) {
+      case FifoPolicy::kAbort:         return "abort";
+      case FifoPolicy::kStallProducer: return "stall_producer";
+      case FifoPolicy::kDropNewest:    return "drop_newest";
+    }
+    return "?";
+}
+
 /** One FIFO-buffered input of a stage. */
 class Port {
   public:
@@ -52,6 +83,10 @@ class Port {
         depth_ = depth;
     }
 
+    /** Full-FIFO behaviour; kAbort reproduces the historical fatal(). */
+    FifoPolicy policy() const { return policy_; }
+    void setPolicy(FifoPolicy policy) { policy_ = policy; }
+
     /** Index of this port within its owning module. */
     uint32_t index() const { return index_; }
     void setIndex(uint32_t idx) { index_ = idx; }
@@ -61,6 +96,7 @@ class Port {
     std::string name_;
     DataType type_;
     unsigned depth_ = kDefaultFifoDepth;
+    FifoPolicy policy_ = FifoPolicy::kAbort;
     uint32_t index_ = 0;
 };
 

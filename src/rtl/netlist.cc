@@ -1,6 +1,7 @@
 #include "rtl/netlist.h"
 
 #include <map>
+#include <set>
 
 #include "core/compiler/walk.h"
 #include "support/logging.h"
@@ -45,6 +46,9 @@ class NetlistBuilder {
                                                      "__pop_data");
                 blk.pop_valid = newNet(1, mod->name() + "__" + port->name() +
                                               "__pop_valid");
+                if (port->policy() == FifoPolicy::kStallProducer)
+                    blk.full = newNet(1, mod->name() + "__" + port->name() +
+                                             "__full");
                 nl_.fifos_.push_back(blk);
             }
             if (!mod->isDriver()) {
@@ -260,7 +264,7 @@ class NetlistBuilder {
                 auto *push = static_cast<FifoPush *>(inst);
                 uint32_t data = netOf(push->value());
                 nl_.fifos_[fifo_id_.at(push->port())].pushes.push_back(
-                    {enable, data});
+                    {enable, data, &mod});
                 break;
               }
               case Opcode::kArrayWrite: {
@@ -322,6 +326,17 @@ class NetlistBuilder {
         }
     }
 
+    /** ~a as a 1-bit cell. */
+    uint32_t
+    notNet(uint32_t a, const Module *origin)
+    {
+        Cell &cell = addCell(CellOp::kUn, 1, origin);
+        cell.sub = static_cast<uint8_t>(UnOpcode::kNot);
+        cell.opnd_bits = 1;
+        cell.a = a;
+        return cell.out;
+    }
+
     void
     buildModule(const Module &mod)
     {
@@ -333,6 +348,21 @@ class NetlistBuilder {
         uint32_t wait =
             mod.waitCond() ? netOf(mod.waitCond()) : const1_;
         uint32_t exec = andNet(pending, wait, &mod);
+        // Backpressure gate: pushing into a full kStallProducer FIFO
+        // blocks the whole stage (exec &= ~full), retaining its event —
+        // the same pre-wait gate the event simulator applies, so the
+        // two backends classify stall cycles identically.
+        std::set<const Port *> stall_seen;
+        forEachInst(mod, [&](Instruction *inst) {
+            if (inst->opcode() != Opcode::kFifoPush)
+                return;
+            const Port *port = static_cast<FifoPush *>(inst)->port();
+            if (port->policy() != FifoPolicy::kStallProducer ||
+                !stall_seen.insert(port).second)
+                return;
+            uint32_t full = nl_.fifos_[fifo_id_.at(port)].full;
+            exec = andNet(exec, notNet(full, &mod), &mod);
+        });
         nl_.exec_net_[&mod] = exec;
         buildEffects(mod, mod.body(), exec);
         // Exposures are always-on wires: force their cones into existence

@@ -65,10 +65,14 @@ struct Cell {
     OriginTag tag = OriginTag::kFunc;
 };
 
+/** Sentinel for "this optional net was not allocated". */
+inline constexpr uint32_t kNoNet = 0xffffffffu;
+
 /** A push site gathered into a FIFO (Fig. 10d). */
 struct PushSite {
     uint32_t enable;
     uint32_t data;
+    const Module *origin = nullptr; ///< producing stage (diagnostics)
 };
 
 /** The stage-buffer FIFO of one port. */
@@ -80,6 +84,12 @@ struct FifoBlock {
     std::vector<uint32_t> deq_enables;
     uint32_t pop_data = 0;  ///< state-driven output net
     uint32_t pop_valid = 0; ///< state-driven output net
+    /**
+     * State-driven "occupancy == depth" net; allocated only for
+     * kStallProducer ports, where it gates every producer's exec_valid
+     * (docs/robustness.md). kNoNet otherwise.
+     */
+    uint32_t full = kNoNet;
 };
 
 /** A write site gathered into a register array (Fig. 10c). */

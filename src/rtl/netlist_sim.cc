@@ -20,6 +20,8 @@ struct FifoRt {
     // mirroring sim::Simulator's per-FIFO accounting key for key.
     uint64_t pushes = 0;
     uint64_t pops = 0;
+    uint64_t drops = 0;        ///< pushes discarded under kDropNewest
+    uint64_t stall_cycles = 0; ///< producer-stall cycles charged to this FIFO
     sim::Histogram occupancy;
 
     uint64_t peek() const { return count ? buf[head] : 0; }
@@ -28,13 +30,15 @@ struct FifoRt {
 /** Per-stage execution statistics, measured from the netlist. */
 struct ModStat {
     const Module *mod = nullptr;
-    uint32_t exec_net = 0;  ///< exec_valid (pending & wait_cond)
+    uint32_t exec_net = 0;  ///< exec_valid (pending & wait_cond & ~full)
     int counter_idx = -1;   ///< CounterBlock index; -1 for drivers
+    bool bp_stalled = false; ///< gated this cycle by a full stall-policy FIFO
     uint64_t execs = 0;
     uint64_t wait_spins = 0;
     uint64_t idle_cycles = 0;
     uint64_t events_in = 0;
     uint64_t saturations = 0;
+    uint64_t bp_stalls = 0; ///< cycles gated by backpressure
 };
 
 } // namespace
@@ -42,6 +46,10 @@ struct ModStat {
 struct NetlistSim::Impl {
     const Netlist &nl;
     NetlistSimOptions opts;
+
+    // Hazard watchdog, shared with the event-driven simulator so the
+    // wait-for-graph diagnosis renders byte-identically on both backends.
+    sim::HazardAnalyzer analyzer;
 
     std::vector<uint64_t> nets;
     std::vector<FifoRt> fifos;
@@ -51,16 +59,29 @@ struct NetlistSim::Impl {
     std::vector<ModStat> mod_stats;
     std::vector<uint32_t> counter_stat; ///< CounterBlock -> mod_stats index
     std::map<const RegArray *, uint32_t> array_id;
+    std::map<const Port *, uint32_t> fifo_id;
+    std::map<const Module *, uint32_t> mod_id;
+    std::vector<std::vector<uint32_t>> stall_fifos; ///< per mod_stats index
 
     uint64_t cycle = 0;
     bool finished = false;
     uint64_t total_execs = 0;
     uint64_t total_events = 0;
+
+    // Zero-progress window state; `poked` records external state writes
+    // (testbench / fault-injection hooks), which reset the window.
+    uint64_t quiet_cycles = 0;
+    bool poked = false;
+    bool hazard_flag = false;
+    sim::RunStatus hazard_status = sim::RunStatus::kMaxCycles;
+    sim::HazardReport hazard;
+
     std::vector<std::string> logs;
     HookList pre_hooks;
     HookList post_hooks;
 
-    Impl(const Netlist &n, NetlistSimOptions o) : nl(n), opts(o)
+    Impl(const Netlist &n, NetlistSimOptions o)
+        : nl(n), opts(o), analyzer(n.sys())
     {
         nets.assign(nl.numNets(), 0);
         for (const auto &[net, value] : nl.constNets())
@@ -92,6 +113,14 @@ struct NetlistSim::Impl {
                 counter_stat[st.counter_idx] =
                     static_cast<uint32_t>(mod_stats.size());
             mod_stats.push_back(st);
+        }
+        for (size_t i = 0; i < nl.fifos().size(); ++i)
+            fifo_id[nl.fifos()[i].port] = static_cast<uint32_t>(i);
+        stall_fifos.resize(mod_stats.size());
+        for (size_t m = 0; m < mod_stats.size(); ++m) {
+            mod_id[mod_stats[m].mod] = static_cast<uint32_t>(m);
+            for (const Port *p : analyzer.stallPorts(mod_stats[m].mod))
+                stall_fifos[m].push_back(fifo_id.at(p));
         }
     }
 
@@ -224,6 +253,8 @@ struct NetlistSim::Impl {
             const FifoBlock &blk = nl.fifos()[i];
             nets[blk.pop_data] = fifos[i].peek();
             nets[blk.pop_valid] = fifos[i].count > 0;
+            if (blk.full != kNoNet)
+                nets[blk.full] = fifos[i].count == fifos[i].buf.size();
         }
         for (size_t i = 0; i < counters.size(); ++i)
             nets[nl.counters()[i].nonzero] = counters[i] > 0;
@@ -249,8 +280,13 @@ struct NetlistSim::Impl {
         // Per-stage accounting, from the settled exec_valid nets. This
         // is the same classification the event-driven simulator makes in
         // its phase 1 (executed / spinning on wait_until / idle), so the
-        // counters align bit for bit.
-        for (ModStat &st : mod_stats) {
+        // counters align bit for bit. A pending stage whose exec_valid
+        // is held low by a full kStallProducer FIFO additionally counts
+        // as backpressure-stalled, charged both to the stage and to each
+        // full gating FIFO — exactly the event simulator's accounting.
+        for (size_t m = 0; m < mod_stats.size(); ++m) {
+            ModStat &st = mod_stats[m];
+            st.bp_stalled = false;
             bool pending = st.counter_idx < 0 ||
                            counters[st.counter_idx] > 0;
             if (nets[st.exec_net]) {
@@ -258,6 +294,17 @@ struct NetlistSim::Impl {
                 ++total_execs;
             } else if (pending) {
                 ++st.wait_spins;
+                bool full_stall = false;
+                for (uint32_t fid : stall_fifos[m]) {
+                    if (fifos[fid].count == fifos[fid].buf.size()) {
+                        full_stall = true;
+                        ++fifos[fid].stall_cycles;
+                    }
+                }
+                if (full_stall) {
+                    st.bp_stalled = true;
+                    ++st.bp_stalls;
+                }
             } else {
                 ++st.idle_cycles;
             }
@@ -286,7 +333,10 @@ struct NetlistSim::Impl {
         // Sequential commit at the clock edge: FIFOs dequeue then enqueue
         // (the penetrable stage buffer of Sec. 5.2), arrays apply their
         // one-hot-gathered write, counters add activations and subtract
-        // the clear.
+        // the clear. `progress` records any committed architectural
+        // state change this cycle — the watchdog's definition of
+        // forward progress, shared with the event simulator.
+        bool progress = false;
         for (size_t i = 0; i < fifos.size(); ++i) {
             const FifoBlock &blk = nl.fifos()[i];
             FifoRt &rt = fifos[i];
@@ -297,27 +347,44 @@ struct NetlistSim::Impl {
                 rt.head = (rt.head + 1) % rt.buf.size();
                 --rt.count;
                 ++rt.pops;
+                progress = true;
             }
             int pushes = 0;
             uint64_t data = 0;
+            const Module *push_src = nullptr;
             for (const PushSite &site : blk.pushes) {
                 if (nets[site.enable]) {
                     ++pushes;
                     data = nets[site.data];
+                    push_src = site.origin;
                 }
             }
             if (pushes > 1)
                 fatal("cycle ", cycle, ": multiple pushes to FIFO '",
                       blk.port->fullName(), "' in one cycle");
             if (pushes == 1) {
-                if (rt.count == rt.buf.size())
-                    fatal("cycle ", cycle, ": FIFO overflow on '",
-                          blk.port->fullName(), "' (depth ",
-                          rt.buf.size(), ")");
-                rt.buf[(rt.head + rt.count) % rt.buf.size()] =
-                    truncate(data, blk.width);
-                ++rt.count;
-                ++rt.pushes;
+                if (rt.count == rt.buf.size()) {
+                    if (blk.port->policy() == FifoPolicy::kDropNewest) {
+                        ++rt.drops;
+                    } else {
+                        // kAbort (kStallProducer cannot reach here: its
+                        // ~full gate holds every producer's exec_valid
+                        // low while the FIFO is full).
+                        fatal("cycle ", cycle, ": FIFO overflow on '",
+                              blk.port->fullName(), "' (occupancy ",
+                              rt.count, "/", rt.buf.size(),
+                              "; push from stage '",
+                              push_src ? push_src->name() : "?",
+                              "'); tune fifo_depth or set a "
+                              "backpressure policy");
+                    }
+                } else {
+                    rt.buf[(rt.head + rt.count) % rt.buf.size()] =
+                        truncate(data, blk.width);
+                    ++rt.count;
+                    ++rt.pushes;
+                    progress = true;
+                }
             }
             // End-of-cycle occupancy sample, the instant the event
             // simulator samples too.
@@ -344,6 +411,7 @@ struct NetlistSim::Impl {
                 arrays[i][idx] =
                     truncate(data, blk.array->elemType().bits());
                 ++array_writes[i];
+                progress = true;
             }
         }
         for (size_t i = 0; i < counters.size(); ++i) {
@@ -354,23 +422,93 @@ struct NetlistSim::Impl {
             ModStat &st = mod_stats[counter_stat[i]];
             st.events_in += inc;
             total_events += inc;
+            if (inc)
+                progress = true;
             uint64_t next = counters[i] + inc - (nets[blk.dec] ? 1 : 0);
             if (next > opts.max_pending_events) {
                 if (!opts.saturate_events)
                     fatal("cycle ", cycle,
                           ": event counter overflow on stage '",
-                          blk.mod->name(), "'");
+                          blk.mod->name(), "' (", next,
+                          " pending events > bound ",
+                          opts.max_pending_events,
+                          "); enable saturate_events or throttle callers");
                 // The bounded hardware counter saturates; drops counted.
                 st.saturations += next - opts.max_pending_events;
                 next = opts.max_pending_events;
             }
             counters[i] = next;
         }
+        for (const ModStat &st : mod_stats) {
+            if (nets[st.exec_net] && !st.mod->isDriver())
+                progress = true;
+        }
 
         post_hooks.fire(cycle);
+        checkWatchdog(progress);
         ++cycle;
         if (finish_req)
             finished = true;
+    }
+
+    /**
+     * Post-commit pending count of a stage (0 for drivers), the value
+     * the shared HazardAnalyzer expects.
+     */
+    uint64_t
+    pendingOf(const ModStat &st) const
+    {
+        return st.counter_idx < 0 ? 0 : counters[st.counter_idx];
+    }
+
+    /** Shared wait-for-graph diagnosis over the current netlist state. */
+    sim::HazardReport
+    analyzeNow(uint64_t window) const
+    {
+        return analyzer.analyze(
+            cycle, window,
+            [&](const Module *m) {
+                return nets[mod_stats[mod_id.at(m)].exec_net] != 0;
+            },
+            [&](const Module *m) {
+                return pendingOf(mod_stats[mod_id.at(m)]);
+            },
+            [&](const Port *p) {
+                return uint64_t(fifos[fifo_id.at(p)].count);
+            });
+    }
+
+    /**
+     * The zero-progress watchdog, in lockstep with
+     * sim::Simulator::Impl::checkWatchdog: same progress definition,
+     * same blocked predicate, same trigger cycle — so the resulting
+     * report is byte-identical across backends.
+     */
+    void
+    checkWatchdog(bool progress)
+    {
+        if (!opts.watchdog_window || hazard_flag)
+            return;
+        if (poked) {
+            progress = true;
+            poked = false;
+        }
+        bool blocked = false;
+        for (const ModStat &st : mod_stats)
+            blocked |= st.bp_stalled ||
+                       (!st.mod->isDriver() && pendingOf(st) > 0 &&
+                        !nets[st.exec_net]);
+        if (progress || !blocked) {
+            quiet_cycles = 0;
+            return;
+        }
+        if (++quiet_cycles < opts.watchdog_window)
+            return;
+        hazard = analyzeNow(quiet_cycles);
+        hazard_status = hazard.kind == "livelock"
+                            ? sim::RunStatus::kLivelock
+                            : sim::RunStatus::kDeadlock;
+        hazard_flag = true;
     }
 
 
@@ -411,13 +549,39 @@ NetlistSim::NetlistSim(const Netlist &nl, bool capture_logs)
 
 NetlistSim::~NetlistSim() = default;
 
-uint64_t
+sim::RunResult
 NetlistSim::run(uint64_t max_cycles)
 {
-    uint64_t start = impl_->cycle;
-    while (!impl_->finished && impl_->cycle - start < max_cycles)
-        impl_->step();
-    return impl_->cycle - start;
+    Impl &im = *impl_;
+    uint64_t start = im.cycle;
+    sim::RunResult res;
+    try {
+        while (!im.finished && !im.hazard_flag &&
+               im.cycle - start < max_cycles)
+            im.step();
+    } catch (const FatalError &err) {
+        // A simulated-design fault: report it structurally, exactly as
+        // the event simulator does. Toolchain bugs (InternalError)
+        // still propagate.
+        res.status = sim::RunStatus::kFault;
+        res.error = err.what();
+        res.cycles = im.cycle - start;
+        return res;
+    }
+    res.cycles = im.cycle - start;
+    if (im.finished) {
+        res.status = sim::RunStatus::kFinished;
+    } else if (im.hazard_flag) {
+        res.status = im.hazard_status;
+        res.hazard = im.hazard;
+    } else {
+        res.status = sim::RunStatus::kMaxCycles;
+        // Best-effort diagnosis of who was blocked when the budget ran
+        // out; `kind` is advisory here (status stays kMaxCycles).
+        res.hazard = im.analyzeNow(im.quiet_cycles);
+        res.hazard.kind.clear();
+    }
+    return res;
 }
 
 bool NetlistSim::finished() const { return impl_->finished; }
@@ -439,6 +603,35 @@ NetlistSim::writeArray(const RegArray *array, size_t index, uint64_t value)
     if (index >= data.size())
         fatal("writeArray: index out of range for '", array->name(), "'");
     data[index] = truncate(value, array->elemType().bits());
+    impl_->poked = true; // external state change: reset the watchdog
+}
+
+uint64_t
+NetlistSim::fifoOccupancy(const Port *port) const
+{
+    return impl_->fifos.at(impl_->fifo_id.at(port)).count;
+}
+
+uint64_t
+NetlistSim::readFifo(const Port *port, size_t pos) const
+{
+    const FifoRt &f = impl_->fifos.at(impl_->fifo_id.at(port));
+    if (pos >= f.count)
+        fatal("readFifo: position ", pos, " out of range for '",
+              port->fullName(), "' (occupancy ", f.count, ")");
+    return f.buf[(f.head + pos) % f.buf.size()];
+}
+
+void
+NetlistSim::writeFifo(const Port *port, size_t pos, uint64_t value)
+{
+    FifoRt &f = impl_->fifos.at(impl_->fifo_id.at(port));
+    if (pos >= f.count)
+        fatal("writeFifo: position ", pos, " out of range for '",
+              port->fullName(), "' (occupancy ", f.count, ")");
+    f.buf[(f.head + pos) % f.buf.size()] =
+        truncate(value, port->type().bits());
+    impl_->poked = true;
 }
 
 const std::vector<std::string> &
@@ -469,6 +662,7 @@ NetlistSim::metrics() const
         reg.set(stageKey(*st.mod, "idle_cycles"), st.idle_cycles);
         reg.set(stageKey(*st.mod, "events_in"), st.events_in);
         reg.set(stageKey(*st.mod, "event_saturations"), st.saturations);
+        reg.set(stageKey(*st.mod, "backpressure_stalls"), st.bp_stalls);
     }
     for (size_t i = 0; i < impl_->fifos.size(); ++i) {
         const Port &port = *impl_->nl.fifos()[i].port;
@@ -476,6 +670,8 @@ NetlistSim::metrics() const
         reg.set(fifoKey(port, "pushes"), rt.pushes);
         reg.set(fifoKey(port, "pops"), rt.pops);
         reg.set(fifoKey(port, "high_water"), rt.occupancy.high_water);
+        reg.set(fifoKey(port, "drops"), rt.drops);
+        reg.set(fifoKey(port, "stall_cycles"), rt.stall_cycles);
         reg.histogram(fifoKey(port, "occupancy")) = rt.occupancy;
     }
     for (size_t i = 0; i < impl_->nl.arrays().size(); ++i)

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "rtl/netlist.h"
+#include "sim/hazard.h"
 #include "sim/metrics.h"
 #include "support/hooks.h"
 
@@ -43,6 +44,15 @@ struct NetlistSimOptions {
      * bit-identical under overflow.
      */
     bool saturate_events = false;
+
+    /**
+     * Deadlock/livelock watchdog window, in lockstep with
+     * sim::SimOptions::watchdog_window: after this many consecutive
+     * zero-progress cycles with a blocked stage, run() stops with a
+     * wait-for-graph diagnosis byte-identical to the event simulator's.
+     * 0 disables.
+     */
+    uint64_t watchdog_window = 1024;
 };
 
 /** Executes an elaborated Netlist cycle by cycle. */
@@ -55,14 +65,29 @@ class NetlistSim {
     NetlistSim(const NetlistSim &) = delete;
     NetlistSim &operator=(const NetlistSim &) = delete;
 
-    /** Run until $finish or @p max_cycles elapse; returns cycles run. */
-    uint64_t run(uint64_t max_cycles);
+    /**
+     * Run until $finish, @p max_cycles, a watchdog hazard, or a design
+     * fault. Same structured-result contract as sim::Simulator::run —
+     * design faults return RunResult::kFault instead of throwing, and
+     * the hazard report is byte-identical to the event simulator's for
+     * the same design.
+     */
+    sim::RunResult run(uint64_t max_cycles);
 
     bool finished() const;
     uint64_t cycle() const;
 
     uint64_t readArray(const RegArray *array, size_t index) const;
     void writeArray(const RegArray *array, size_t index, uint64_t value);
+
+    /** Current number of entries in a port's FIFO. */
+    uint64_t fifoOccupancy(const Port *port) const;
+
+    /** Read the FIFO entry @p pos slots behind the head (0 = head). */
+    uint64_t readFifo(const Port *port, size_t pos) const;
+
+    /** Overwrite a live FIFO entry (fault injection / testbench poke). */
+    void writeFifo(const Port *port, size_t pos, uint64_t value);
 
     const std::vector<std::string> &logOutput() const;
 

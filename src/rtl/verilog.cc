@@ -13,14 +13,19 @@ namespace {
 const char *kLibrary = R"(// Penetrable stage-buffer FIFO (paper Sec. 5.2, Fig. 10d). A depth-1
 // instance degenerates to a plain stage register: a simultaneous pop and
 // push transfers ownership of the single slot within one cycle.
-module assassyn_fifo #(parameter WIDTH = 32, parameter DEPTH = 2) (
+// DROP_WHEN_FULL implements the kDropNewest backpressure policy
+// (docs/robustness.md): a push arriving while the buffer is full (after
+// this cycle's pop) is silently discarded, never corrupting count.
+module assassyn_fifo #(parameter WIDTH = 32, parameter DEPTH = 2,
+                       parameter DROP_WHEN_FULL = 0) (
     input  logic             clk,
     input  logic             rst_n,
     input  logic             push_valid,
     input  logic [WIDTH-1:0] push_data,
     input  logic             pop_ready,
     output logic             pop_valid,
-    output logic [WIDTH-1:0] pop_data
+    output logic [WIDTH-1:0] pop_data,
+    output logic             full
 );
     logic [WIDTH-1:0] payload [0:DEPTH-1];
     logic [$clog2(DEPTH+1)-1:0] count;
@@ -28,6 +33,7 @@ module assassyn_fifo #(parameter WIDTH = 32, parameter DEPTH = 2) (
 
     assign pop_valid = count != '0;
     assign pop_data  = pop_valid ? payload[front] : '0;
+    assign full      = count == DEPTH[$clog2(DEPTH+1)-1:0];
 
     always_ff @(posedge clk or negedge rst_n) begin
         if (!rst_n) begin
@@ -35,11 +41,14 @@ module assassyn_fifo #(parameter WIDTH = 32, parameter DEPTH = 2) (
             front <= '0;
         end else begin
             automatic logic do_pop = pop_ready && (count != '0);
+            automatic logic do_push = push_valid &&
+                !(DROP_WHEN_FULL != 0 &&
+                  (count - (do_pop ? 1 : 0)) == DEPTH);
             automatic logic [$clog2(DEPTH+1)-1:0] next_count =
-                count - (do_pop ? 1'b1 : 1'b0) + (push_valid ? 1'b1 : 1'b0);
+                count - (do_pop ? 1'b1 : 1'b0) + (do_push ? 1'b1 : 1'b0);
             if (do_pop)
                 front <= (front == DEPTH - 1) ? '0 : front + 1'b1;
-            if (push_valid) begin
+            if (do_push) begin
                 automatic int unsigned tail =
                     (front + count - (do_pop ? 1 : 0)) % DEPTH;
                 payload[tail] <= push_data;
@@ -277,13 +286,19 @@ emitVerilog(const Netlist &nl)
         }
         os << ";\n";
         os << "    assassyn_fifo #(.WIDTH(" << blk.width << "), .DEPTH("
-           << blk.depth << ")) " << base << "__fifo (\n"
+           << blk.depth << ")";
+        if (blk.port->policy() == FifoPolicy::kDropNewest)
+            os << ", .DROP_WHEN_FULL(1)";
+        os << ") " << base << "__fifo (\n"
            << "        .clk(clk), .rst_n(rst_n),\n"
            << "        .push_valid(" << base << "__push_valid), .push_data("
            << base << "__push_data),\n"
            << "        .pop_ready(" << base << "__pop_ready), .pop_valid("
            << netRef(nl, blk.pop_valid) << "), .pop_data("
-           << netRef(nl, blk.pop_data) << "));\n";
+           << netRef(nl, blk.pop_data) << ")";
+        if (blk.full != kNoNet)
+            os << ",\n        .full(" << netRef(nl, blk.full) << ")";
+        os << ");\n";
     }
     os << '\n';
 

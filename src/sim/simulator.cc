@@ -55,17 +55,21 @@ struct Step {
 
 struct FifoState {
     const Port *port = nullptr;
+    FifoPolicy policy = FifoPolicy::kAbort;
     std::vector<uint64_t> buf;
     uint32_t head = 0;
     uint32_t count = 0;
     bool push_pending = false;
     uint64_t push_val = 0;
     bool deq_pending = false;
+    const Module *push_src = nullptr; ///< producer of the pending push
 
     // Observability (sim/metrics.h): committed traffic and end-of-cycle
     // occupancy distribution.
     uint64_t pushes = 0;
     uint64_t pops = 0;
+    uint64_t drops = 0;        ///< pushes discarded under kDropNewest
+    uint64_t stall_cycles = 0; ///< producer-stall cycles charged to this FIFO
     Histogram occupancy;
 
     uint64_t peek() const { return count ? buf[head] : 0; }
@@ -85,13 +89,15 @@ struct ModState {
     uint64_t pending = 0;
     uint64_t inc = 0;
     bool dec = false;
-    bool strobe = false; ///< executed this cycle (VCD tracing)
-    bool waited = false; ///< had an event but the wait_until failed
+    bool strobe = false;     ///< executed this cycle (VCD tracing)
+    bool waited = false;     ///< had an event but the wait_until failed
+    bool bp_stalled = false; ///< gated this cycle by a full stall-policy FIFO
     uint64_t execs = 0;
     uint64_t wait_spins = 0;  ///< cycles spent spinning on wait_until
     uint64_t idle_cycles = 0; ///< cycles with no pending event
     uint64_t events_in = 0;   ///< subscriptions received (committed)
     uint64_t saturations = 0; ///< event increments dropped at the bound
+    uint64_t bp_stalls = 0;   ///< cycles gated by backpressure
 };
 
 } // namespace
@@ -119,6 +125,18 @@ struct Simulator::Impl {
     uint64_t cycle = 0;
     bool finished = false;
     bool finish_pending = false;
+
+    // Hazard watchdog (sim/hazard.h): shared analysis plus the
+    // zero-progress window state. `poked` records external state writes
+    // (testbench / fault-injection hooks), which reset the window.
+    HazardAnalyzer analyzer;
+    std::vector<std::vector<uint32_t>> stall_fifos; ///< per mod id
+    uint64_t quiet_cycles = 0;
+    bool poked = false;
+    bool hazard_flag = false;
+    RunStatus hazard_status = RunStatus::kMaxCycles;
+    HazardReport hazard;
+
     std::vector<uint32_t> shuffle_scratch;
     std::unique_ptr<VcdWriter> vcd;
     std::vector<std::vector<size_t>> vcd_arrays;
@@ -133,7 +151,7 @@ struct Simulator::Impl {
     Rng rng;
 
     explicit Impl(const System &s, SimOptions o)
-        : sys(s), opts(o), rng(o.shuffle_seed)
+        : sys(s), opts(o), analyzer(s), rng(o.shuffle_seed)
     {
         if (!sys.isLowered())
             fatal("simulate: system '", sys.name(),
@@ -159,11 +177,19 @@ struct Simulator::Impl {
                 fifo_id[port.get()] = static_cast<uint32_t>(fifos.size());
                 FifoState f;
                 f.port = port.get();
+                f.policy = port->policy();
                 f.buf.assign(port->depth(), 0);
                 f.occupancy.buckets.assign(port->depth() + 1, 0);
                 fifos.push_back(std::move(f));
             }
         }
+        // The stall gate of each stage: the kStallProducer FIFOs it
+        // pushes into. While any of them is full the stage does not
+        // execute (its event is retained), in both backends.
+        stall_fifos.resize(mods.size());
+        for (const ModState &ms : mods)
+            for (const Port *p : analyzer.stallPorts(ms.mod))
+                stall_fifos[mod_id.at(ms.mod)].push_back(fifo_id.at(p));
         // Slot per IR node, plus synthetic slots appended by the compiler.
         for (const auto &mod : sys.modules()) {
             for (const auto &node : mod->nodes()) {
@@ -747,6 +773,7 @@ struct Simulator::Impl {
                               f.port->fullName(), "' in one cycle");
                     f.push_pending = true;
                     f.push_val = truncate(slots[s.a], s.bits);
+                    f.push_src = s.inst->parent();
                 }
                 break;
               case Step::Op::kArrayWrite:
@@ -840,9 +867,31 @@ struct Simulator::Impl {
             ModState &ms = mods[mid];
             ms.strobe = false;
             ms.waited = false;
+            ms.bp_stalled = false;
             bool pending = ms.mod->isDriver() || ms.pending > 0;
             if (!pending) {
                 ++ms.idle_cycles;
+                continue;
+            }
+            // Backpressure gate: a stage pushing into a full
+            // kStallProducer FIFO does not execute this cycle. The gate
+            // reads start-of-cycle occupancy (counts only change at
+            // commit), so it is independent of stage order — shuffle
+            // invariance holds — and matches the RTL's
+            // `exec = pending & wait & ~full` gating exactly.
+            bool full_stall = false;
+            for (uint32_t fid : stall_fifos[mid]) {
+                FifoState &f = fifos[fid];
+                if (f.count == f.buf.size()) {
+                    full_stall = true;
+                    ++f.stall_cycles;
+                }
+            }
+            if (full_stall) {
+                ms.bp_stalled = true;
+                ms.waited = true;
+                ++ms.bp_stalls;
+                ++ms.wait_spins;
                 continue;
             }
             if (runProgram(progs[mid].active)) {
@@ -857,22 +906,40 @@ struct Simulator::Impl {
             }
         }
 
-        // Phase 2: commit buffered side effects.
+        // Phase 2: commit buffered side effects. `progress` records any
+        // committed architectural state change this cycle — the
+        // watchdog's definition of forward progress.
+        bool progress = false;
         for (FifoState &f : fifos) {
             if (f.deq_pending && f.count) {
                 f.head = (f.head + 1) % f.buf.size();
                 --f.count;
                 ++f.pops;
+                progress = true;
             }
             f.deq_pending = false;
             if (f.push_pending) {
-                if (f.count == f.buf.size())
-                    fatal("cycle ", cycle, ": FIFO overflow on '",
-                          f.port->fullName(), "' (depth ", f.buf.size(),
-                          "); tune fifo_depth or add backpressure");
-                f.buf[(f.head + f.count) % f.buf.size()] = f.push_val;
-                ++f.count;
-                ++f.pushes;
+                if (f.count == f.buf.size()) {
+                    if (f.policy == FifoPolicy::kDropNewest) {
+                        ++f.drops;
+                    } else {
+                        // kAbort (and the defensively unreachable
+                        // kStallProducer case: its gate keeps producers
+                        // from pushing while full).
+                        fatal("cycle ", cycle, ": FIFO overflow on '",
+                              f.port->fullName(), "' (occupancy ",
+                              f.count, "/", f.buf.size(),
+                              "; push from stage '",
+                              f.push_src ? f.push_src->name() : "?",
+                              "'); tune fifo_depth or set a "
+                              "backpressure policy");
+                    }
+                } else {
+                    f.buf[(f.head + f.count) % f.buf.size()] = f.push_val;
+                    ++f.count;
+                    ++f.pushes;
+                    progress = true;
+                }
                 f.push_pending = false;
             }
             // End-of-cycle occupancy sample: the same instant the RTL
@@ -884,16 +951,24 @@ struct Simulator::Impl {
                 arr.data[arr.widx] = arr.wval;
                 arr.write_pending = false;
                 ++arr.writes;
+                progress = true;
             }
         }
         for (ModState &ms : mods) {
             ms.events_in += ms.inc;
+            if (ms.inc)
+                progress = true;
+            if (ms.strobe && !ms.mod->isDriver())
+                progress = true;
             uint64_t next = ms.pending - (ms.dec ? 1 : 0) + ms.inc;
             if (next > opts.max_pending_events) {
                 if (!opts.saturate_events)
                     fatal("cycle ", cycle,
                           ": event counter overflow on stage '",
-                          ms.mod->name(), "'");
+                          ms.mod->name(), "' (", next,
+                          " pending events > bound ",
+                          opts.max_pending_events,
+                          "); enable saturate_events or throttle callers");
                 // Saturating bounded counter, as the RTL implements it:
                 // excess increments are dropped, and each drop counted.
                 ms.saturations += next - opts.max_pending_events;
@@ -908,9 +983,70 @@ struct Simulator::Impl {
         if (trace_file)
             writeTrace();
         post_hooks.fire(cycle);
+        checkWatchdog(progress);
         ++cycle;
         if (finish_pending)
             finished = true;
+    }
+
+    /**
+     * The zero-progress watchdog. A cycle with no committed state
+     * change and at least one blocked stage can only repeat forever:
+     * the design's logic is deterministic, so identical state implies
+     * an identical next cycle. External pokes (writeArray/writeFifo
+     * from hooks) reset the window, keeping the always-on default safe
+     * for interactive testbenches.
+     */
+    void
+    checkWatchdog(bool progress)
+    {
+        if (!opts.watchdog_window || hazard_flag)
+            return;
+        if (poked) {
+            progress = true;
+            poked = false;
+        }
+        bool blocked = false;
+        for (const ModState &ms : mods)
+            blocked |= ms.bp_stalled || (!ms.mod->isDriver() &&
+                                         ms.pending > 0 && !ms.strobe);
+        if (progress || !blocked) {
+            quiet_cycles = 0;
+            return;
+        }
+        if (++quiet_cycles < opts.watchdog_window)
+            return;
+        hazard = analyzer.analyze(
+            cycle, quiet_cycles,
+            [&](const Module *m) { return mods[mod_id.at(m)].strobe; },
+            [&](const Module *m) {
+                return mods[mod_id.at(m)].pending;
+            },
+            [&](const Port *p) {
+                return uint64_t(fifos[fifo_id.at(p)].count);
+            });
+        hazard_status = hazard.kind == "livelock" ? RunStatus::kLivelock
+                                                  : RunStatus::kDeadlock;
+        hazard_flag = true;
+        if (trace_file) {
+            std::fprintf(trace_file, "%s", hazard.toString().c_str());
+            std::fflush(trace_file);
+        }
+    }
+
+    /** Flush post-mortem artifacts after a design fault (satellite 2). */
+    void
+    flushOnFault(const std::string &message)
+    {
+        if (trace_file) {
+            std::fprintf(trace_file, "#%llu: FAULT: %s\n",
+                         (unsigned long long)cycle, message.c_str());
+            std::fflush(trace_file);
+        }
+        // The faulting cycle never reached its sample point; capture the
+        // state as-is so the waveform ends at the failure.
+        if (vcd)
+            sampleVcd();
     }
 
     /**
@@ -943,7 +1079,8 @@ struct Simulator::Impl {
             else if (ms.waited)
                 std::fprintf(trace_file, " %s(wait:%s)",
                              ms.mod->name().c_str(),
-                             stallReason(*ms.mod));
+                             ms.bp_stalled ? "fifo_full"
+                                           : stallReason(*ms.mod));
         }
         std::fprintf(trace_file, "\n");
         std::fflush(trace_file);
@@ -956,13 +1093,50 @@ Simulator::Simulator(const System &sys, SimOptions opts)
 
 Simulator::~Simulator() = default;
 
-uint64_t
+RunResult
 Simulator::run(uint64_t max_cycles)
 {
-    uint64_t start = impl_->cycle;
-    while (!impl_->finished && impl_->cycle - start < max_cycles)
-        impl_->stepCycle();
-    return impl_->cycle - start;
+    Impl &im = *impl_;
+    uint64_t start = im.cycle;
+    RunResult res;
+    try {
+        while (!im.finished && !im.hazard_flag &&
+               im.cycle - start < max_cycles)
+            im.stepCycle();
+    } catch (const FatalError &err) {
+        // A simulated-design fault: flush post-mortem artifacts and
+        // report it structurally. Toolchain bugs (InternalError) still
+        // propagate — they are our fault, not the design's.
+        im.flushOnFault(err.what());
+        res.status = RunStatus::kFault;
+        res.error = err.what();
+        res.cycles = im.cycle - start;
+        return res;
+    }
+    res.cycles = im.cycle - start;
+    if (im.finished) {
+        res.status = RunStatus::kFinished;
+    } else if (im.hazard_flag) {
+        res.status = im.hazard_status;
+        res.hazard = im.hazard;
+    } else {
+        res.status = RunStatus::kMaxCycles;
+        // Best-effort diagnosis of who was blocked when the budget ran
+        // out; `kind` is advisory here (status stays kMaxCycles).
+        res.hazard = im.analyzer.analyze(
+            im.cycle, im.quiet_cycles,
+            [&](const Module *m) {
+                return im.mods[im.mod_id.at(m)].strobe;
+            },
+            [&](const Module *m) {
+                return im.mods[im.mod_id.at(m)].pending;
+            },
+            [&](const Port *p) {
+                return uint64_t(im.fifos[im.fifo_id.at(p)].count);
+            });
+        res.hazard.kind.clear();
+    }
+    return res;
 }
 
 bool Simulator::finished() const { return impl_->finished; }
@@ -986,6 +1160,35 @@ Simulator::writeArray(const RegArray *array, size_t index, uint64_t value)
         fatal("writeArray: index ", index, " out of range for '",
               array->name(), "'");
     arr.data[index] = truncate(value, array->elemType().bits());
+    impl_->poked = true; // external state change: reset the watchdog
+}
+
+uint64_t
+Simulator::fifoOccupancy(const Port *port) const
+{
+    return impl_->fifos.at(impl_->fifo_id.at(port)).count;
+}
+
+uint64_t
+Simulator::readFifo(const Port *port, size_t pos) const
+{
+    const FifoState &f = impl_->fifos.at(impl_->fifo_id.at(port));
+    if (pos >= f.count)
+        fatal("readFifo: position ", pos, " out of range for '",
+              port->fullName(), "' (occupancy ", f.count, ")");
+    return f.buf[(f.head + pos) % f.buf.size()];
+}
+
+void
+Simulator::writeFifo(const Port *port, size_t pos, uint64_t value)
+{
+    FifoState &f = impl_->fifos.at(impl_->fifo_id.at(port));
+    if (pos >= f.count)
+        fatal("writeFifo: position ", pos, " out of range for '",
+              port->fullName(), "' (occupancy ", f.count, ")");
+    f.buf[(f.head + pos) % f.buf.size()] =
+        truncate(value, port->type().bits());
+    impl_->poked = true;
 }
 
 const std::vector<std::string> &
@@ -1019,11 +1222,14 @@ Simulator::metrics() const
         reg.set(stageKey(*ms.mod, "idle_cycles"), ms.idle_cycles);
         reg.set(stageKey(*ms.mod, "events_in"), ms.events_in);
         reg.set(stageKey(*ms.mod, "event_saturations"), ms.saturations);
+        reg.set(stageKey(*ms.mod, "backpressure_stalls"), ms.bp_stalls);
     }
     for (const FifoState &f : impl_->fifos) {
         reg.set(fifoKey(*f.port, "pushes"), f.pushes);
         reg.set(fifoKey(*f.port, "pops"), f.pops);
         reg.set(fifoKey(*f.port, "high_water"), f.occupancy.high_water);
+        reg.set(fifoKey(*f.port, "drops"), f.drops);
+        reg.set(fifoKey(*f.port, "stall_cycles"), f.stall_cycles);
         reg.histogram(fifoKey(*f.port, "occupancy")) = f.occupancy;
     }
     for (const ArrState &arr : impl_->arrays)

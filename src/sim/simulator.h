@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/ir/system.h"
+#include "sim/hazard.h"
 #include "sim/metrics.h"
 #include "support/hooks.h"
 #include "support/rng.h"
@@ -80,6 +81,18 @@ struct SimOptions {
      * backends bit-identical (tests/metrics_alignment_test.cc).
      */
     bool saturate_events = false;
+
+    /**
+     * Deadlock/livelock watchdog: after this many consecutive cycles in
+     * which no architectural state changed and at least one stage was
+     * blocked (retained event, spinning wait, or backpressure stall),
+     * run() stops with a wait-for-graph diagnosis instead of burning
+     * the rest of max_cycles. The design's logic is deterministic, so a
+     * zero-progress cycle with a blocked stage can only repeat forever;
+     * external pokes (writeArray / writeFifo from hooks) reset the
+     * window. 0 disables the watchdog. See docs/robustness.md.
+     */
+    uint64_t watchdog_window = 1024;
 };
 
 /** Aggregate statistics of a finished run. */
@@ -102,10 +115,16 @@ class Simulator {
     Simulator &operator=(const Simulator &) = delete;
 
     /**
-     * Run until finish() executes or @p max_cycles elapse.
-     * @return the number of cycles simulated.
+     * Run until finish() executes, @p max_cycles elapse, the watchdog
+     * detects a hazard, or the simulated design faults. Design-level
+     * failures (FIFO overflow under the Abort policy, assertion
+     * failure, event-counter overflow) no longer throw: they come back
+     * as RunResult::kFault with the message in RunResult::error, after
+     * the event trace and VCD have been flushed — post-mortem data
+     * survives every failure mode. The result converts to uint64_t (the
+     * cycles simulated by this call) for legacy call sites.
      */
-    uint64_t run(uint64_t max_cycles);
+    RunResult run(uint64_t max_cycles);
 
     /** True once a finish() instruction committed. */
     bool finished() const;
@@ -118,6 +137,15 @@ class Simulator {
 
     /** Overwrite one element of a register array (testbench poke). */
     void writeArray(const RegArray *array, size_t index, uint64_t value);
+
+    /** Current number of entries in a port's FIFO. */
+    uint64_t fifoOccupancy(const Port *port) const;
+
+    /** Read the FIFO entry @p pos slots behind the head (0 = head). */
+    uint64_t readFifo(const Port *port, size_t pos) const;
+
+    /** Overwrite a live FIFO entry (fault injection / testbench poke). */
+    void writeFifo(const Port *port, size_t pos, uint64_t value);
 
     /** Captured log() lines, in execution order. */
     const std::vector<std::string> &logOutput() const;

@@ -142,7 +142,13 @@ TEST(EventCounterTest, OverflowIsAnError)
     sim::SimOptions opts;
     opts.max_pending_events = 16; // tighten the 8-bit default
     sim::Simulator s(sb.sys(), opts);
-    EXPECT_THROW(s.run(100), FatalError);
+    sim::RunResult res = s.run(100);
+    EXPECT_EQ(res.status, sim::RunStatus::kFault);
+    EXPECT_NE(res.error.find("event counter overflow"), std::string::npos)
+        << res.error;
+    EXPECT_NE(res.error.find("pending events > bound 16"),
+              std::string::npos)
+        << res.error;
 }
 
 // ---- Verilog emission over the flagship designs --------------------------------

@@ -18,6 +18,7 @@
 #include "core/dsl/builder.h"
 #include "rtl/netlist.h"
 #include "rtl/netlist_sim.h"
+#include "sim/fault.h"
 #include "sim/simulator.h"
 #include "support/rng.h"
 
@@ -240,6 +241,55 @@ TEST_P(AlignmentFuzzTest, ShuffleInvariant)
             EXPECT_EQ(ref.readArray(array.get(), i),
                       shuffled.readArray(array.get(), i))
                 << "seed " << GetParam();
+}
+
+/**
+ * Alignment under seeded fault injection (docs/robustness.md): the same
+ * FaultSpec corrupts the same bits at the same cycles on both backends,
+ * so whatever the corrupted design does — finish, diverge, or die on a
+ * design fault — it must do identically on both. This extends the Q5
+ * alignment claim from clean runs to faulty ones.
+ */
+TEST_P(AlignmentFuzzTest, BackendsAgreeUnderFaultInjection)
+{
+    RandomDesign gen(GetParam());
+    auto sys = gen.build();
+
+    sim::FaultSpec spec;
+    spec.seed = GetParam() * 7919 + 13;
+    spec.count = 3;
+    spec.first_cycle = 5;
+    spec.last_cycle = 30;
+
+    sim::Simulator esim(*sys);
+    sim::FaultInjector einj(*sys, spec);
+    einj.attach(esim);
+    sim::RunResult eres = esim.run(200);
+
+    rtl::Netlist nl(*sys);
+    rtl::NetlistSim rsim(nl);
+    sim::FaultInjector rinj(*sys, spec);
+    rinj.attach(rsim);
+    sim::RunResult rres = rsim.run(200);
+
+    EXPECT_EQ(eres.status, rres.status) << "seed " << GetParam();
+    EXPECT_EQ(eres.cycles, rres.cycles) << "seed " << GetParam();
+    EXPECT_EQ(eres.error, rres.error) << "seed " << GetParam();
+    EXPECT_EQ(eres.hazard.toString(), rres.hazard.toString())
+        << "seed " << GetParam();
+    EXPECT_EQ(einj.summary(), rinj.summary()) << "seed " << GetParam();
+    EXPECT_EQ(esim.logOutput(), rsim.logOutput())
+        << "seed " << GetParam();
+    sim::MetricsRegistry em = esim.metrics();
+    sim::MetricsRegistry rm = rsim.metrics();
+    EXPECT_TRUE(em == rm) << "seed " << GetParam()
+                          << " metrics diverged:\n" << em.diff(rm);
+    for (const auto &array : sys->arrays())
+        for (size_t i = 0; i < array->size(); ++i)
+            EXPECT_EQ(esim.readArray(array.get(), i),
+                      rsim.readArray(array.get(), i))
+                << "seed " << GetParam() << " array " << array->name()
+                << "[" << i << "]";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentFuzzTest,

@@ -225,11 +225,18 @@ TEST(EventSaturationTest, DefaultModeStillAborts)
 {
     auto sys = buildSaturatingDesign(400, 800);
     sim::Simulator esim(*sys); // saturate_events off
-    EXPECT_THROW(esim.run(2000), FatalError);
+    sim::RunResult eres = esim.run(2000);
+    EXPECT_EQ(eres.status, sim::RunStatus::kFault);
+    EXPECT_NE(eres.error.find("event counter overflow"), std::string::npos)
+        << eres.error;
 
     rtl::Netlist nl(*sys);
     rtl::NetlistSim rsim(nl); // saturate_events off
-    EXPECT_THROW(rsim.run(2000), FatalError);
+    sim::RunResult rres = rsim.run(2000);
+    EXPECT_EQ(rres.status, sim::RunStatus::kFault);
+    // The enriched fault diagnostics render byte-identically on both
+    // backends (satellite 1).
+    EXPECT_EQ(rres.error, eres.error);
 }
 
 TEST(EventSaturationTest, TightBoundAlignsAcrossBackends)

@@ -104,7 +104,10 @@ TEST(SimTest, RegisterWriteOnceEnforced)
     }
     compile(sb.sys());
     Simulator s(sb.sys());
-    EXPECT_THROW(s.run(1), FatalError);
+    sim::RunResult res = s.run(1);
+    EXPECT_EQ(res.status, sim::RunStatus::kFault);
+    EXPECT_NE(res.error.find("written twice"), std::string::npos)
+        << res.error;
 }
 
 TEST(SimTest, ExclusiveBranchesWriteOk)
@@ -148,7 +151,15 @@ TEST(SimTest, FifoOverflowDetected)
     }
     compile(sb.sys());
     Simulator s(sb.sys());
-    EXPECT_THROW(s.run(10), FatalError);
+    sim::RunResult res = s.run(10);
+    EXPECT_EQ(res.status, sim::RunStatus::kFault);
+    // The enriched overflow message names the FIFO, its occupancy, and
+    // the producing stage (satellite 1).
+    EXPECT_NE(res.error.find("FIFO overflow"), std::string::npos)
+        << res.error;
+    EXPECT_NE(res.error.find("occupancy"), std::string::npos) << res.error;
+    EXPECT_NE(res.error.find("push from stage '"), std::string::npos)
+        << res.error;
 }
 
 TEST(SimTest, WaitUntilRetainsEvent)
@@ -362,7 +373,10 @@ TEST(SimTest, AssertionAborts)
     }
     compile(sb.sys());
     Simulator s(sb.sys());
-    EXPECT_THROW(s.run(1), FatalError);
+    sim::RunResult res = s.run(1);
+    EXPECT_EQ(res.status, sim::RunStatus::kFault);
+    EXPECT_NE(res.error.find("assertion failed: boom"), std::string::npos)
+        << res.error;
 }
 
 TEST(SimTest, PokeAndPeekArrays)
