@@ -29,8 +29,58 @@ namespace {
 using namespace assassyn;
 using namespace assassyn::bench;
 
+/** One design's throughput, for the machine-readable report. */
+struct ThroughputRow {
+    std::string design;
+    uint64_t cycles;
+    double asyn_kcps;
+    double rtl_kcps;
+};
+
+/**
+ * BENCH_fig16.json (schema assassyn.bench.fig16.v1): cycles/sec per
+ * design per backend, at the repo root so successive checkouts can be
+ * diffed for throughput regressions (docs/performance.md).
+ */
 void
-printTable()
+writeBenchJson(const std::vector<ThroughputRow> &rows, bool smoke)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("assassyn.bench.fig16.v1");
+    w.key("smoke");
+    w.value(smoke ? 1.0 : 0.0);
+    w.key("runs");
+    w.beginArray();
+    for (const ThroughputRow &r : rows) {
+        w.beginObject();
+        w.key("design");
+        w.value(r.design);
+        w.key("cycles");
+        w.value(double(r.cycles));
+        w.key("asyn_cps");
+        w.value(r.asyn_kcps * 1e3);
+        w.key("rtl_cps");
+        w.value(r.rtl_kcps * 1e3);
+        w.key("asyn_over_rtl");
+        w.value(r.asyn_kcps / r.rtl_kcps);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    std::string path = std::string(sourceDir()) + "/BENCH_fig16.json";
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write '", path, "'");
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("throughput report: %s\n", path.c_str());
+}
+
+void
+printTable(bool smoke)
 {
     std::printf("=== Fig. 16 (Q5): simulated k-cycles/s (and alignment) "
                 "===\n");
@@ -38,8 +88,12 @@ printTable()
     std::printf("%-10s %8s %10s %10s %10s %8s\n", "workload", "cycles",
                 "asyn", "rtl(sim)", "gem5", "speedup");
     MetricsReport report;
+    std::vector<ThroughputRow> rows;
     std::vector<double> cpu_speedups;
+    size_t cpu_left = smoke ? 2 : size_t(-1);
     for (const SodorIpc &ref : kSodorIpc) {
+        if (cpu_left-- == 0)
+            break;
         auto image = isa::buildMemoryImage(isa::workload(ref.name));
         auto cpu = designs::buildCpu(designs::BranchPolicy::kTaken, image);
         TimedRun ev = runEventSim(*cpu.sys);
@@ -49,6 +103,8 @@ printTable()
         requireAligned(ev, nl, ref.name);
         report.add("cpu." + std::string(ref.name), ev.metrics,
                    {{"asyn_kcps", ev.kcps()}, {"rtl_kcps", nl.kcps()}});
+        rows.push_back({"cpu." + std::string(ref.name), ev.cycles,
+                        ev.kcps(), nl.kcps()});
 
         // gem5: include the initialization phase in wall time, as the
         // paper does.
@@ -71,7 +127,7 @@ printTable()
     // amortized, gem5 runs an order of magnitude faster than the
     // cycle-exact simulators (it models far less). A ~1M-cycle loop
     // shows the crossover.
-    {
+    if (!smoke) {
         std::string src = "    li a0, 400000\n"
                           "loop:\n"
                           "    addi a1, a1, 3\n"
@@ -98,13 +154,17 @@ printTable()
     std::printf("%-10s %8s %10s %10s %8s\n", "workload", "cycles", "asyn",
                 "rtl(sim)", "speedup");
     std::vector<double> hls_speedups;
+    size_t hls_left = smoke ? 1 : size_t(-1);
     for (const AccelPair &p : paperAccels()) {
+        if (hls_left-- == 0)
+            break;
         auto hls = p.hls();
         TimedRun ev = runEventSim(*hls.sys);
         TimedRun nl = runNetlistSim(*hls.sys);
         requireAligned(ev, nl, "HLS " + p.name);
         report.add("hls." + p.name, ev.metrics,
                    {{"asyn_kcps", ev.kcps()}, {"rtl_kcps", nl.kcps()}});
+        rows.push_back({"hls." + p.name, ev.cycles, ev.kcps(), nl.kcps()});
         std::printf("%-10s %8llu %10.0f %10.0f %7.1fx\n", p.name.c_str(),
                     (unsigned long long)ev.cycles, ev.kcps(), nl.kcps(),
                     ev.kcps() / nl.kcps());
@@ -114,7 +174,9 @@ printTable()
                 gmean(hls_speedups));
 
     report.write("fig16_metrics.json");
-    std::printf("metrics report: fig16_metrics.json\n\n");
+    std::printf("metrics report: fig16_metrics.json\n");
+    writeBenchJson(rows, smoke);
+    std::printf("\n");
 }
 
 void
@@ -146,7 +208,23 @@ BENCHMARK(BM_NetlistSimCpu)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    // --smoke: the short slice registered as the perf_smoke ctest label —
+    // two CPU workloads plus one accelerator, no long-loop, no
+    // micro-benchmarks. Keeps alignment + JSON emission on the CI path
+    // without the multi-minute full sweep.
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--smoke") {
+            smoke = true;
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            break;
+        }
+    }
+    printTable(smoke);
+    if (smoke)
+        return 0;
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
     return 0;

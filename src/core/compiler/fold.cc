@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Constant folding.
+ *
+ * Pure instructions whose operands are all literals are evaluated at
+ * compile time using the exact scalar semantics both simulators execute
+ * (support/ops.h), so a folded design cannot diverge from an unfolded
+ * one — division by zero, shift overflow, and signed overflow all fold
+ * to the same bits the backends would compute at cycle time.
+ *
+ * Folding rewrites operands in place and never deletes instructions:
+ * the netlist cell count (and with it the Fig. 13 area model) is
+ * unchanged, only the wiring moves onto constant nets. Instructions
+ * that keep private operand copies outside the generic operand list
+ * (Log, Bind, AsyncCall) are left untouched, since replaceOperand()
+ * would desynchronize the two.
+ */
+#include <unordered_map>
+
+#include "core/compiler/pass.h"
+#include "core/compiler/walk.h"
+#include "support/ops.h"
+
+namespace assassyn {
+
+namespace {
+
+/** Folding state shared across modules (cross-refs resolve anywhere). */
+struct Folder {
+    /** Instruction -> literal (or forwarded value) replacing it. */
+    std::unordered_map<const Value *, Value *> folded;
+
+    /** The literal a value evaluates to, or null when not constant. */
+    const ConstInt *
+    literalOf(Value *v)
+    {
+        Value *r = chaseRef(v);
+        auto it = folded.find(r);
+        if (it != folded.end())
+            r = it->second;
+        return r->valueKind() == Value::Kind::kConst
+                   ? static_cast<const ConstInt *>(r)
+                   : nullptr;
+    }
+
+    void
+    rewriteOperands(Instruction *inst)
+    {
+        for (size_t i = 0; i < inst->numOperands(); ++i) {
+            auto it = folded.find(chaseRef(inst->operand(i)));
+            if (it != folded.end())
+                inst->replaceOperand(i, it->second);
+        }
+    }
+
+    void
+    fold(Instruction *inst, uint64_t raw)
+    {
+        folded[inst] = inst->parent()->create<ConstInt>(inst->type(), raw);
+    }
+
+    void
+    visit(Instruction *inst)
+    {
+        switch (inst->opcode()) {
+          case Opcode::kLog:
+          case Opcode::kBind:
+          case Opcode::kAsyncCall:
+            return; // private arg vectors; see file comment
+          default:
+            break;
+        }
+        rewriteOperands(inst);
+        switch (inst->opcode()) {
+          case Opcode::kBinOp: {
+            auto *bin = static_cast<BinOp *>(inst);
+            const ConstInt *a = literalOf(bin->lhs());
+            const ConstInt *b = literalOf(bin->rhs());
+            if (a && b)
+                fold(inst,
+                     ops::evalBin(bin->binOpcode(), a->raw(), b->raw(),
+                                  bin->lhs()->type().bits(),
+                                  bin->lhs()->type().isSigned(),
+                                  bin->type().bits()));
+            break;
+          }
+          case Opcode::kUnOp: {
+            auto *un = static_cast<UnOp *>(inst);
+            if (const ConstInt *a = literalOf(un->value()))
+                fold(inst, ops::evalUn(un->unOpcode(), a->raw(),
+                                       un->value()->type().bits(),
+                                       un->type().bits()));
+            break;
+          }
+          case Opcode::kSlice: {
+            auto *sl = static_cast<Slice *>(inst);
+            if (const ConstInt *a = literalOf(sl->value()))
+                fold(inst, ops::evalSlice(a->raw(), sl->hi(), sl->lo()));
+            break;
+          }
+          case Opcode::kConcat: {
+            auto *cc = static_cast<Concat *>(inst);
+            const ConstInt *hi = literalOf(cc->msb());
+            const ConstInt *lo = literalOf(cc->lsb());
+            if (hi && lo)
+                fold(inst, ops::evalConcat(hi->raw(), lo->raw(),
+                                           cc->lsb()->type().bits(),
+                                           cc->type().bits()));
+            break;
+          }
+          case Opcode::kCast: {
+            auto *cast = static_cast<Cast *>(inst);
+            if (const ConstInt *a = literalOf(cast->value()))
+                fold(inst, ops::evalCast(cast->mode(), a->raw(),
+                                         cast->value()->type().bits(),
+                                         cast->type().bits()));
+            break;
+          }
+          case Opcode::kSelect: {
+            // A constant condition forwards the chosen arm (which need
+            // not itself be constant) to every later use.
+            auto *sel = static_cast<Select *>(inst);
+            if (const ConstInt *c = literalOf(sel->cond()))
+                folded[inst] = c->raw() ? sel->onTrue() : sel->onFalse();
+            break;
+          }
+          default:
+            break;
+        }
+    }
+};
+
+} // namespace
+
+void
+foldConstants(System &sys)
+{
+    Folder folder;
+    for (const auto &mod : sys.modules())
+        forEachInst(*mod, [&](Instruction *inst) { folder.visit(inst); });
+}
+
+} // namespace assassyn

@@ -103,6 +103,8 @@ compile(System &sys, const CompileOptions &opts)
     resolveCrossRefs(sys);
     if (opts.run_verify)
         verifySystem(sys);
+    if (opts.run_fold)
+        foldConstants(sys);
     if (opts.run_arbiter)
         generateArbiters(sys);
     if (opts.run_timing)

@@ -25,6 +25,7 @@ namespace assassyn {
 /** Which passes compile() runs; all on by default. */
 struct CompileOptions {
     bool run_verify = true;
+    bool run_fold = true;
     bool run_arbiter = true;
     bool run_timing = true;
     bool run_toposort = true;
@@ -43,6 +44,14 @@ void verifySystem(const System &sys);
  * the order in the system for the backends.
  */
 void topoSortStages(System &sys);
+
+/**
+ * Evaluate pure instructions with all-literal operands at compile time,
+ * using the shared scalar semantics both simulators execute
+ * (support/ops.h), and rewrite their uses to the literal. Instructions
+ * are never removed, so netlist cell counts are unaffected.
+ */
+void foldConstants(System &sys);
 
 /**
  * Wrap module bodies in an implicit wait_until over the validity of every

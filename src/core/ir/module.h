@@ -38,6 +38,15 @@ class Module {
     System *system() const { return sys_; }
     const std::string &name() const { return name_; }
 
+    /**
+     * Dense per-system id (declaration order), assigned by
+     * System::addModule. Backends index per-module runtime state with it
+     * instead of pointer-keyed maps, so iteration order — and therefore
+     * every report and generated artifact — is allocation-independent.
+     */
+    uint32_t id() const { return id_; }
+    void setId(uint32_t id) { id_ = id; }
+
     // --- Ports -----------------------------------------------------------
 
     Port *
@@ -180,6 +189,7 @@ class Module {
   private:
     System *sys_;
     std::string name_;
+    uint32_t id_ = 0;
     std::vector<std::unique_ptr<Port>> ports_;
     Block guard_;
     Block body_;

@@ -32,7 +32,9 @@ class System {
                 fatal("system '", name_, "' already has a module '",
                       mod_name, "'");
         modules_.push_back(std::make_unique<Module>(this, mod_name));
-        return modules_.back().get();
+        auto *mod = modules_.back().get();
+        mod->setId(static_cast<uint32_t>(modules_.size() - 1));
+        return mod;
     }
 
     const std::vector<std::unique_ptr<Module>> &modules() const

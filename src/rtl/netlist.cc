@@ -1,13 +1,44 @@
 #include "rtl/netlist.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "core/compiler/walk.h"
 #include "support/logging.h"
 
 namespace assassyn {
 namespace rtl {
+
+namespace {
+
+/** Apply @p fn to every input net the cell actually reads. */
+template <typename F>
+void
+forEachCellInput(const Cell &cell, F &&fn)
+{
+    switch (cell.op) {
+      case CellOp::kBin:
+      case CellOp::kConcat:
+        fn(cell.a);
+        fn(cell.b);
+        break;
+      case CellOp::kMux:
+        fn(cell.a);
+        fn(cell.b);
+        fn(cell.c);
+        break;
+      case CellOp::kUn:
+      case CellOp::kSlice:
+      case CellOp::kCast:
+      case CellOp::kArrayRead:
+        fn(cell.a);
+        break;
+    }
+}
+
+} // namespace
 
 /** Elaborates a lowered System into a Netlist. */
 class NetlistBuilder {
@@ -25,17 +56,34 @@ class NetlistBuilder {
         const0_ = constNet(0, 1, "const0");
         const1_ = constNet(1, 1, "const1");
 
+        // Dense compile-time index tables (by Module::id / Value::id),
+        // assigned up front so every later lookup is a vector index.
+        size_t num_mods = sys_.modules().size();
+        nl_.exec_net_.assign(num_mods, kNoNet);
+        nl_.counter_of_.assign(num_mods, -1);
+        nl_.port_base_.assign(num_mods, 0);
+        uint32_t num_ports = 0;
+        uint32_t num_values = 0;
+        value_base_.assign(num_mods, 0);
+        for (const auto &mod : sys_.modules()) {
+            nl_.port_base_[mod->id()] = num_ports;
+            num_ports += static_cast<uint32_t>(mod->numPorts());
+            value_base_[mod->id()] = num_values;
+            num_values += static_cast<uint32_t>(mod->nodes().size());
+        }
+        nl_.fifo_of_.assign(num_ports, kNoNet);
+        net_of_.assign(num_values, kNoNet);
+
         // Pre-allocate all state blocks so cross-module pushes and
         // subscriptions have a destination regardless of build order.
         for (const auto &arr : sys_.arrays()) {
-            array_id_[arr.get()] = static_cast<uint32_t>(nl_.arrays_.size());
             ArrayBlock blk;
             blk.array = arr.get();
-            nl_.arrays_.push_back(blk);
+            nl_.arrays_.push_back(blk); // block index == RegArray::id()
         }
         for (Module *mod : sys_.topoOrder()) {
             for (const auto &port : mod->ports()) {
-                fifo_id_[port.get()] =
+                nl_.fifo_of_[nl_.port_base_[mod->id()] + port->index()] =
                     static_cast<uint32_t>(nl_.fifos_.size());
                 FifoBlock blk;
                 blk.port = port.get();
@@ -52,8 +100,8 @@ class NetlistBuilder {
                 nl_.fifos_.push_back(blk);
             }
             if (!mod->isDriver()) {
-                counter_id_[mod] =
-                    static_cast<uint32_t>(nl_.counters_.size());
+                nl_.counter_of_[mod->id()] =
+                    static_cast<int32_t>(nl_.counters_.size());
                 CounterBlock blk;
                 blk.mod = mod;
                 blk.nonzero = newNet(1, mod->name() + "__event_pending");
@@ -63,13 +111,23 @@ class NetlistBuilder {
 
         // Elaborate stages in topological order so that cross-stage
         // combinational references always hit already-built producers.
-        for (Module *mod : sys_.topoOrder())
+        // Each stage's cells form one contiguous range — its cone.
+        for (Module *mod : sys_.topoOrder()) {
+            Cone cone;
+            cone.mod = mod;
+            cone.begin = static_cast<uint32_t>(nl_.cells_.size());
             buildModule(*mod);
+            cone.end = static_cast<uint32_t>(nl_.cells_.size());
+            cone.exec_net = nl_.exec_net_[mod->id()];
+            nl_.cones_.push_back(cone);
+        }
 
         // Hook the counter decrements (wait-until clears the event by
         // subtracting one, Fig. 10b).
         for (auto &ctr : nl_.counters_)
-            ctr.dec = nl_.exec_net_.at(ctr.mod);
+            ctr.dec = nl_.exec_net_[ctr.mod->id()];
+
+        nl_.finalize();
     }
 
   private:
@@ -128,14 +186,23 @@ class NetlistBuilder {
         return cell.out;
     }
 
+    /** Dense slot of a value in net_of_ (Module::id x Value::id). */
+    uint32_t
+    valueSlot(const Value *val) const
+    {
+        if (!val->parent())
+            panic("netlist: value with no owning module arena");
+        return value_base_[val->parent()->id()] + val->id();
+    }
+
     /** Build (memoized) the net computing @p val. */
     uint32_t
     netOf(const Value *val)
     {
         val = chaseRef(const_cast<Value *>(val));
-        auto it = net_of_.find(val);
-        if (it != net_of_.end())
-            return it->second;
+        uint32_t slot = valueSlot(val);
+        if (net_of_[slot] != kNoNet)
+            return net_of_[slot];
 
         uint32_t net = 0;
         switch (val->valueKind()) {
@@ -150,7 +217,7 @@ class NetlistBuilder {
             net = buildInstr(static_cast<const Instruction *>(val));
             break;
         }
-        net_of_[val] = net;
+        net_of_[slot] = net;
         return net;
     }
 
@@ -221,11 +288,11 @@ class NetlistBuilder {
           }
           case Opcode::kFifoValid: {
             const auto *fv = static_cast<const FifoValid *>(inst);
-            return nl_.fifos_[fifo_id_.at(fv->port())].pop_valid;
+            return nl_.fifos_[nl_.fifoIndex(fv->port())].pop_valid;
           }
           case Opcode::kFifoPop: {
             const auto *fp = static_cast<const FifoPop *>(inst);
-            return nl_.fifos_[fifo_id_.at(fp->port())].pop_data;
+            return nl_.fifos_[nl_.fifoIndex(fp->port())].pop_data;
           }
           case Opcode::kArrayRead: {
             const auto *rd = static_cast<const ArrayRead *>(inst);
@@ -233,7 +300,7 @@ class NetlistBuilder {
             Cell &cell = addCell(CellOp::kArrayRead,
                                  rd->type().bits(), origin);
             cell.a = idx;
-            cell.aux = array_id_.at(rd->array());
+            cell.aux = rd->array()->id();
             return cell.out;
           }
           default:
@@ -256,14 +323,14 @@ class NetlistBuilder {
               }
               case Opcode::kFifoPop: {
                 auto *fp = static_cast<FifoPop *>(inst);
-                nl_.fifos_[fifo_id_.at(fp->port())]
+                nl_.fifos_[nl_.fifoIndex(fp->port())]
                     .deq_enables.push_back(enable);
                 break;
               }
               case Opcode::kFifoPush: {
                 auto *push = static_cast<FifoPush *>(inst);
                 uint32_t data = netOf(push->value());
-                nl_.fifos_[fifo_id_.at(push->port())].pushes.push_back(
+                nl_.fifos_[nl_.fifoIndex(push->port())].pushes.push_back(
                     {enable, data, &mod});
                 break;
               }
@@ -271,17 +338,17 @@ class NetlistBuilder {
                 auto *wr = static_cast<ArrayWrite *>(inst);
                 uint32_t idx = netOf(wr->index());
                 uint32_t data = netOf(wr->value());
-                nl_.arrays_[array_id_.at(wr->array())].writes.push_back(
+                nl_.arrays_[wr->array()->id()].writes.push_back(
                     {enable, idx, data});
                 break;
               }
               case Opcode::kSubscribe: {
                 auto *sub = static_cast<Subscribe *>(inst);
-                auto it = counter_id_.find(sub->callee());
-                if (it == counter_id_.end())
+                int32_t ctr = nl_.counter_of_[sub->callee()->id()];
+                if (ctr < 0)
                     fatal("subscribe to driver stage '",
                           sub->callee()->name(), "'");
-                nl_.counters_[it->second].incs.push_back(enable);
+                nl_.counters_[ctr].incs.push_back(enable);
                 break;
               }
               case Opcode::kLog: {
@@ -342,9 +409,10 @@ class NetlistBuilder {
     {
         // exec_valid = event_pending & wait_cond (Fig. 10a/b); a driver
         // stage is unconditionally pending every cycle (Sec. 3.8).
-        uint32_t pending = mod.isDriver()
-                               ? const1_
-                               : nl_.counters_[counter_id_.at(&mod)].nonzero;
+        uint32_t pending =
+            mod.isDriver()
+                ? const1_
+                : nl_.counters_[nl_.counter_of_[mod.id()]].nonzero;
         uint32_t wait =
             mod.waitCond() ? netOf(mod.waitCond()) : const1_;
         uint32_t exec = andNet(pending, wait, &mod);
@@ -360,10 +428,10 @@ class NetlistBuilder {
             if (port->policy() != FifoPolicy::kStallProducer ||
                 !stall_seen.insert(port).second)
                 return;
-            uint32_t full = nl_.fifos_[fifo_id_.at(port)].full;
+            uint32_t full = nl_.fifos_[nl_.fifoIndex(port)].full;
             exec = andNet(exec, notNet(full, &mod), &mod);
         });
-        nl_.exec_net_[&mod] = exec;
+        nl_.exec_net_[mod.id()] = exec;
         buildEffects(mod, mod.body(), exec);
         // Exposures are always-on wires: force their cones into existence
         // even if no consumer was elaborated yet.
@@ -381,12 +449,107 @@ class NetlistBuilder {
     Netlist &nl_;
     uint32_t const0_ = 0;
     uint32_t const1_ = 0;
-    std::map<const Value *, uint32_t> net_of_;
+    std::vector<uint32_t> value_base_; ///< by Module::id
+    std::vector<uint32_t> net_of_;     ///< by value_base_ + Value::id
     std::map<std::pair<uint64_t, unsigned>, uint32_t> const_cache_;
-    std::map<const Port *, uint32_t> fifo_id_;
-    std::map<const RegArray *, uint32_t> array_id_;
-    std::map<const Module *, uint32_t> counter_id_;
 };
+
+void
+Netlist::finalize()
+{
+    comb_cycle_.clear();
+    constexpr uint32_t kNoCell = 0xffffffffu;
+    std::vector<uint32_t> producer(net_bits_.size(), kNoCell);
+    for (size_t i = 0; i < cells_.size(); ++i)
+        producer[cells_[i].out] = static_cast<uint32_t>(i);
+
+    // The builder creates operand cells before their consumers, so the
+    // stored order is levelized by construction; verify in O(cells).
+    bool ordered = true;
+    for (size_t i = 0; i < cells_.size() && ordered; ++i)
+        forEachCellInput(cells_[i], [&](uint32_t n) {
+            uint32_t p = producer[n];
+            if (p != kNoCell && p >= i)
+                ordered = false;
+        });
+    if (ordered) {
+        // Activity-gating metadata: each cone's external inputs are the
+        // non-constant nets produced outside its own cell range (state
+        // nets and cross-cone wires), plus the arrays it reads.
+        std::vector<uint32_t> seen(net_bits_.size(), kNoCell);
+        for (uint32_t ci = 0; ci < cones_.size(); ++ci) {
+            Cone &cone = cones_[ci];
+            for (uint32_t i = cone.begin; i < cone.end; ++i) {
+                const Cell &cell = cells_[i];
+                forEachCellInput(cell, [&](uint32_t n) {
+                    uint32_t p = producer[n];
+                    bool internal = p != kNoCell && p >= cone.begin &&
+                                    p < cone.end;
+                    if (internal || seen[n] == ci || consts_.count(n))
+                        return;
+                    seen[n] = ci;
+                    cone.inputs.push_back(n);
+                });
+                if (cell.op == CellOp::kArrayRead &&
+                    std::find(cone.arrays.begin(), cone.arrays.end(),
+                              cell.aux) == cone.arrays.end())
+                    cone.arrays.push_back(cell.aux);
+            }
+        }
+        return;
+    }
+
+    // Out-of-order cells (hand-built or mutated netlists only): fall
+    // back to a full levelization. Gating metadata is dropped — the
+    // simulator then evaluates the whole reordered list every cycle.
+    cones_.clear();
+    std::vector<bool> ready(net_bits_.size(), false);
+    for (uint32_t n = 0; n < producer.size(); ++n)
+        ready[n] = producer[n] == kNoCell; // state/const nets
+    std::vector<Cell> order;
+    order.reserve(cells_.size());
+    std::vector<bool> placed(cells_.size(), false);
+    size_t remaining = cells_.size();
+    bool progress = true;
+    while (remaining && progress) {
+        progress = false;
+        for (size_t i = 0; i < cells_.size(); ++i) {
+            if (placed[i])
+                continue;
+            bool ok = true;
+            forEachCellInput(cells_[i],
+                             [&](uint32_t n) { ok &= ready[n]; });
+            if (!ok)
+                continue;
+            placed[i] = true;
+            ready[cells_[i].out] = true;
+            order.push_back(cells_[i]);
+            --remaining;
+            progress = true;
+        }
+    }
+    if (remaining) {
+        // A residual combinational cycle: no evaluation order exists.
+        // Name the cells so the error is actionable; the simulator
+        // refuses to run and surfaces this as a structured RunResult
+        // instead of sweeping forever (docs/performance.md).
+        std::ostringstream os;
+        os << "combinational cycle through " << remaining << " cell(s):";
+        for (size_t i = 0; i < cells_.size(); ++i) {
+            if (placed[i])
+                continue;
+            const Cell &c = cells_[i];
+            os << " cell#" << i << "->net" << c.out;
+            if (!net_names_[c.out].empty())
+                os << " '" << net_names_[c.out] << "'";
+            if (c.origin)
+                os << "(stage '" << c.origin->name() << "')";
+        }
+        comb_cycle_ = os.str();
+        return;
+    }
+    cells_ = std::move(order);
+}
 
 Netlist::Netlist(const System &sys) : sys_(&sys)
 {

@@ -13,9 +13,16 @@
  *    one-hot data selection (Fig. 10c);
  *  - logs/assertions/finish become testbench monitor processes.
  *
+ * Construction ends with a levelization pass: the cell list is verified
+ * to be a topological order over combinational dependencies (reordering
+ * it if needed), so the netlist simulator can evaluate each cycle in
+ * exactly one pass with no settle loop. A residual combinational cycle
+ * is recorded as a structured diagnostic naming the offending cells
+ * (levelized() / combCycleDiag()) instead of looping at runtime.
+ *
  * The Netlist feeds three consumers: the netlist simulator (the repo's
- * Verilator stand-in, evaluating every cell every cycle), the synthesis
- * area model, and the SystemVerilog emitter.
+ * Verilator stand-in), the synthesis area model, and the SystemVerilog
+ * emitter.
  */
 #pragma once
 
@@ -123,8 +130,27 @@ struct MonitorBlock {
 };
 
 /**
- * The elaborated design. Cell order is a valid evaluation order (inputs
- * are always created before their consumers).
+ * One stage's contiguous cell range plus everything its evaluation
+ * depends on, computed once at elaboration. The simulator skips the
+ * whole range on cycles where the stage's exec_valid is low and every
+ * external input net — FIFO/counter state nets and cross-cone wires —
+ * plus every register array it reads are unchanged: the cells are pure
+ * functions of those, so their outputs are already sitting in the net
+ * store (docs/performance.md).
+ */
+struct Cone {
+    const Module *mod = nullptr;
+    uint32_t exec_net = kNoNet;
+    uint32_t begin = 0; ///< first cell index
+    uint32_t end = 0;   ///< one past the last cell index
+    std::vector<uint32_t> inputs; ///< external non-constant input nets
+    std::vector<uint32_t> arrays; ///< array ids read by kArrayRead cells
+};
+
+/**
+ * The elaborated design. After construction the cell order is a valid
+ * (levelized) evaluation order unless the design has a genuine
+ * combinational cycle, which levelized()/combCycleDiag() report.
  */
 class Netlist {
   public:
@@ -146,10 +172,48 @@ class Netlist {
     const std::vector<MonitorBlock> &monitors() const { return monitors_; }
 
     /** exec_valid net of each stage. */
-    uint32_t execNet(const Module *mod) const { return exec_net_.at(mod); }
+    uint32_t execNet(const Module *mod) const
+    {
+        return exec_net_[mod->id()];
+    }
+
+    /** FifoBlock index of a port (dense, no map lookup). */
+    uint32_t fifoIndex(const Port *port) const
+    {
+        return fifo_of_[port_base_[port->owner()->id()] + port->index()];
+    }
+
+    /** CounterBlock index of a stage; -1 for drivers (no counter). */
+    int32_t counterIndex(const Module *mod) const
+    {
+        return counter_of_[mod->id()];
+    }
+
+    /**
+     * False when the cell graph has a residual combinational cycle that
+     * no evaluation order can resolve; combCycleDiag() then names the
+     * offending cells. The simulator refuses to run such a netlist.
+     */
+    bool levelized() const { return comb_cycle_.empty(); }
+    const std::string &combCycleDiag() const { return comb_cycle_; }
+
+    /**
+     * Per-stage activity-gating metadata; empty when elaboration had to
+     * reorder cells away from creation order (gating then disabled, the
+     * simulator falls back to a plain full sweep per cycle).
+     */
+    const std::vector<Cone> &cones() const { return cones_; }
 
   private:
     friend class NetlistBuilder;
+    friend class NetlistTestPeer; ///< cycle-injection hooks for tests
+
+    /**
+     * Levelization: verify the cell list is topologically ordered,
+     * reorder it if not, record a structured diagnostic on a residual
+     * cycle, and compute the cones' external inputs.
+     */
+    void finalize();
 
     const System *sys_;
     std::vector<unsigned> net_bits_;
@@ -160,7 +224,15 @@ class Netlist {
     std::vector<ArrayBlock> arrays_;
     std::vector<CounterBlock> counters_;
     std::vector<MonitorBlock> monitors_;
-    std::map<const Module *, uint32_t> exec_net_;
+    std::vector<Cone> cones_;
+    std::string comb_cycle_;
+    // Dense compile-time indices (keyed by Module::id / Port::index),
+    // replacing the pointer-keyed maps that used to sit on the
+    // simulator's hot path.
+    std::vector<uint32_t> exec_net_;   ///< by Module::id
+    std::vector<int32_t> counter_of_;  ///< by Module::id; -1 = driver
+    std::vector<uint32_t> port_base_;  ///< by Module::id
+    std::vector<uint32_t> fifo_of_;    ///< by port_base + Port::index
 };
 
 } // namespace rtl

@@ -1,10 +1,10 @@
 #include "rtl/netlist_sim.h"
 
-#include <map>
 #include <sstream>
 
 #include "support/bits.h"
 #include "support/logging.h"
+#include "support/ops.h"
 
 namespace assassyn {
 namespace rtl {
@@ -41,6 +41,18 @@ struct ModStat {
     uint64_t bp_stalls = 0; ///< cycles gated by backpressure
 };
 
+/**
+ * Activity-gating state of one cone: the input values and array
+ * versions it was last evaluated against. While they match the current
+ * state and the stage's exec_valid is low, the cone's outputs are
+ * already correct in the net store and its cells are skipped.
+ */
+struct ConeRt {
+    bool valid = false;         ///< evaluated at least once
+    std::vector<uint64_t> sig;  ///< input nets at last evaluation
+    std::vector<uint64_t> aver; ///< read-array versions at last evaluation
+};
+
 } // namespace
 
 struct NetlistSim::Impl {
@@ -55,12 +67,12 @@ struct NetlistSim::Impl {
     std::vector<FifoRt> fifos;
     std::vector<std::vector<uint64_t>> arrays;
     std::vector<uint64_t> counters;
-    std::vector<uint64_t> array_writes; ///< committed writes per array
+    std::vector<uint64_t> array_writes;  ///< committed writes per array
+    std::vector<uint64_t> array_version; ///< bumped on every array mutation
     std::vector<ModStat> mod_stats;
+    std::vector<ConeRt> cone_rt;        ///< parallel to nl.cones()
     std::vector<uint32_t> counter_stat; ///< CounterBlock -> mod_stats index
-    std::map<const RegArray *, uint32_t> array_id;
-    std::map<const Port *, uint32_t> fifo_id;
-    std::map<const Module *, uint32_t> mod_id;
+    std::vector<uint32_t> stat_of_mod;  ///< Module::id -> mod_stats index
     std::vector<std::vector<uint32_t>> stall_fifos; ///< per mod_stats index
 
     uint64_t cycle = 0;
@@ -92,153 +104,129 @@ struct NetlistSim::Impl {
             fifos[i].occupancy.buckets.assign(nl.fifos()[i].depth + 1, 0);
         }
         arrays.reserve(nl.arrays().size());
-        for (size_t i = 0; i < nl.arrays().size(); ++i) {
-            array_id[nl.arrays()[i].array] = static_cast<uint32_t>(i);
+        for (size_t i = 0; i < nl.arrays().size(); ++i)
             arrays.push_back(nl.arrays()[i].array->init());
-        }
         array_writes.assign(nl.arrays().size(), 0);
+        array_version.assign(nl.arrays().size(), 0);
         counters.assign(nl.counters().size(), 0);
 
-        std::map<const Module *, int> counter_of;
-        for (size_t i = 0; i < nl.counters().size(); ++i)
-            counter_of[nl.counters()[i].mod] = static_cast<int>(i);
         counter_stat.assign(nl.counters().size(), 0);
+        stat_of_mod.assign(nl.sys().modules().size(), 0);
         for (const Module *mod : nl.sys().topoOrder()) {
             ModStat st;
             st.mod = mod;
             st.exec_net = nl.execNet(mod);
-            auto it = counter_of.find(mod);
-            st.counter_idx = it == counter_of.end() ? -1 : it->second;
+            st.counter_idx = nl.counterIndex(mod);
             if (st.counter_idx >= 0)
                 counter_stat[st.counter_idx] =
                     static_cast<uint32_t>(mod_stats.size());
+            stat_of_mod[mod->id()] =
+                static_cast<uint32_t>(mod_stats.size());
             mod_stats.push_back(st);
         }
-        for (size_t i = 0; i < nl.fifos().size(); ++i)
-            fifo_id[nl.fifos()[i].port] = static_cast<uint32_t>(i);
         stall_fifos.resize(mod_stats.size());
-        for (size_t m = 0; m < mod_stats.size(); ++m) {
-            mod_id[mod_stats[m].mod] = static_cast<uint32_t>(m);
+        for (size_t m = 0; m < mod_stats.size(); ++m)
             for (const Port *p : analyzer.stallPorts(mod_stats[m].mod))
-                stall_fifos[m].push_back(fifo_id.at(p));
+                stall_fifos[m].push_back(nl.fifoIndex(p));
+
+        cone_rt.resize(nl.cones().size());
+        for (size_t c = 0; c < cone_rt.size(); ++c) {
+            cone_rt[c].sig.assign(nl.cones()[c].inputs.size(), 0);
+            cone_rt[c].aver.assign(nl.cones()[c].arrays.size(), 0);
         }
     }
 
-    static uint64_t
-    evalBin(BinOpcode op, uint64_t a, uint64_t b, unsigned opnd_bits,
-            bool sgn, unsigned out_bits)
-    {
-        int64_t sa = signExtend(a, opnd_bits);
-        int64_t sb = signExtend(b, opnd_bits);
-        uint64_t r = 0;
-        switch (op) {
-          case BinOpcode::kAdd: r = a + b; break;
-          case BinOpcode::kSub: r = a - b; break;
-          case BinOpcode::kMul: r = a * b; break;
-          case BinOpcode::kDiv:
-            if (b == 0)
-                r = ~uint64_t(0); // RISC-V style div-by-zero
-            else if (sgn && sb == -1)
-                r = ~a + 1; // overflow-safe: -a mod 2^64
-            else
-                r = sgn ? static_cast<uint64_t>(sa / sb) : a / b;
-            break;
-          case BinOpcode::kMod:
-            if (b == 0)
-                r = a;
-            else if (sgn && sb == -1)
-                r = 0;
-            else
-                r = sgn ? static_cast<uint64_t>(sa % sb) : a % b;
-            break;
-          case BinOpcode::kAnd: r = a & b; break;
-          case BinOpcode::kOr:  r = a | b; break;
-          case BinOpcode::kXor: r = a ^ b; break;
-          case BinOpcode::kShl: r = b >= 64 ? 0 : a << b; break;
-          case BinOpcode::kShr:
-            if (sgn)
-                r = static_cast<uint64_t>(
-                    b >= 64 ? (sa < 0 ? -1 : 0) : (sa >> b));
-            else
-                r = b >= 64 ? 0 : a >> b;
-            break;
-          case BinOpcode::kEq: r = a == b; break;
-          case BinOpcode::kNe: r = a != b; break;
-          case BinOpcode::kLt: r = sgn ? (sa < sb) : (a < b); break;
-          case BinOpcode::kLe: r = sgn ? (sa <= sb) : (a <= b); break;
-          case BinOpcode::kGt: r = sgn ? (sa > sb) : (a > b); break;
-          case BinOpcode::kGe: r = sgn ? (sa >= sb) : (a >= b); break;
-        }
-        return truncate(r, out_bits);
-    }
-
-    /** One full sweep over all cells; clears @p settled on any change. */
+    /** One pass over the levelized cells [@p begin, @p end). */
     void
-    evalSweep(bool &settled)
+    evalRange(uint32_t begin, uint32_t end)
     {
-        for (const Cell &cell : nl.cells()) {
+        const Cell *cells = nl.cells().data();
+        uint64_t *ns = nets.data();
+        for (uint32_t i = begin; i < end; ++i) {
+            const Cell &cell = cells[i];
             uint64_t v = 0;
             switch (cell.op) {
               case CellOp::kBin:
-                v = evalBin(static_cast<BinOpcode>(cell.sub), nets[cell.a],
-                            nets[cell.b], cell.opnd_bits, cell.sgn,
-                            cell.bits);
+                v = ops::evalBin(static_cast<BinOpcode>(cell.sub),
+                                 ns[cell.a], ns[cell.b], cell.opnd_bits,
+                                 cell.sgn, cell.bits);
                 break;
-              case CellOp::kUn: {
-                uint64_t x = nets[cell.a];
-                switch (static_cast<UnOpcode>(cell.sub)) {
-                  case UnOpcode::kNot:
-                    v = truncate(~x, cell.bits);
-                    break;
-                  case UnOpcode::kNeg:
-                    v = truncate(~x + 1, cell.bits);
-                    break;
-                  case UnOpcode::kRedOr:
-                    v = x != 0;
-                    break;
-                  case UnOpcode::kRedAnd:
-                    v = x == maskBits(cell.opnd_bits);
-                    break;
-                }
+              case CellOp::kUn:
+                v = ops::evalUn(static_cast<UnOpcode>(cell.sub),
+                                ns[cell.a], cell.opnd_bits, cell.bits);
                 break;
-              }
               case CellOp::kSlice:
-                v = extractBits(nets[cell.a], cell.b_imm, cell.c_imm);
+                v = ops::evalSlice(ns[cell.a], cell.b_imm, cell.c_imm);
                 break;
               case CellOp::kConcat:
-                v = truncate((nets[cell.a] << cell.c_imm) | nets[cell.b],
-                             cell.bits);
+                v = ops::evalConcat(ns[cell.a], ns[cell.b], cell.c_imm,
+                                    cell.bits);
                 break;
               case CellOp::kMux:
-                v = nets[cell.a] ? nets[cell.b] : nets[cell.c];
+                v = ns[cell.a] ? ns[cell.b] : ns[cell.c];
                 break;
-              case CellOp::kCast: {
-                uint64_t x = nets[cell.a];
-                switch (static_cast<Cast::Mode>(cell.sub)) {
-                  case Cast::Mode::kZExt:
-                  case Cast::Mode::kBitcast:
-                  case Cast::Mode::kTrunc:
-                    v = truncate(x, cell.bits);
-                    break;
-                  case Cast::Mode::kSExt:
-                    v = truncate(static_cast<uint64_t>(
-                                     signExtend(x, cell.opnd_bits)),
-                                 cell.bits);
-                    break;
-                }
+              case CellOp::kCast:
+                v = ops::evalCast(static_cast<Cast::Mode>(cell.sub),
+                                  ns[cell.a], cell.opnd_bits, cell.bits);
                 break;
-              }
               case CellOp::kArrayRead: {
                 const auto &data = arrays[cell.aux];
-                uint64_t idx = nets[cell.a];
+                uint64_t idx = ns[cell.a];
                 v = idx < data.size() ? data[idx] : 0;
                 break;
               }
             }
-            if (nets[cell.out] != v) {
-                nets[cell.out] = v;
-                settled = false;
+            ns[cell.out] = v;
+        }
+    }
+
+    /**
+     * Evaluate the combinational logic for this cycle: exactly one pass
+     * over the levelized cell list — no settle loop. With cone metadata
+     * available, a stage whose exec_valid was low at its last evaluation
+     * and whose external inputs (state nets, cross-cone wires, read
+     * arrays) are unchanged is skipped outright: its cells are pure
+     * functions of those inputs, so every output net already holds the
+     * value this pass would recompute.
+     */
+    void
+    evalCells()
+    {
+        const auto &cones = nl.cones();
+        if (cones.empty()) {
+            // Reordered (non-creation-order) netlist: no cone ranges;
+            // evaluate the full levelized list.
+            evalRange(0, static_cast<uint32_t>(nl.cells().size()));
+            return;
+        }
+        for (size_t c = 0; c < cones.size(); ++c) {
+            const Cone &cone = cones[c];
+            ConeRt &rt = cone_rt[c];
+            if (rt.valid && !nets[cone.exec_net]) {
+                bool same = true;
+                for (size_t k = 0; k < cone.inputs.size(); ++k) {
+                    if (nets[cone.inputs[k]] != rt.sig[k]) {
+                        same = false;
+                        break;
+                    }
+                }
+                if (same) {
+                    for (size_t k = 0; k < cone.arrays.size(); ++k) {
+                        if (array_version[cone.arrays[k]] != rt.aver[k]) {
+                            same = false;
+                            break;
+                        }
+                    }
+                }
+                if (same)
+                    continue; // outputs already correct
             }
+            evalRange(cone.begin, cone.end);
+            rt.valid = true;
+            for (size_t k = 0; k < cone.inputs.size(); ++k)
+                rt.sig[k] = nets[cone.inputs[k]];
+            for (size_t k = 0; k < cone.arrays.size(); ++k)
+                rt.aver[k] = array_version[cone.arrays[k]];
         }
     }
 
@@ -259,23 +247,10 @@ struct NetlistSim::Impl {
         for (size_t i = 0; i < counters.size(); ++i)
             nets[nl.counters()[i].nonzero] = counters[i] > 0;
 
-        // Evaluate the combinational cells to a fixed point. A generic
-        // RTL simulator honours IEEE 1800 event semantics: it cannot
-        // assume a levelized netlist, so it must sweep, detect changes,
-        // and re-sweep until the design settles (our creation order is
-        // levelized, so this converges in one productive pass plus one
-        // verification pass -- exactly the "determine the active and
-        // inactive code regions in a fine-grained style" overhead the
-        // paper attributes to Verilog simulation).
-        bool settled = false;
-        int passes = 0;
-        while (!settled) {
-            settled = true;
-            if (++passes > 64)
-                fatal("cycle ", cycle,
-                      ": combinational logic did not settle");
-            evalSweep(settled);
-        }
+        // Single-pass combinational evaluation over the levelized cells
+        // (with per-stage activity gating) — the precompiled static
+        // schedule that replaces the old sweep-until-settled loop.
+        evalCells();
 
         // Per-stage accounting, from the settled exec_valid nets. This
         // is the same classification the event-driven simulator makes in
@@ -411,6 +386,7 @@ struct NetlistSim::Impl {
                 arrays[i][idx] =
                     truncate(data, blk.array->elemType().bits());
                 ++array_writes[i];
+                ++array_version[i];
                 progress = true;
             }
         }
@@ -468,13 +444,13 @@ struct NetlistSim::Impl {
         return analyzer.analyze(
             cycle, window,
             [&](const Module *m) {
-                return nets[mod_stats[mod_id.at(m)].exec_net] != 0;
+                return nets[mod_stats[stat_of_mod[m->id()]].exec_net] != 0;
             },
             [&](const Module *m) {
-                return pendingOf(mod_stats[mod_id.at(m)]);
+                return pendingOf(mod_stats[stat_of_mod[m->id()]]);
             },
             [&](const Port *p) {
-                return uint64_t(fifos[fifo_id.at(p)].count);
+                return uint64_t(fifos[nl.fifoIndex(p)].count);
             });
     }
 
@@ -553,6 +529,17 @@ sim::RunResult
 NetlistSim::run(uint64_t max_cycles)
 {
     Impl &im = *impl_;
+    // A netlist with a residual combinational cycle has no valid
+    // evaluation order: refuse to run it, returning the structured
+    // diagnostic naming the offending cells instead of sweeping
+    // toward a convergence that cannot happen.
+    if (!im.nl.levelized()) {
+        sim::RunResult res;
+        res.status = sim::RunStatus::kFault;
+        res.error = im.nl.combCycleDiag();
+        res.cycles = 0;
+        return res;
+    }
     uint64_t start = im.cycle;
     sim::RunResult res;
     try {
@@ -590,7 +577,7 @@ uint64_t NetlistSim::cycle() const { return impl_->cycle; }
 uint64_t
 NetlistSim::readArray(const RegArray *array, size_t index) const
 {
-    const auto &data = impl_->arrays.at(impl_->array_id.at(array));
+    const auto &data = impl_->arrays.at(array->id());
     if (index >= data.size())
         fatal("readArray: index out of range for '", array->name(), "'");
     return data[index];
@@ -599,23 +586,24 @@ NetlistSim::readArray(const RegArray *array, size_t index) const
 void
 NetlistSim::writeArray(const RegArray *array, size_t index, uint64_t value)
 {
-    auto &data = impl_->arrays.at(impl_->array_id.at(array));
+    auto &data = impl_->arrays.at(array->id());
     if (index >= data.size())
         fatal("writeArray: index out of range for '", array->name(), "'");
     data[index] = truncate(value, array->elemType().bits());
+    ++impl_->array_version[array->id()]; // invalidate gated reader cones
     impl_->poked = true; // external state change: reset the watchdog
 }
 
 uint64_t
 NetlistSim::fifoOccupancy(const Port *port) const
 {
-    return impl_->fifos.at(impl_->fifo_id.at(port)).count;
+    return impl_->fifos.at(impl_->nl.fifoIndex(port)).count;
 }
 
 uint64_t
 NetlistSim::readFifo(const Port *port, size_t pos) const
 {
-    const FifoRt &f = impl_->fifos.at(impl_->fifo_id.at(port));
+    const FifoRt &f = impl_->fifos.at(impl_->nl.fifoIndex(port));
     if (pos >= f.count)
         fatal("readFifo: position ", pos, " out of range for '",
               port->fullName(), "' (occupancy ", f.count, ")");
@@ -625,7 +613,7 @@ NetlistSim::readFifo(const Port *port, size_t pos) const
 void
 NetlistSim::writeFifo(const Port *port, size_t pos, uint64_t value)
 {
-    FifoRt &f = impl_->fifos.at(impl_->fifo_id.at(port));
+    FifoRt &f = impl_->fifos.at(impl_->nl.fifoIndex(port));
     if (pos >= f.count)
         fatal("writeFifo: position ", pos, " out of range for '",
               port->fullName(), "' (occupancy ", f.count, ")");

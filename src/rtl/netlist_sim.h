@@ -2,14 +2,16 @@
  * @file
  * The RTL-level cycle simulator: this repo's stand-in for Verilator.
  *
- * Unlike the event-driven simulator (src/sim), which skips idle stages
- * wholesale, this simulator evaluates *every* combinational cell of the
- * elaborated netlist every cycle in levelized order, then commits every
- * sequential block — the cost structure of a generic RTL simulator. The
- * paper's Q5 speedup (2.2-8.1x) comes from exactly this difference, and
- * its Q5 alignment claim is validated here by running one design through
- * both engines and comparing cycle counts, committed state, and log
- * output byte for byte.
+ * Unlike the event-driven simulator (src/sim), which lowers each stage
+ * to a bytecode tape, this simulator executes the elaborated netlist's
+ * cells, then commits every sequential block — the cost structure of an
+ * RTL simulator. The netlist is levelized once at elaboration, so each
+ * cycle is exactly one pass over the cell list (no settle loop), with
+ * per-stage activity gating skipping cones whose inputs are unchanged
+ * (docs/performance.md). The paper's Q5 speedup (2.2-8.1x) comes from
+ * the backends' remaining cost difference, and its Q5 alignment claim
+ * is validated by running one design through both engines and comparing
+ * cycle counts, committed state, and log output byte for byte.
  */
 #pragma once
 
@@ -70,7 +72,9 @@ class NetlistSim {
      * fault. Same structured-result contract as sim::Simulator::run —
      * design faults return RunResult::kFault instead of throwing, and
      * the hazard report is byte-identical to the event simulator's for
-     * the same design.
+     * the same design. A netlist with a residual combinational cycle
+     * (Netlist::levelized() false) returns kFault immediately, carrying
+     * the diagnostic that names the offending cells.
      */
     sim::RunResult run(uint64_t max_cycles);
 

@@ -7,6 +7,7 @@
 #include "core/compiler/walk.h"
 #include "sim/vcd.h"
 #include "support/bits.h"
+#include "support/ops.h"
 #include "support/logging.h"
 
 namespace assassyn {
@@ -109,17 +110,20 @@ struct Simulator::Impl {
     std::vector<uint64_t> slots;
     std::vector<FifoState> fifos;
     std::vector<ArrState> arrays;
-    std::vector<ModState> mods;
-    std::map<const Port *, uint32_t> fifo_id;
-    std::map<const RegArray *, uint32_t> array_id;
-    std::map<const Module *, uint32_t> mod_id;
-    std::map<const Value *, uint32_t> slot_of;
+    std::vector<ModState> mods; ///< indexed by Module::id
+    // Dense compile-time index tables, replacing the pointer-keyed maps
+    // that used to sit on the hot path: a port's FIFO is
+    // port_base[owner id] + port index, a value's slot is
+    // slot_base[parent id] + value id (synthetic slots appended after),
+    // arrays and modules are indexed by their own dense ids.
+    std::vector<uint32_t> port_base; ///< by Module::id
+    std::vector<uint32_t> slot_base; ///< by Module::id
 
     struct ModProg {
         std::vector<Step> shadow;
         std::vector<Step> active;
     };
-    std::vector<ModProg> progs;       ///< indexed by mod_id
+    std::vector<ModProg> progs;       ///< indexed by Module::id
     std::vector<uint32_t> topo_idx;   ///< execution order (mod ids)
 
     uint64_t cycle = 0;
@@ -166,15 +170,14 @@ struct Simulator::Impl {
     void
     build()
     {
-        for (const auto &arr : sys.arrays()) {
-            array_id[arr.get()] = static_cast<uint32_t>(arrays.size());
+        for (const auto &arr : sys.arrays())
             arrays.push_back({arr.get(), arr->init(), false, 0, 0});
-        }
+        port_base.reserve(sys.modules().size());
+        slot_base.reserve(sys.modules().size());
         for (const auto &mod : sys.modules()) {
-            mod_id[mod.get()] = static_cast<uint32_t>(mods.size());
             mods.push_back({mod.get(), 0, 0, false, 0});
+            port_base.push_back(static_cast<uint32_t>(fifos.size()));
             for (const auto &port : mod->ports()) {
-                fifo_id[port.get()] = static_cast<uint32_t>(fifos.size());
                 FifoState f;
                 f.port = port.get();
                 f.policy = port->policy();
@@ -189,11 +192,11 @@ struct Simulator::Impl {
         stall_fifos.resize(mods.size());
         for (const ModState &ms : mods)
             for (const Port *p : analyzer.stallPorts(ms.mod))
-                stall_fifos[mod_id.at(ms.mod)].push_back(fifo_id.at(p));
+                stall_fifos[ms.mod->id()].push_back(fifoIndex(p));
         // Slot per IR node, plus synthetic slots appended by the compiler.
         for (const auto &mod : sys.modules()) {
+            slot_base.push_back(static_cast<uint32_t>(slots.size()));
             for (const auto &node : mod->nodes()) {
-                slot_of[node.get()] = static_cast<uint32_t>(slots.size());
                 uint64_t init = 0;
                 if (node->valueKind() == Value::Kind::kConst)
                     init = static_cast<ConstInt *>(node.get())->raw();
@@ -206,7 +209,7 @@ struct Simulator::Impl {
         if (sys.topoOrder().empty())
             fatal("simulate: no topological order; run the compiler first");
         for (Module *mod : sys.topoOrder())
-            topo_idx.push_back(mod_id.at(mod));
+            topo_idx.push_back(mod->id());
         if (!opts.vcd_path.empty())
             buildVcd();
         if (!opts.trace_path.empty()) {
@@ -265,13 +268,18 @@ struct Simulator::Impl {
     }
 
     uint32_t
+    fifoIndex(const Port *p) const
+    {
+        return port_base[p->owner()->id()] + p->index();
+    }
+
+    uint32_t
     slotOf(const Value *v)
     {
         const Value *resolved = chaseRef(const_cast<Value *>(v));
-        auto it = slot_of.find(resolved);
-        if (it == slot_of.end())
+        if (!resolved->parent())
             panic("simulator: value without a slot");
-        return it->second;
+        return slot_base[resolved->parent()->id()] + resolved->id();
     }
 
     uint32_t
@@ -451,20 +459,20 @@ struct Simulator::Impl {
               case Opcode::kFifoValid: {
                 const auto *fv = static_cast<const FifoValid *>(inst);
                 s.op = Step::Op::kFifoValid;
-                s.aux = impl.fifo_id.at(fv->port());
+                s.aux = impl.fifoIndex(fv->port());
                 break;
               }
               case Opcode::kFifoPop: {
                 const auto *fp = static_cast<const FifoPop *>(inst);
                 s.op = Step::Op::kFifoPeek;
-                s.aux = impl.fifo_id.at(fp->port());
+                s.aux = impl.fifoIndex(fp->port());
                 break;
               }
               case Opcode::kArrayRead: {
                 const auto *rd = static_cast<const ArrayRead *>(inst);
                 s.op = Step::Op::kArrayRead;
                 s.a = impl.slotOf(rd->index());
-                s.aux = impl.array_id.at(rd->array());
+                s.aux = rd->array()->id();
                 break;
               }
               default:
@@ -525,7 +533,7 @@ struct Simulator::Impl {
                     emitPure(inst); // the peek producing the value
                     Step s;
                     s.op = Step::Op::kDequeue;
-                    s.aux = impl.fifo_id.at(
+                    s.aux = impl.fifoIndex(
                         static_cast<FifoPop *>(inst)->port());
                     effectStep(s, pred, inst);
                     break;
@@ -536,7 +544,7 @@ struct Simulator::Impl {
                     Step s;
                     s.op = Step::Op::kPush;
                     s.a = impl.slotOf(push->value());
-                    s.aux = impl.fifo_id.at(push->port());
+                    s.aux = impl.fifoIndex(push->port());
                     s.bits = push->port()->type().bits();
                     effectStep(s, pred, inst);
                     break;
@@ -549,7 +557,7 @@ struct Simulator::Impl {
                     s.op = Step::Op::kArrayWrite;
                     s.a = impl.slotOf(wr->index());
                     s.b = impl.slotOf(wr->value());
-                    s.aux = impl.array_id.at(wr->array());
+                    s.aux = wr->array()->id();
                     s.bits = wr->array()->elemType().bits();
                     effectStep(s, pred, inst);
                     break;
@@ -557,8 +565,7 @@ struct Simulator::Impl {
                   case Opcode::kSubscribe: {
                     Step s;
                     s.op = Step::Op::kSubscribe;
-                    s.aux = impl.mod_id.at(
-                        static_cast<Subscribe *>(inst)->callee());
+                    s.aux = static_cast<Subscribe *>(inst)->callee()->id();
                     effectStep(s, pred, inst);
                     break;
                   }
@@ -599,7 +606,7 @@ struct Simulator::Impl {
     void
     compileModule(const Module &mod)
     {
-        uint32_t mid = mod_id.at(&mod);
+        uint32_t mid = mod.id();
         ModProg &prog = progs[mid];
         // Shadow: the pure cone of every exposed combinational value runs
         // every cycle, mirroring always-on RTL wires.
@@ -632,54 +639,6 @@ struct Simulator::Impl {
     // Execution
     // ----------------------------------------------------------------------
 
-    static uint64_t
-    evalBin(BinOpcode op, uint64_t a, uint64_t b, unsigned opnd_bits,
-            bool sgn, unsigned out_bits)
-    {
-        int64_t sa = signExtend(a, opnd_bits);
-        int64_t sb = signExtend(b, opnd_bits);
-        uint64_t r = 0;
-        switch (op) {
-          case BinOpcode::kAdd: r = a + b; break;
-          case BinOpcode::kSub: r = a - b; break;
-          case BinOpcode::kMul: r = a * b; break;
-          case BinOpcode::kDiv:
-            if (b == 0)
-                r = ~uint64_t(0); // RISC-V style div-by-zero
-            else if (sgn && sb == -1)
-                r = ~a + 1; // overflow-safe: -a mod 2^64
-            else
-                r = sgn ? static_cast<uint64_t>(sa / sb) : a / b;
-            break;
-          case BinOpcode::kMod:
-            if (b == 0)
-                r = a;
-            else if (sgn && sb == -1)
-                r = 0;
-            else
-                r = sgn ? static_cast<uint64_t>(sa % sb) : a % b;
-            break;
-          case BinOpcode::kAnd: r = a & b; break;
-          case BinOpcode::kOr:  r = a | b; break;
-          case BinOpcode::kXor: r = a ^ b; break;
-          case BinOpcode::kShl: r = b >= 64 ? 0 : a << b; break;
-          case BinOpcode::kShr:
-            if (sgn)
-                r = static_cast<uint64_t>(
-                    b >= 64 ? (sa < 0 ? -1 : 0) : (sa >> b));
-            else
-                r = b >= 64 ? 0 : a >> b;
-            break;
-          case BinOpcode::kEq: r = a == b; break;
-          case BinOpcode::kNe: r = a != b; break;
-          case BinOpcode::kLt: r = sgn ? (sa < sb) : (a < b); break;
-          case BinOpcode::kLe: r = sgn ? (sa <= sb) : (a <= b); break;
-          case BinOpcode::kGt: r = sgn ? (sa > sb) : (a > b); break;
-          case BinOpcode::kGe: r = sgn ? (sa >= sb) : (a >= b); break;
-        }
-        return truncate(r, out_bits);
-    }
-
     /** @return false when a wait_until check failed (event retained). */
     bool
     runProgram(const std::vector<Step> &prog)
@@ -688,55 +647,28 @@ struct Simulator::Impl {
             const Step &s = prog[pc];
             switch (s.op) {
               case Step::Op::kBin:
-                slots[s.dest] = evalBin(static_cast<BinOpcode>(s.sub),
-                                        slots[s.a], slots[s.b], s.c, s.sgn,
-                                        s.bits);
+                slots[s.dest] = ops::evalBin(static_cast<BinOpcode>(s.sub),
+                                             slots[s.a], slots[s.b], s.c,
+                                             s.sgn, s.bits);
                 break;
-              case Step::Op::kUn: {
-                uint64_t v = slots[s.a];
-                switch (static_cast<UnOpcode>(s.sub)) {
-                  case UnOpcode::kNot:
-                    slots[s.dest] = truncate(~v, s.bits);
-                    break;
-                  case UnOpcode::kNeg:
-                    slots[s.dest] = truncate(~v + 1, s.bits);
-                    break;
-                  case UnOpcode::kRedOr:
-                    slots[s.dest] = v != 0;
-                    break;
-                  case UnOpcode::kRedAnd:
-                    slots[s.dest] = v == maskBits(s.c);
-                    break;
-                }
+              case Step::Op::kUn:
+                slots[s.dest] = ops::evalUn(static_cast<UnOpcode>(s.sub),
+                                            slots[s.a], s.c, s.bits);
                 break;
-              }
               case Step::Op::kSlice:
-                slots[s.dest] = extractBits(slots[s.a], s.b, s.c);
+                slots[s.dest] = ops::evalSlice(slots[s.a], s.b, s.c);
                 break;
               case Step::Op::kConcat:
                 slots[s.dest] =
-                    truncate((slots[s.a] << s.c) | slots[s.b], s.bits);
+                    ops::evalConcat(slots[s.a], slots[s.b], s.c, s.bits);
                 break;
               case Step::Op::kSelect:
                 slots[s.dest] = slots[s.a] ? slots[s.b] : slots[s.c];
                 break;
-              case Step::Op::kCast: {
-                uint64_t v = slots[s.a];
-                switch (static_cast<Cast::Mode>(s.sub)) {
-                  case Cast::Mode::kZExt:
-                  case Cast::Mode::kBitcast:
-                    slots[s.dest] = truncate(v, s.bits);
-                    break;
-                  case Cast::Mode::kSExt:
-                    slots[s.dest] = truncate(
-                        static_cast<uint64_t>(signExtend(v, s.c)), s.bits);
-                    break;
-                  case Cast::Mode::kTrunc:
-                    slots[s.dest] = truncate(v, s.bits);
-                    break;
-                }
+              case Step::Op::kCast:
+                slots[s.dest] = ops::evalCast(static_cast<Cast::Mode>(s.sub),
+                                              slots[s.a], s.c, s.bits);
                 break;
-              }
               case Step::Op::kFifoValid:
                 slots[s.dest] = fifos[s.aux].count > 0;
                 break;
@@ -1018,12 +950,10 @@ struct Simulator::Impl {
             return;
         hazard = analyzer.analyze(
             cycle, quiet_cycles,
-            [&](const Module *m) { return mods[mod_id.at(m)].strobe; },
-            [&](const Module *m) {
-                return mods[mod_id.at(m)].pending;
-            },
+            [&](const Module *m) { return mods[m->id()].strobe; },
+            [&](const Module *m) { return mods[m->id()].pending; },
             [&](const Port *p) {
-                return uint64_t(fifos[fifo_id.at(p)].count);
+                return uint64_t(fifos[fifoIndex(p)].count);
             });
         hazard_status = hazard.kind == "livelock" ? RunStatus::kLivelock
                                                   : RunStatus::kDeadlock;
@@ -1125,14 +1055,10 @@ Simulator::run(uint64_t max_cycles)
         // out; `kind` is advisory here (status stays kMaxCycles).
         res.hazard = im.analyzer.analyze(
             im.cycle, im.quiet_cycles,
-            [&](const Module *m) {
-                return im.mods[im.mod_id.at(m)].strobe;
-            },
-            [&](const Module *m) {
-                return im.mods[im.mod_id.at(m)].pending;
-            },
+            [&](const Module *m) { return im.mods[m->id()].strobe; },
+            [&](const Module *m) { return im.mods[m->id()].pending; },
             [&](const Port *p) {
-                return uint64_t(im.fifos[im.fifo_id.at(p)].count);
+                return uint64_t(im.fifos[im.fifoIndex(p)].count);
             });
         res.hazard.kind.clear();
     }
@@ -1145,7 +1071,7 @@ uint64_t Simulator::cycle() const { return impl_->cycle; }
 uint64_t
 Simulator::readArray(const RegArray *array, size_t index) const
 {
-    const ArrState &arr = impl_->arrays.at(impl_->array_id.at(array));
+    const ArrState &arr = impl_->arrays.at(array->id());
     if (index >= arr.data.size())
         fatal("readArray: index ", index, " out of range for '",
               array->name(), "'");
@@ -1155,7 +1081,7 @@ Simulator::readArray(const RegArray *array, size_t index) const
 void
 Simulator::writeArray(const RegArray *array, size_t index, uint64_t value)
 {
-    ArrState &arr = impl_->arrays.at(impl_->array_id.at(array));
+    ArrState &arr = impl_->arrays.at(array->id());
     if (index >= arr.data.size())
         fatal("writeArray: index ", index, " out of range for '",
               array->name(), "'");
@@ -1166,13 +1092,13 @@ Simulator::writeArray(const RegArray *array, size_t index, uint64_t value)
 uint64_t
 Simulator::fifoOccupancy(const Port *port) const
 {
-    return impl_->fifos.at(impl_->fifo_id.at(port)).count;
+    return impl_->fifos.at(impl_->fifoIndex(port)).count;
 }
 
 uint64_t
 Simulator::readFifo(const Port *port, size_t pos) const
 {
-    const FifoState &f = impl_->fifos.at(impl_->fifo_id.at(port));
+    const FifoState &f = impl_->fifos.at(impl_->fifoIndex(port));
     if (pos >= f.count)
         fatal("readFifo: position ", pos, " out of range for '",
               port->fullName(), "' (occupancy ", f.count, ")");
@@ -1182,7 +1108,7 @@ Simulator::readFifo(const Port *port, size_t pos) const
 void
 Simulator::writeFifo(const Port *port, size_t pos, uint64_t value)
 {
-    FifoState &f = impl_->fifos.at(impl_->fifo_id.at(port));
+    FifoState &f = impl_->fifos.at(impl_->fifoIndex(port));
     if (pos >= f.count)
         fatal("writeFifo: position ", pos, " out of range for '",
               port->fullName(), "' (occupancy ", f.count, ")");
@@ -1200,7 +1126,7 @@ Simulator::logOutput() const
 uint64_t
 Simulator::executions(const Module *mod) const
 {
-    return impl_->mods.at(impl_->mod_id.at(mod)).execs;
+    return impl_->mods.at(mod->id()).execs;
 }
 
 SimStats
