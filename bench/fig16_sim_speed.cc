@@ -17,12 +17,16 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "baseline/gem5like.h"
 #include "isa/riscv.h"
 #include "bench/bench_designs.h"
 #include "bench/common.h"
 #include "designs/cpu.h"
 #include "isa/workloads.h"
+#include "sim/program.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -37,18 +41,95 @@ struct ThroughputRow {
     double rtl_kcps;
 };
 
+/** One worker-count's batch throughput in the sweep-scaling section. */
+struct SweepScalingRow {
+    size_t workers;
+    double seconds;      ///< batch wall-clock
+    double batch_kcps;   ///< total simulated kcycles / batch seconds
+    double speedup;      ///< vs the 1-worker batch
+};
+
+/** The sweep-scaling section of the v2 report. */
+struct SweepScaling {
+    std::string design;
+    size_t instances = 0;
+    uint64_t cycles_per_instance = 0;
+    std::vector<SweepScalingRow> rows;
+};
+
 /**
- * BENCH_fig16.json (schema assassyn.bench.fig16.v1): cycles/sec per
- * design per backend, at the repo root so successive checkouts can be
- * diffed for throughput regressions (docs/performance.md).
+ * Thread-scaling of the sweep runner (sim/sweep.h): one CPU compiled
+ * once into a sim::Program, a batch of shuffle-seed instances executed
+ * at 1/2/4/8 workers. Per-instance metrics are required bit-identical
+ * to the serial baseline at every worker count — the scaling numbers
+ * are only meaningful if parallelism changes nothing but wall-clock.
+ * Speedup saturates at the machine's core count; the report records
+ * honest wall-clock on whatever host ran it (docs/performance.md).
+ */
+SweepScaling
+runSweepScaling(bool smoke)
+{
+    auto image = isa::buildMemoryImage(isa::workload("vvadd"));
+    auto cpu = designs::buildCpu(designs::BranchPolicy::kTaken, image);
+    auto prog = sim::Program::compile(*cpu.sys);
+
+    SweepScaling out;
+    out.design = "cpu.vvadd";
+    out.instances = smoke ? 4 : 8;
+    std::vector<sim::RunConfig> configs;
+    for (size_t i = 0; i < out.instances; ++i) {
+        sim::RunConfig cfg;
+        cfg.name = "seed" + std::to_string(i + 1);
+        cfg.sim.capture_logs = false;
+        cfg.sim.shuffle = true;
+        cfg.sim.shuffle_seed = i + 1;
+        configs.push_back(cfg);
+    }
+
+    // Serial baseline: the reference per-instance metrics and the
+    // 1-worker wall-clock every other row is compared against.
+    sim::SweepReport base =
+        sim::runSweep(configs, sim::eventInstance(prog), 1);
+    if (!base.allOk())
+        fatal("sweep scaling: baseline batch did not finish");
+    out.cycles_per_instance = base.runs[0].result.cycles;
+    uint64_t total_cycles = 0;
+    std::vector<std::string> ref;
+    for (const sim::InstanceResult &run : base.runs) {
+        total_cycles += run.result.cycles;
+        ref.push_back(run.metrics.toJson(out.design));
+    }
+    out.rows.push_back(
+        {1, base.seconds, double(total_cycles) / base.seconds / 1e3, 1.0});
+
+    for (size_t workers : {size_t(2), size_t(4), size_t(8)}) {
+        sim::SweepReport rep =
+            sim::runSweep(configs, sim::eventInstance(prog), workers);
+        for (size_t i = 0; i < rep.runs.size(); ++i)
+            if (rep.runs[i].metrics.toJson(out.design) != ref[i])
+                fatal("sweep scaling: instance '", configs[i].name,
+                      "' metrics diverged at ", workers, " workers");
+        out.rows.push_back({workers, rep.seconds,
+                            double(total_cycles) / rep.seconds / 1e3,
+                            base.seconds / rep.seconds});
+    }
+    return out;
+}
+
+/**
+ * BENCH_fig16.json (schema assassyn.bench.fig16.v2): cycles/sec per
+ * design per backend, plus the sweep-runner thread-scaling section, at
+ * the repo root so successive checkouts can be diffed for throughput
+ * regressions (docs/performance.md).
  */
 void
-writeBenchJson(const std::vector<ThroughputRow> &rows, bool smoke)
+writeBenchJson(const std::vector<ThroughputRow> &rows,
+               const SweepScaling &sweep, bool smoke)
 {
     JsonWriter w;
     w.beginObject();
     w.key("schema");
-    w.value("assassyn.bench.fig16.v1");
+    w.value("assassyn.bench.fig16.v2");
     w.key("smoke");
     w.value(smoke ? 1.0 : 0.0);
     w.key("runs");
@@ -68,6 +149,32 @@ writeBenchJson(const std::vector<ThroughputRow> &rows, bool smoke)
         w.endObject();
     }
     w.endArray();
+    w.key("sweep");
+    w.beginObject();
+    w.key("design");
+    w.value(sweep.design);
+    w.key("instances");
+    w.value(uint64_t(sweep.instances));
+    w.key("cycles_per_instance");
+    w.value(sweep.cycles_per_instance);
+    w.key("hardware_threads");
+    w.value(uint64_t(std::thread::hardware_concurrency()));
+    w.key("rows");
+    w.beginArray();
+    for (const SweepScalingRow &r : sweep.rows) {
+        w.beginObject();
+        w.key("workers");
+        w.value(uint64_t(r.workers));
+        w.key("seconds");
+        w.value(r.seconds);
+        w.key("batch_kcps");
+        w.value(r.batch_kcps);
+        w.key("speedup_vs_1");
+        w.value(r.speedup);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
     w.endObject();
     std::string path = std::string(sourceDir()) + "/BENCH_fig16.json";
     FILE *f = std::fopen(path.c_str(), "w");
@@ -173,9 +280,24 @@ printTable(bool smoke)
     std::printf("asyn/rtl speedup (gmean): %.1fx  (paper: 8.1x on HLS)\n\n",
                 gmean(hls_speedups));
 
+    // Sweep-runner thread scaling (compile once, run many).
+    SweepScaling sweep = runSweepScaling(smoke);
+    std::printf("-- sweep runner: %zu instances of %s (%llu cycles each), "
+                "%u hardware threads --\n",
+                sweep.instances, sweep.design.c_str(),
+                (unsigned long long)sweep.cycles_per_instance,
+                std::thread::hardware_concurrency());
+    std::printf("%-8s %10s %12s %8s\n", "workers", "seconds",
+                "batch kc/s", "speedup");
+    for (const SweepScalingRow &r : sweep.rows)
+        std::printf("%-8zu %10.3f %12.0f %7.2fx\n", r.workers, r.seconds,
+                    r.batch_kcps, r.speedup);
+    std::printf("(per-instance metrics bit-identical to the serial "
+                "baseline at every worker count)\n");
+
     report.write("fig16_metrics.json");
     std::printf("metrics report: fig16_metrics.json\n");
-    writeBenchJson(rows, smoke);
+    writeBenchJson(rows, sweep, smoke);
     std::printf("\n");
 }
 

@@ -14,6 +14,7 @@
 #include "designs/cpu.h"
 #include "designs/ooo.h"
 #include "isa/workloads.h"
+#include "sim/sweep.h"
 
 namespace {
 
@@ -50,31 +51,51 @@ printTable()
                 "bp.f", "bp.t", "ooo");
     std::vector<double> s_bpf, s_bpt, s_ooo;
     std::vector<std::pair<std::string, double>> taken_rates;
-    for (const SodorIpc &ref : kSodorIpc) {
-        auto image = isa::buildMemoryImage(isa::workload(ref.name));
-        VariantRun base = runInOrder(designs::BranchPolicy::kInterlock,
-                                     image);
-        VariantRun bpf = runInOrder(designs::BranchPolicy::kNotTaken,
-                                    image);
-        VariantRun bpt = runInOrder(designs::BranchPolicy::kTaken, image);
-        auto ooo = designs::buildOoo(image);
-        sim::SimOptions opts;
-        opts.capture_logs = false;
-        sim::Simulator s(*ooo.sys, opts);
-        s.run(50'000'000);
-        if (!s.finished())
-            fatal("OoO run did not finish");
-
-        double f = double(base.cycles) / bpf.cycles;
-        double t = double(base.cycles) / bpt.cycles;
-        double o = double(base.cycles) / s.cycle();
-        double rate = 100.0 * double(bpt.br_taken) / double(bpt.br_total);
-        std::printf("%-10s %8.2f %8.2f %8.2f %8.2f | %5.1f%%\n", ref.name,
-                    1.0, f, t, o, rate);
+    // One job per workload, distributed over the sweep runner's thread
+    // pool (sim/sweep.h): each job elaborates its own independent
+    // Systems (thread-safe since elaboration has no process-wide
+    // state) and runs all four variants. Results land in per-workload
+    // slots, so the printed table keeps its deterministic order.
+    constexpr size_t kWorkloads = std::size(kSodorIpc);
+    struct WorkloadRow {
+        VariantRun base, bpf, bpt;
+        uint64_t ooo_cycles = 0;
+    };
+    std::vector<WorkloadRow> rows(kWorkloads);
+    sim::parallelFor(
+        kWorkloads,
+        [&](size_t i) {
+            auto image =
+                isa::buildMemoryImage(isa::workload(kSodorIpc[i].name));
+            WorkloadRow &row = rows[i];
+            row.base =
+                runInOrder(designs::BranchPolicy::kInterlock, image);
+            row.bpf =
+                runInOrder(designs::BranchPolicy::kNotTaken, image);
+            row.bpt = runInOrder(designs::BranchPolicy::kTaken, image);
+            auto ooo = designs::buildOoo(image);
+            sim::SimOptions opts;
+            opts.capture_logs = false;
+            sim::Simulator s(*ooo.sys, opts);
+            s.run(50'000'000);
+            if (!s.finished())
+                fatal("OoO run did not finish");
+            row.ooo_cycles = s.cycle();
+        },
+        4);
+    for (size_t i = 0; i < kWorkloads; ++i) {
+        const WorkloadRow &row = rows[i];
+        double f = double(row.base.cycles) / row.bpf.cycles;
+        double t = double(row.base.cycles) / row.bpt.cycles;
+        double o = double(row.base.cycles) / row.ooo_cycles;
+        double rate =
+            100.0 * double(row.bpt.br_taken) / double(row.bpt.br_total);
+        std::printf("%-10s %8.2f %8.2f %8.2f %8.2f | %5.1f%%\n",
+                    kSodorIpc[i].name, 1.0, f, t, o, rate);
         s_bpf.push_back(f);
         s_bpt.push_back(t);
         s_ooo.push_back(o);
-        taken_rates.emplace_back(ref.name, rate);
+        taken_rates.emplace_back(kSodorIpc[i].name, rate);
     }
     std::printf("%-10s %8.2f %8.2f %8.2f %8.2f   "
                 "(paper gmean: 1.00 / ~1.03 / 1.12 / 1.26)\n",

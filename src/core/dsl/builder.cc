@@ -10,6 +10,11 @@ namespace dsl {
 // --------------------------------------------------------------------------
 
 namespace {
+// thread_local so independent Systems can elaborate concurrently on
+// different threads (tests/parallel_determinism_test.cc). This is the
+// only elaboration-time "global"; every dense id — Module::id,
+// Value::id, RegArray::id, Port::index — is assigned by its owning
+// System/Module, never from a process-wide counter.
 thread_local std::vector<ModuleCtx *> ctx_stack;
 } // namespace
 

@@ -23,6 +23,15 @@
  * The Netlist feeds three consumers: the netlist simulator (the repo's
  * Verilator stand-in), the synthesis area model, and the SystemVerilog
  * emitter.
+ *
+ * Thread-safety contract (the RTL half of the compile/run split,
+ * docs/architecture.md): a Netlist is immutable after construction —
+ * finalize() runs inside the constructor, there are no mutable members
+ * and no lazily-initialized caches — so one `const Netlist` may back
+ * any number of concurrent rtl::NetlistSim instances, each of which
+ * owns all of its run-time state (net values, FIFO/array storage,
+ * counters; see netlist_sim.cc). The referenced System must outlive the
+ * Netlist. tests/parallel_determinism_test.cc pins the guarantee.
  */
 #pragma once
 

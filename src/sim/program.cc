@@ -1,0 +1,443 @@
+#include "sim/program.h"
+
+#include <atomic>
+#include <set>
+
+#include "core/compiler/walk.h"
+#include "support/logging.h"
+
+namespace assassyn {
+namespace sim {
+
+namespace {
+
+/** Test instrumentation: one increment per Program compilation. */
+std::atomic<uint64_t> compile_count{0};
+
+} // namespace
+
+/**
+ * Compiles the shadow and active Step tapes of one module. Operates on
+ * the Program under construction; never used after compile() returns,
+ * so the published Program is immutable.
+ */
+struct ProgCompiler {
+    Program &prog;
+    const Module &mod;
+    std::vector<Step> *out;
+    std::set<const Value *> emitted;
+    /**
+     * Pure values with users outside their defining conditional
+     * block (or exposed / feeding the wait condition). These must be
+     * computed unconditionally; everything else can live inside a
+     * skippable region — the "inactive code region" knowledge the
+     * paper credits for the generated simulator's speed (Sec. 7 Q5).
+     */
+    std::set<const Value *> needed_outside;
+
+    ProgCompiler(Program &p, const Module &m, std::vector<Step> *o)
+        : prog(p), mod(m), out(o)
+    {
+        analyzeEscapes();
+    }
+
+    /** True when @p blk is @p region or nested anywhere inside it. */
+    static bool
+    blockWithin(const Block *blk, const Block *region)
+    {
+        while (blk) {
+            if (blk == region)
+                return true;
+            Instruction *owner = blk->owner();
+            blk = owner ? owner->block() : nullptr;
+        }
+        return false;
+    }
+
+    void
+    analyzeEscapes()
+    {
+        auto note_use = [&](const Instruction *user, Value *op) {
+            op = chaseRef(op);
+            if (op->valueKind() != Value::Kind::kInstr ||
+                op->parent() != &mod)
+                return;
+            auto *def = static_cast<Instruction *>(op);
+            if (!def->block())
+                return; // top-level by construction
+            if (!blockWithin(user->block(), def->block()))
+                needed_outside.insert(def);
+        };
+        forEachInst(mod, [&](Instruction *inst) {
+            for (Value *op : inst->operands())
+                note_use(inst, op);
+        });
+        for (const auto &[name, val] : mod.exposures())
+            needed_outside.insert(chaseRef(const_cast<Value *>(val)));
+        if (mod.waitCond())
+            needed_outside.insert(
+                chaseRef(const_cast<Value *>(mod.waitCond())));
+    }
+
+    /**
+     * Emit, before opening a skip region over @p region, every pure
+     * value the region uses that must stay unconditional: values
+     * defined outside the region or escaping it.
+     */
+    void
+    preEmitShared(const Block &region)
+    {
+        forEachInst(region, [&](Instruction *inst) {
+            // A value defined here but escaping the region must be
+            // computed unconditionally even if nothing inside the
+            // region consumes it.
+            if ((inst->isPure() ||
+                 inst->opcode() == Opcode::kFifoPop) &&
+                needed_outside.count(inst)) {
+                emitPure(inst);
+            }
+            for (Value *op : inst->operands()) {
+                Value *res = chaseRef(op);
+                if (res->valueKind() != Value::Kind::kInstr)
+                    continue;
+                auto *def = static_cast<Instruction *>(res);
+                if (def->parent() != &mod) {
+                    continue;
+                }
+                if (!def->isPure() &&
+                    def->opcode() != Opcode::kFifoPop)
+                    continue;
+                bool local = def->block() &&
+                             blockWithin(def->block(), &region);
+                if (!local || needed_outside.count(def))
+                    emitPure(def);
+            }
+        });
+    }
+
+    void
+    emitPure(const Value *v)
+    {
+        v = chaseRef(const_cast<Value *>(v));
+        if (v->valueKind() == Value::Kind::kConst)
+            return;
+        if (v->valueKind() == Value::Kind::kCrossRef)
+            fatal("unresolved cross-stage reference during simulation");
+        if (v->parent() != &mod)
+            return; // computed by the producer's shadow pass
+        if (emitted.count(v))
+            return;
+        const auto *inst = static_cast<const Instruction *>(v);
+        if (!inst->isPure() && inst->opcode() != Opcode::kFifoPop)
+            panic("effectful instruction used as an operand");
+        for (Value *op : inst->operands())
+            emitPure(op);
+        Step s;
+        s.dest = prog.slotOf(v);
+        s.bits = inst->type().bits();
+        s.inst = inst;
+        switch (inst->opcode()) {
+          case Opcode::kBinOp: {
+            const auto *bin = static_cast<const BinOp *>(inst);
+            s.op = Step::Op::kBin;
+            s.sub = static_cast<uint8_t>(bin->binOpcode());
+            s.sgn = bin->lhs()->type().isSigned();
+            s.a = prog.slotOf(bin->lhs());
+            s.b = prog.slotOf(bin->rhs());
+            s.c = bin->lhs()->type().bits();
+            break;
+          }
+          case Opcode::kUnOp: {
+            const auto *un = static_cast<const UnOp *>(inst);
+            s.op = Step::Op::kUn;
+            s.sub = static_cast<uint8_t>(un->unOpcode());
+            s.a = prog.slotOf(un->value());
+            s.c = un->value()->type().bits();
+            break;
+          }
+          case Opcode::kSlice: {
+            const auto *sl = static_cast<const Slice *>(inst);
+            s.op = Step::Op::kSlice;
+            s.a = prog.slotOf(sl->value());
+            s.b = sl->hi();
+            s.c = sl->lo();
+            break;
+          }
+          case Opcode::kConcat: {
+            const auto *cc = static_cast<const Concat *>(inst);
+            s.op = Step::Op::kConcat;
+            s.a = prog.slotOf(cc->msb());
+            s.b = prog.slotOf(cc->lsb());
+            s.c = cc->lsb()->type().bits();
+            break;
+          }
+          case Opcode::kSelect: {
+            const auto *sel = static_cast<const Select *>(inst);
+            s.op = Step::Op::kSelect;
+            s.a = prog.slotOf(sel->cond());
+            s.b = prog.slotOf(sel->onTrue());
+            s.c = prog.slotOf(sel->onFalse());
+            break;
+          }
+          case Opcode::kCast: {
+            const auto *cast = static_cast<const Cast *>(inst);
+            s.op = Step::Op::kCast;
+            s.sub = static_cast<uint8_t>(cast->mode());
+            s.a = prog.slotOf(cast->value());
+            s.c = cast->value()->type().bits();
+            break;
+          }
+          case Opcode::kFifoValid: {
+            const auto *fv = static_cast<const FifoValid *>(inst);
+            s.op = Step::Op::kFifoValid;
+            s.aux = prog.fifoIndex(fv->port());
+            break;
+          }
+          case Opcode::kFifoPop: {
+            const auto *fp = static_cast<const FifoPop *>(inst);
+            s.op = Step::Op::kFifoPeek;
+            s.aux = prog.fifoIndex(fp->port());
+            break;
+          }
+          case Opcode::kArrayRead: {
+            const auto *rd = static_cast<const ArrayRead *>(inst);
+            s.op = Step::Op::kArrayRead;
+            s.a = prog.slotOf(rd->index());
+            s.aux = rd->array()->id();
+            break;
+          }
+          default:
+            panic("unexpected pure opcode");
+        }
+        out->push_back(s);
+        emitted.insert(v);
+    }
+
+    uint32_t
+    combinePred(uint32_t outer, const Value *cond)
+    {
+        emitPure(cond);
+        uint32_t cond_slot = prog.slotOf(cond);
+        if (outer == kNoPred)
+            return cond_slot;
+        Step s;
+        s.op = Step::Op::kPredAnd;
+        s.dest = prog.newSyntheticSlot();
+        s.a = outer;
+        s.b = cond_slot;
+        s.bits = 1;
+        out->push_back(s);
+        return s.dest;
+    }
+
+    void
+    effectStep(Step s, uint32_t pred, const Instruction *inst)
+    {
+        s.pred = pred;
+        s.inst = inst;
+        out->push_back(s);
+    }
+
+    void
+    emitEffects(const Block &blk, uint32_t pred)
+    {
+        for (auto *inst : blk.insts()) {
+            switch (inst->opcode()) {
+              case Opcode::kCondBlock: {
+                auto *cb = static_cast<CondBlock *>(inst);
+                uint32_t inner = combinePred(pred, cb->cond());
+                // Shared values compute unconditionally; the rest of
+                // the region is jumped over when the predicate is 0,
+                // so inactive FSM states cost one step per cycle.
+                preEmitShared(*cb->body());
+                size_t skip_at = out->size();
+                Step skip;
+                skip.op = Step::Op::kSkipIfFalse;
+                skip.a = inner;
+                out->push_back(skip);
+                emitEffects(*cb->body(), inner);
+                (*out)[skip_at].aux =
+                    uint32_t(out->size() - skip_at - 1);
+                break;
+              }
+              case Opcode::kFifoPop: {
+                emitPure(inst); // the peek producing the value
+                Step s;
+                s.op = Step::Op::kDequeue;
+                s.aux = prog.fifoIndex(
+                    static_cast<FifoPop *>(inst)->port());
+                effectStep(s, pred, inst);
+                break;
+              }
+              case Opcode::kFifoPush: {
+                auto *push = static_cast<FifoPush *>(inst);
+                emitPure(push->value());
+                Step s;
+                s.op = Step::Op::kPush;
+                s.a = prog.slotOf(push->value());
+                s.aux = prog.fifoIndex(push->port());
+                s.bits = push->port()->type().bits();
+                effectStep(s, pred, inst);
+                break;
+              }
+              case Opcode::kArrayWrite: {
+                auto *wr = static_cast<ArrayWrite *>(inst);
+                emitPure(wr->index());
+                emitPure(wr->value());
+                Step s;
+                s.op = Step::Op::kArrayWrite;
+                s.a = prog.slotOf(wr->index());
+                s.b = prog.slotOf(wr->value());
+                s.aux = wr->array()->id();
+                s.bits = wr->array()->elemType().bits();
+                effectStep(s, pred, inst);
+                break;
+              }
+              case Opcode::kSubscribe: {
+                Step s;
+                s.op = Step::Op::kSubscribe;
+                s.aux = static_cast<Subscribe *>(inst)->callee()->id();
+                effectStep(s, pred, inst);
+                break;
+              }
+              case Opcode::kLog: {
+                auto *lg = static_cast<Log *>(inst);
+                for (Value *arg : lg->args())
+                    emitPure(arg);
+                Step s;
+                s.op = Step::Op::kLog;
+                effectStep(s, pred, inst);
+                break;
+              }
+              case Opcode::kAssertInst: {
+                auto *as = static_cast<AssertInst *>(inst);
+                emitPure(as->cond());
+                Step s;
+                s.op = Step::Op::kAssertEff;
+                s.a = prog.slotOf(as->cond());
+                effectStep(s, pred, inst);
+                break;
+              }
+              case Opcode::kFinish: {
+                Step s;
+                s.op = Step::Op::kFinishEff;
+                effectStep(s, pred, inst);
+                break;
+              }
+              case Opcode::kAsyncCall:
+              case Opcode::kBind:
+                panic("un-lowered call reached the simulator");
+              default:
+                emitPure(inst);
+            }
+        }
+    }
+};
+
+Program::Program(const System &sys) : sys_(&sys), analyzer_(sys)
+{
+    if (!sys.isLowered())
+        fatal("simulate: system '", sys.name(),
+              "' has not been compiled/lowered");
+    build();
+    compile_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const Program>
+Program::compile(const System &sys)
+{
+    return std::shared_ptr<const Program>(new Program(sys));
+}
+
+uint64_t
+Program::compileCount()
+{
+    return compile_count.load(std::memory_order_relaxed);
+}
+
+uint32_t
+Program::slotOf(const Value *v) const
+{
+    const Value *resolved = chaseRef(const_cast<Value *>(v));
+    if (!resolved->parent())
+        panic("simulator: value without a slot");
+    return slot_base_[resolved->parent()->id()] + resolved->id();
+}
+
+uint32_t
+Program::newSyntheticSlot()
+{
+    slot_init_.push_back(0);
+    return static_cast<uint32_t>(slot_init_.size() - 1);
+}
+
+void
+Program::build()
+{
+    port_base_.reserve(sys_->modules().size());
+    slot_base_.reserve(sys_->modules().size());
+    for (const auto &mod : sys_->modules()) {
+        port_base_.push_back(static_cast<uint32_t>(fifos_.size()));
+        for (const auto &port : mod->ports())
+            fifos_.push_back({port.get(), port->policy(),
+                              static_cast<uint32_t>(port->depth())});
+    }
+    // The stall gate of each stage: the kStallProducer FIFOs it pushes
+    // into. While any of them is full the stage does not execute (its
+    // event is retained), in both backends.
+    stall_fifos_.resize(sys_->modules().size());
+    for (const auto &mod : sys_->modules())
+        for (const Port *p : analyzer_.stallPorts(mod.get()))
+            stall_fifos_[mod->id()].push_back(fifoIndex(p));
+    // Slot per IR node, plus synthetic slots appended by the compiler.
+    for (const auto &mod : sys_->modules()) {
+        slot_base_.push_back(static_cast<uint32_t>(slot_init_.size()));
+        for (const auto &node : mod->nodes()) {
+            uint64_t init = 0;
+            if (node->valueKind() == Value::Kind::kConst)
+                init = static_cast<ConstInt *>(node.get())->raw();
+            slot_init_.push_back(init);
+        }
+    }
+    progs_.resize(sys_->modules().size());
+    for (const auto &mod : sys_->modules())
+        compileModule(*mod);
+    if (sys_->topoOrder().empty())
+        fatal("simulate: no topological order; run the compiler first");
+    for (Module *mod : sys_->topoOrder())
+        topo_idx_.push_back(mod->id());
+}
+
+void
+Program::compileModule(const Module &mod)
+{
+    ModProg &prog = progs_[mod.id()];
+    // Shadow: the pure cone of every exposed combinational value runs
+    // every cycle, mirroring always-on RTL wires.
+    {
+        ProgCompiler pc(*this, mod, &prog.shadow);
+        for (const auto &[name, val] : mod.exposures()) {
+            bool is_bind =
+                val->valueKind() == Value::Kind::kInstr &&
+                static_cast<const Instruction *>(val)->opcode() ==
+                    Opcode::kBind;
+            if (!is_bind)
+                pc.emitPure(val);
+        }
+    }
+    // Active: wait_until guard then the body.
+    {
+        ProgCompiler pc(*this, mod, &prog.active);
+        if (mod.waitCond()) {
+            pc.emitPure(mod.waitCond());
+            Step s;
+            s.op = Step::Op::kWaitCheck;
+            s.a = slotOf(mod.waitCond());
+            prog.active.push_back(s);
+        }
+        pc.emitEffects(mod.body(), kNoPred);
+    }
+}
+
+} // namespace sim
+} // namespace assassyn

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The immutable compiled artifact of the event-driven backend: the
+ * compile-time half of the compile/run split (docs/architecture.md).
+ *
+ * The paper's pitch is "compile once, get a cycle-accurate simulator".
+ * A sim::Program is that compiled simulator as a value: the register-VM
+ * Step tapes of every stage, the dense index tables that map IR
+ * entities to runtime storage, the topological schedule, and the shared
+ * hazard analysis — everything derivable from the lowered System and
+ * nothing else. It is built once by Program::compile() and held by
+ * shared_ptr<const Program>; constructing a sim::Simulator from it
+ * allocates only per-run mutable state (slots, FIFO/array storage,
+ * metrics, RNG) and does **no IR walking or Step compilation**
+ * (tests/program_test.cc counts compile invocations to pin this).
+ *
+ * Thread-safety contract: a const Program is immutable after
+ * construction — no mutable members, no lazily-initialized caches — so
+ * any number of Simulator instances on any number of threads may share
+ * one Program concurrently (tests/parallel_determinism_test.cc). The
+ * referenced System must outlive the Program, and the Program must
+ * outlive every Simulator built from it (shared_ptr enforces the
+ * latter).
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ir/system.h"
+#include "sim/hazard.h"
+
+namespace assassyn {
+namespace sim {
+
+/** Sentinel predicate slot: "this effect is unconditional". */
+inline constexpr uint32_t kNoPred = 0xffffffffu;
+
+/** One VM micro-op of the compiled per-stage program. */
+struct Step {
+    enum class Op : uint8_t {
+        kBin,
+        kUn,
+        kSlice,
+        kConcat,
+        kSelect,
+        kCast,
+        kFifoValid,
+        kFifoPeek,
+        kArrayRead,
+        kPredAnd,
+        kWaitCheck,
+        kSkipIfFalse, ///< jump over `aux` steps when the cond slot is 0
+        kDequeue,
+        kPush,
+        kArrayWrite,
+        kSubscribe,
+        kLog,
+        kAssertEff,
+        kFinishEff,
+    };
+
+    Op op;
+    uint8_t sub = 0;   ///< BinOpcode / UnOpcode / Cast::Mode
+    bool sgn = false;  ///< signed semantics (from the lhs operand type)
+    unsigned bits = 0; ///< result width for masking
+    uint32_t dest = 0;
+    uint32_t a = 0;
+    uint32_t b = 0;
+    uint32_t c = 0;
+    uint32_t pred = kNoPred;
+    uint32_t aux = 0; ///< fifo id / array id / module index
+    const Instruction *inst = nullptr;
+};
+
+/** Compile-time description of one FIFO (runtime storage lives in the
+ *  Simulator; see sim/simulator.cc). */
+struct FifoSpec {
+    const Port *port = nullptr;
+    FifoPolicy policy = FifoPolicy::kAbort;
+    uint32_t depth = 0;
+};
+
+/** The shadow and active Step tapes of one stage. */
+struct ModProg {
+    std::vector<Step> shadow;
+    std::vector<Step> active;
+};
+
+/**
+ * The immutable compiled simulator of one lowered System. Build with
+ * compile(); share freely across threads through the const handle.
+ */
+class Program {
+  public:
+    /**
+     * Compile @p sys into a shareable Program. The System must have
+     * been compiled/lowered (System::isLowered) and must outlive the
+     * returned Program.
+     */
+    static std::shared_ptr<const Program> compile(const System &sys);
+
+    /**
+     * Process-wide count of Program compilations, for tests proving
+     * that Simulator construction from a prebuilt Program performs no
+     * compilation. Monotonic; incremented once per compile().
+     */
+    static uint64_t compileCount();
+
+    const System &sys() const { return *sys_; }
+
+    /** Initial slot values (constants materialized, synthetics zero). */
+    const std::vector<uint64_t> &slotInit() const { return slot_init_; }
+
+    /** FIFO descriptors, in dense fifo-index order. */
+    const std::vector<FifoSpec> &fifos() const { return fifos_; }
+
+    /** Per-stage compiled tapes, indexed by Module::id. */
+    const std::vector<ModProg> &progs() const { return progs_; }
+
+    /** Stage execution order (module ids, topological). */
+    const std::vector<uint32_t> &topoIdx() const { return topo_idx_; }
+
+    /** kStallProducer FIFO ids gating each stage, by Module::id. */
+    const std::vector<std::vector<uint32_t>> &stallFifos() const
+    {
+        return stall_fifos_;
+    }
+
+    /** The shared hazard analysis (const; safe to query concurrently). */
+    const HazardAnalyzer &analyzer() const { return analyzer_; }
+
+    /** Dense FIFO index of a port. */
+    uint32_t
+    fifoIndex(const Port *port) const
+    {
+        return port_base_[port->owner()->id()] + port->index();
+    }
+
+    /** Dense slot of a value (after cross-stage reference chasing). */
+    uint32_t slotOf(const Value *val) const;
+
+  private:
+    explicit Program(const System &sys);
+    friend struct ProgCompiler; ///< the Step compiler (sim/program.cc)
+
+    void build();
+    void compileModule(const Module &mod);
+    uint32_t newSyntheticSlot();
+
+    const System *sys_;
+    HazardAnalyzer analyzer_;
+    std::vector<uint64_t> slot_init_;
+    std::vector<FifoSpec> fifos_;
+    std::vector<ModProg> progs_;      ///< indexed by Module::id
+    std::vector<uint32_t> topo_idx_;  ///< execution order (mod ids)
+    // Dense compile-time index tables: a port's FIFO is
+    // port_base[owner id] + port index, a value's slot is
+    // slot_base[parent id] + value id (synthetic slots appended after).
+    std::vector<uint32_t> port_base_; ///< by Module::id
+    std::vector<uint32_t> slot_base_; ///< by Module::id
+    std::vector<std::vector<uint32_t>> stall_fifos_; ///< by Module::id
+};
+
+} // namespace sim
+} // namespace assassyn

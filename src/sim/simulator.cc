@@ -1,58 +1,23 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <set>
 #include <sstream>
 
-#include "core/compiler/walk.h"
 #include "sim/vcd.h"
 #include "support/bits.h"
-#include "support/ops.h"
 #include "support/logging.h"
+#include "support/ops.h"
 
 namespace assassyn {
 namespace sim {
 
 namespace {
 
-constexpr uint32_t kNoPred = 0xffffffffu;
-
-/** One VM micro-op. */
-struct Step {
-    enum class Op : uint8_t {
-        kBin,
-        kUn,
-        kSlice,
-        kConcat,
-        kSelect,
-        kCast,
-        kFifoValid,
-        kFifoPeek,
-        kArrayRead,
-        kPredAnd,
-        kWaitCheck,
-        kSkipIfFalse, ///< jump over `aux` steps when the cond slot is 0
-        kDequeue,
-        kPush,
-        kArrayWrite,
-        kSubscribe,
-        kLog,
-        kAssertEff,
-        kFinishEff,
-    };
-
-    Op op;
-    uint8_t sub = 0;   ///< BinOpcode / UnOpcode / Cast::Mode
-    bool sgn = false;  ///< signed semantics (from the lhs operand type)
-    unsigned bits = 0; ///< result width for masking
-    uint32_t dest = 0;
-    uint32_t a = 0;
-    uint32_t b = 0;
-    uint32_t c = 0;
-    uint32_t pred = kNoPred;
-    uint32_t aux = 0; ///< fifo id / array id / module index
-    const Instruction *inst = nullptr;
-};
+// Per-run mutable state. Everything compile-time — Step tapes, dense
+// index tables, schedules — lives in the shared immutable sim::Program
+// (sim/program.h); these structs are the residue a new Simulator has to
+// allocate, which is why construction from a prebuilt Program is cheap
+// and thread-safe.
 
 struct FifoState {
     const Port *port = nullptr;
@@ -104,6 +69,7 @@ struct ModState {
 } // namespace
 
 struct Simulator::Impl {
+    std::shared_ptr<const Program> prog;
     const System &sys;
     SimOptions opts;
 
@@ -111,30 +77,15 @@ struct Simulator::Impl {
     std::vector<FifoState> fifos;
     std::vector<ArrState> arrays;
     std::vector<ModState> mods; ///< indexed by Module::id
-    // Dense compile-time index tables, replacing the pointer-keyed maps
-    // that used to sit on the hot path: a port's FIFO is
-    // port_base[owner id] + port index, a value's slot is
-    // slot_base[parent id] + value id (synthetic slots appended after),
-    // arrays and modules are indexed by their own dense ids.
-    std::vector<uint32_t> port_base; ///< by Module::id
-    std::vector<uint32_t> slot_base; ///< by Module::id
-
-    struct ModProg {
-        std::vector<Step> shadow;
-        std::vector<Step> active;
-    };
-    std::vector<ModProg> progs;       ///< indexed by Module::id
-    std::vector<uint32_t> topo_idx;   ///< execution order (mod ids)
 
     uint64_t cycle = 0;
     bool finished = false;
     bool finish_pending = false;
 
-    // Hazard watchdog (sim/hazard.h): shared analysis plus the
-    // zero-progress window state. `poked` records external state writes
-    // (testbench / fault-injection hooks), which reset the window.
-    HazardAnalyzer analyzer;
-    std::vector<std::vector<uint32_t>> stall_fifos; ///< per mod id
+    // Hazard watchdog (sim/hazard.h): the zero-progress window state.
+    // The analysis itself is compile-time and shared (Program). `poked`
+    // records external state writes (testbench / fault-injection
+    // hooks), which reset the window.
     uint64_t quiet_cycles = 0;
     bool poked = false;
     bool hazard_flag = false;
@@ -154,62 +105,37 @@ struct Simulator::Impl {
     HookList post_hooks;
     Rng rng;
 
-    explicit Impl(const System &s, SimOptions o)
-        : sys(s), opts(o), analyzer(s), rng(o.shuffle_seed)
+    explicit Impl(std::shared_ptr<const Program> p, SimOptions o)
+        : prog(std::move(p)), sys(prog->sys()), opts(o),
+          rng(o.shuffle_seed)
     {
-        if (!sys.isLowered())
-            fatal("simulate: system '", sys.name(),
-                  "' has not been compiled/lowered");
         build();
     }
 
     // ----------------------------------------------------------------------
-    // Construction: index state, allocate slots, compile programs.
+    // Construction: allocate per-run state. The compiled artifact (Step
+    // tapes, index tables, schedule) comes prebuilt from the Program —
+    // no IR walking happens here (tests/program_test.cc pins this by
+    // counting compile invocations).
     // ----------------------------------------------------------------------
 
     void
     build()
     {
+        slots = prog->slotInit();
         for (const auto &arr : sys.arrays())
-            arrays.push_back({arr.get(), arr->init(), false, 0, 0});
-        port_base.reserve(sys.modules().size());
-        slot_base.reserve(sys.modules().size());
-        for (const auto &mod : sys.modules()) {
-            mods.push_back({mod.get(), 0, 0, false, 0});
-            port_base.push_back(static_cast<uint32_t>(fifos.size()));
-            for (const auto &port : mod->ports()) {
-                FifoState f;
-                f.port = port.get();
-                f.policy = port->policy();
-                f.buf.assign(port->depth(), 0);
-                f.occupancy.buckets.assign(port->depth() + 1, 0);
-                fifos.push_back(std::move(f));
-            }
+            arrays.push_back({arr.get(), arr->init(), false, 0, 0, 0});
+        fifos.reserve(prog->fifos().size());
+        for (const FifoSpec &spec : prog->fifos()) {
+            FifoState f;
+            f.port = spec.port;
+            f.policy = spec.policy;
+            f.buf.assign(spec.depth, 0);
+            f.occupancy.buckets.assign(spec.depth + 1, 0);
+            fifos.push_back(std::move(f));
         }
-        // The stall gate of each stage: the kStallProducer FIFOs it
-        // pushes into. While any of them is full the stage does not
-        // execute (its event is retained), in both backends.
-        stall_fifos.resize(mods.size());
-        for (const ModState &ms : mods)
-            for (const Port *p : analyzer.stallPorts(ms.mod))
-                stall_fifos[ms.mod->id()].push_back(fifoIndex(p));
-        // Slot per IR node, plus synthetic slots appended by the compiler.
-        for (const auto &mod : sys.modules()) {
-            slot_base.push_back(static_cast<uint32_t>(slots.size()));
-            for (const auto &node : mod->nodes()) {
-                uint64_t init = 0;
-                if (node->valueKind() == Value::Kind::kConst)
-                    init = static_cast<ConstInt *>(node.get())->raw();
-                slots.push_back(init);
-            }
-        }
-        progs.resize(mods.size());
         for (const auto &mod : sys.modules())
-            compileModule(*mod);
-        if (sys.topoOrder().empty())
-            fatal("simulate: no topological order; run the compiler first");
-        for (Module *mod : sys.topoOrder())
-            topo_idx.push_back(mod->id());
+            mods.push_back({mod.get(), 0, 0, false, 0});
         if (!opts.vcd_path.empty())
             buildVcd();
         if (!opts.trace_path.empty()) {
@@ -270,369 +196,7 @@ struct Simulator::Impl {
     uint32_t
     fifoIndex(const Port *p) const
     {
-        return port_base[p->owner()->id()] + p->index();
-    }
-
-    uint32_t
-    slotOf(const Value *v)
-    {
-        const Value *resolved = chaseRef(const_cast<Value *>(v));
-        if (!resolved->parent())
-            panic("simulator: value without a slot");
-        return slot_base[resolved->parent()->id()] + resolved->id();
-    }
-
-    uint32_t
-    newSyntheticSlot()
-    {
-        slots.push_back(0);
-        return static_cast<uint32_t>(slots.size() - 1);
-    }
-
-    /** Compiles the shadow and active programs of one module. */
-    struct ProgCompiler {
-        Impl &impl;
-        const Module &mod;
-        std::vector<Step> *out;
-        std::set<const Value *> emitted;
-        /**
-         * Pure values with users outside their defining conditional
-         * block (or exposed / feeding the wait condition). These must be
-         * computed unconditionally; everything else can live inside a
-         * skippable region — the "inactive code region" knowledge the
-         * paper credits for the generated simulator's speed (Sec. 7 Q5).
-         */
-        std::set<const Value *> needed_outside;
-
-        ProgCompiler(Impl &i, const Module &m, std::vector<Step> *o)
-            : impl(i), mod(m), out(o)
-        {
-            analyzeEscapes();
-        }
-
-        /** True when @p blk is @p region or nested anywhere inside it. */
-        static bool
-        blockWithin(const Block *blk, const Block *region)
-        {
-            while (blk) {
-                if (blk == region)
-                    return true;
-                Instruction *owner = blk->owner();
-                blk = owner ? owner->block() : nullptr;
-            }
-            return false;
-        }
-
-        void
-        analyzeEscapes()
-        {
-            auto note_use = [&](const Instruction *user, Value *op) {
-                op = chaseRef(op);
-                if (op->valueKind() != Value::Kind::kInstr ||
-                    op->parent() != &mod)
-                    return;
-                auto *def = static_cast<Instruction *>(op);
-                if (!def->block())
-                    return; // top-level by construction
-                if (!blockWithin(user->block(), def->block()))
-                    needed_outside.insert(def);
-            };
-            forEachInst(mod, [&](Instruction *inst) {
-                for (Value *op : inst->operands())
-                    note_use(inst, op);
-            });
-            for (const auto &[name, val] : mod.exposures())
-                needed_outside.insert(chaseRef(const_cast<Value *>(val)));
-            if (mod.waitCond())
-                needed_outside.insert(
-                    chaseRef(const_cast<Value *>(mod.waitCond())));
-        }
-
-        /**
-         * Emit, before opening a skip region over @p region, every pure
-         * value the region uses that must stay unconditional: values
-         * defined outside the region or escaping it.
-         */
-        void
-        preEmitShared(const Block &region)
-        {
-            forEachInst(region, [&](Instruction *inst) {
-                // A value defined here but escaping the region must be
-                // computed unconditionally even if nothing inside the
-                // region consumes it.
-                if ((inst->isPure() ||
-                     inst->opcode() == Opcode::kFifoPop) &&
-                    needed_outside.count(inst)) {
-                    emitPure(inst);
-                }
-                for (Value *op : inst->operands()) {
-                    Value *res = chaseRef(op);
-                    if (res->valueKind() != Value::Kind::kInstr)
-                        continue;
-                    auto *def = static_cast<Instruction *>(res);
-                    if (def->parent() != &mod) {
-                        continue;
-                    }
-                    if (!def->isPure() &&
-                        def->opcode() != Opcode::kFifoPop)
-                        continue;
-                    bool local = def->block() &&
-                                 blockWithin(def->block(), &region);
-                    if (!local || needed_outside.count(def))
-                        emitPure(def);
-                }
-            });
-        }
-
-        void
-        emitPure(const Value *v)
-        {
-            v = chaseRef(const_cast<Value *>(v));
-            if (v->valueKind() == Value::Kind::kConst)
-                return;
-            if (v->valueKind() == Value::Kind::kCrossRef)
-                fatal("unresolved cross-stage reference during simulation");
-            if (v->parent() != &mod)
-                return; // computed by the producer's shadow pass
-            if (emitted.count(v))
-                return;
-            const auto *inst = static_cast<const Instruction *>(v);
-            if (!inst->isPure() && inst->opcode() != Opcode::kFifoPop)
-                panic("effectful instruction used as an operand");
-            for (Value *op : inst->operands())
-                emitPure(op);
-            Step s;
-            s.dest = impl.slotOf(v);
-            s.bits = inst->type().bits();
-            s.inst = inst;
-            switch (inst->opcode()) {
-              case Opcode::kBinOp: {
-                const auto *bin = static_cast<const BinOp *>(inst);
-                s.op = Step::Op::kBin;
-                s.sub = static_cast<uint8_t>(bin->binOpcode());
-                s.sgn = bin->lhs()->type().isSigned();
-                s.a = impl.slotOf(bin->lhs());
-                s.b = impl.slotOf(bin->rhs());
-                s.c = bin->lhs()->type().bits();
-                break;
-              }
-              case Opcode::kUnOp: {
-                const auto *un = static_cast<const UnOp *>(inst);
-                s.op = Step::Op::kUn;
-                s.sub = static_cast<uint8_t>(un->unOpcode());
-                s.a = impl.slotOf(un->value());
-                s.c = un->value()->type().bits();
-                break;
-              }
-              case Opcode::kSlice: {
-                const auto *sl = static_cast<const Slice *>(inst);
-                s.op = Step::Op::kSlice;
-                s.a = impl.slotOf(sl->value());
-                s.b = sl->hi();
-                s.c = sl->lo();
-                break;
-              }
-              case Opcode::kConcat: {
-                const auto *cc = static_cast<const Concat *>(inst);
-                s.op = Step::Op::kConcat;
-                s.a = impl.slotOf(cc->msb());
-                s.b = impl.slotOf(cc->lsb());
-                s.c = cc->lsb()->type().bits();
-                break;
-              }
-              case Opcode::kSelect: {
-                const auto *sel = static_cast<const Select *>(inst);
-                s.op = Step::Op::kSelect;
-                s.a = impl.slotOf(sel->cond());
-                s.b = impl.slotOf(sel->onTrue());
-                s.c = impl.slotOf(sel->onFalse());
-                break;
-              }
-              case Opcode::kCast: {
-                const auto *cast = static_cast<const Cast *>(inst);
-                s.op = Step::Op::kCast;
-                s.sub = static_cast<uint8_t>(cast->mode());
-                s.a = impl.slotOf(cast->value());
-                s.c = cast->value()->type().bits();
-                break;
-              }
-              case Opcode::kFifoValid: {
-                const auto *fv = static_cast<const FifoValid *>(inst);
-                s.op = Step::Op::kFifoValid;
-                s.aux = impl.fifoIndex(fv->port());
-                break;
-              }
-              case Opcode::kFifoPop: {
-                const auto *fp = static_cast<const FifoPop *>(inst);
-                s.op = Step::Op::kFifoPeek;
-                s.aux = impl.fifoIndex(fp->port());
-                break;
-              }
-              case Opcode::kArrayRead: {
-                const auto *rd = static_cast<const ArrayRead *>(inst);
-                s.op = Step::Op::kArrayRead;
-                s.a = impl.slotOf(rd->index());
-                s.aux = rd->array()->id();
-                break;
-              }
-              default:
-                panic("unexpected pure opcode");
-            }
-            out->push_back(s);
-            emitted.insert(v);
-        }
-
-        uint32_t
-        combinePred(uint32_t outer, const Value *cond)
-        {
-            emitPure(cond);
-            uint32_t cond_slot = impl.slotOf(cond);
-            if (outer == kNoPred)
-                return cond_slot;
-            Step s;
-            s.op = Step::Op::kPredAnd;
-            s.dest = impl.newSyntheticSlot();
-            s.a = outer;
-            s.b = cond_slot;
-            s.bits = 1;
-            out->push_back(s);
-            return s.dest;
-        }
-
-        void
-        effectStep(Step s, uint32_t pred, const Instruction *inst)
-        {
-            s.pred = pred;
-            s.inst = inst;
-            out->push_back(s);
-        }
-
-        void
-        emitEffects(const Block &blk, uint32_t pred)
-        {
-            for (auto *inst : blk.insts()) {
-                switch (inst->opcode()) {
-                  case Opcode::kCondBlock: {
-                    auto *cb = static_cast<CondBlock *>(inst);
-                    uint32_t inner = combinePred(pred, cb->cond());
-                    // Shared values compute unconditionally; the rest of
-                    // the region is jumped over when the predicate is 0,
-                    // so inactive FSM states cost one step per cycle.
-                    preEmitShared(*cb->body());
-                    size_t skip_at = out->size();
-                    Step skip;
-                    skip.op = Step::Op::kSkipIfFalse;
-                    skip.a = inner;
-                    out->push_back(skip);
-                    emitEffects(*cb->body(), inner);
-                    (*out)[skip_at].aux =
-                        uint32_t(out->size() - skip_at - 1);
-                    break;
-                  }
-                  case Opcode::kFifoPop: {
-                    emitPure(inst); // the peek producing the value
-                    Step s;
-                    s.op = Step::Op::kDequeue;
-                    s.aux = impl.fifoIndex(
-                        static_cast<FifoPop *>(inst)->port());
-                    effectStep(s, pred, inst);
-                    break;
-                  }
-                  case Opcode::kFifoPush: {
-                    auto *push = static_cast<FifoPush *>(inst);
-                    emitPure(push->value());
-                    Step s;
-                    s.op = Step::Op::kPush;
-                    s.a = impl.slotOf(push->value());
-                    s.aux = impl.fifoIndex(push->port());
-                    s.bits = push->port()->type().bits();
-                    effectStep(s, pred, inst);
-                    break;
-                  }
-                  case Opcode::kArrayWrite: {
-                    auto *wr = static_cast<ArrayWrite *>(inst);
-                    emitPure(wr->index());
-                    emitPure(wr->value());
-                    Step s;
-                    s.op = Step::Op::kArrayWrite;
-                    s.a = impl.slotOf(wr->index());
-                    s.b = impl.slotOf(wr->value());
-                    s.aux = wr->array()->id();
-                    s.bits = wr->array()->elemType().bits();
-                    effectStep(s, pred, inst);
-                    break;
-                  }
-                  case Opcode::kSubscribe: {
-                    Step s;
-                    s.op = Step::Op::kSubscribe;
-                    s.aux = static_cast<Subscribe *>(inst)->callee()->id();
-                    effectStep(s, pred, inst);
-                    break;
-                  }
-                  case Opcode::kLog: {
-                    auto *lg = static_cast<Log *>(inst);
-                    for (Value *arg : lg->args())
-                        emitPure(arg);
-                    Step s;
-                    s.op = Step::Op::kLog;
-                    effectStep(s, pred, inst);
-                    break;
-                  }
-                  case Opcode::kAssertInst: {
-                    auto *as = static_cast<AssertInst *>(inst);
-                    emitPure(as->cond());
-                    Step s;
-                    s.op = Step::Op::kAssertEff;
-                    s.a = impl.slotOf(as->cond());
-                    effectStep(s, pred, inst);
-                    break;
-                  }
-                  case Opcode::kFinish: {
-                    Step s;
-                    s.op = Step::Op::kFinishEff;
-                    effectStep(s, pred, inst);
-                    break;
-                  }
-                  case Opcode::kAsyncCall:
-                  case Opcode::kBind:
-                    panic("un-lowered call reached the simulator");
-                  default:
-                    emitPure(inst);
-                }
-            }
-        }
-    };
-
-    void
-    compileModule(const Module &mod)
-    {
-        uint32_t mid = mod.id();
-        ModProg &prog = progs[mid];
-        // Shadow: the pure cone of every exposed combinational value runs
-        // every cycle, mirroring always-on RTL wires.
-        {
-            ProgCompiler pc(*this, mod, &prog.shadow);
-            for (const auto &[name, val] : mod.exposures()) {
-                bool is_bind =
-                    val->valueKind() == Value::Kind::kInstr &&
-                    static_cast<const Instruction *>(val)->opcode() ==
-                        Opcode::kBind;
-                if (!is_bind)
-                    pc.emitPure(val);
-            }
-        }
-        // Active: wait_until guard then the body.
-        {
-            ProgCompiler pc(*this, mod, &prog.active);
-            if (mod.waitCond()) {
-                pc.emitPure(mod.waitCond());
-                Step s;
-                s.op = Step::Op::kWaitCheck;
-                s.a = slotOf(mod.waitCond());
-                prog.active.push_back(s);
-            }
-            pc.emitEffects(mod.body(), kNoPred);
-        }
+        return prog->fifoIndex(p);
     }
 
     // ----------------------------------------------------------------------
@@ -641,10 +205,10 @@ struct Simulator::Impl {
 
     /** @return false when a wait_until check failed (event retained). */
     bool
-    runProgram(const std::vector<Step> &prog)
+    runProgram(const std::vector<Step> &tape)
     {
-        for (size_t pc = 0; pc < prog.size(); ++pc) {
-            const Step &s = prog[pc];
+        for (size_t pc = 0; pc < tape.size(); ++pc) {
+            const Step &s = tape[pc];
             switch (s.op) {
               case Step::Op::kBin:
                 slots[s.dest] = ops::evalBin(static_cast<BinOpcode>(s.sub),
@@ -761,7 +325,7 @@ struct Simulator::Impl {
         for (size_t i = 0; i < fmt.size(); ++i) {
             if (i + 1 < fmt.size() && fmt[i] == '{' && fmt[i + 1] == '}') {
                 Value *v = lg->args()[arg++];
-                uint64_t raw = slots.at(slotOf(v));
+                uint64_t raw = slots.at(prog->slotOf(v));
                 if (v->type().isSigned())
                     os << v->type().asSigned(raw);
                 else
@@ -781,6 +345,9 @@ struct Simulator::Impl {
     stepCycle()
     {
         pre_hooks.fire(cycle);
+
+        const std::vector<ModProg> &progs = prog->progs();
+        const std::vector<uint32_t> &topo_idx = prog->topoIdx();
 
         // Phase 0: shadow evaluation of exposed combinational cones, in
         // topological order, from state at the start of the cycle.
@@ -812,7 +379,7 @@ struct Simulator::Impl {
             // invariance holds — and matches the RTL's
             // `exec = pending & wait & ~full` gating exactly.
             bool full_stall = false;
-            for (uint32_t fid : stall_fifos[mid]) {
+            for (uint32_t fid : prog->stallFifos()[mid]) {
                 FifoState &f = fifos[fid];
                 if (f.count == f.buf.size()) {
                     full_stall = true;
@@ -948,7 +515,7 @@ struct Simulator::Impl {
         }
         if (++quiet_cycles < opts.watchdog_window)
             return;
-        hazard = analyzer.analyze(
+        hazard = prog->analyzer().analyze(
             cycle, quiet_cycles,
             [&](const Module *m) { return mods[m->id()].strobe; },
             [&](const Module *m) { return mods[m->id()].pending; },
@@ -1002,7 +569,7 @@ struct Simulator::Impl {
         if (!any)
             return;
         std::fprintf(trace_file, "#%llu:", (unsigned long long)cycle);
-        for (uint32_t mid : topo_idx) {
+        for (uint32_t mid : prog->topoIdx()) {
             const ModState &ms = mods[mid];
             if (ms.strobe)
                 std::fprintf(trace_file, " %s", ms.mod->name().c_str());
@@ -1018,7 +585,11 @@ struct Simulator::Impl {
 };
 
 Simulator::Simulator(const System &sys, SimOptions opts)
-    : impl_(std::make_unique<Impl>(sys, opts))
+    : impl_(std::make_unique<Impl>(Program::compile(sys), opts))
+{}
+
+Simulator::Simulator(std::shared_ptr<const Program> program, SimOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(program), opts))
 {}
 
 Simulator::~Simulator() = default;
@@ -1053,7 +624,7 @@ Simulator::run(uint64_t max_cycles)
         res.status = RunStatus::kMaxCycles;
         // Best-effort diagnosis of who was blocked when the budget ran
         // out; `kind` is advisory here (status stays kMaxCycles).
-        res.hazard = im.analyzer.analyze(
+        res.hazard = im.prog->analyzer().analyze(
             im.cycle, im.quiet_cycles,
             [&](const Module *m) { return im.mods[m->id()].strobe; },
             [&](const Module *m) { return im.mods[m->id()].pending; },
@@ -1173,6 +744,12 @@ void
 Simulator::addPostCycleHook(CycleHook hook)
 {
     impl_->post_hooks.add(std::move(hook));
+}
+
+const std::shared_ptr<const Program> &
+Simulator::program() const
+{
+    return impl_->prog;
 }
 
 } // namespace sim

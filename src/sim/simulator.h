@@ -30,6 +30,7 @@
 #include "core/ir/system.h"
 #include "sim/hazard.h"
 #include "sim/metrics.h"
+#include "sim/program.h"
 #include "support/hooks.h"
 #include "support/rng.h"
 
@@ -103,12 +104,26 @@ struct SimStats {
 };
 
 /**
- * Executes one compiled System. Construct once, then run(); architectural
- * state (register arrays) is inspectable before and after.
+ * Executes one compiled System. A Simulator is the *run-time* half of
+ * the compile/run split (docs/architecture.md): it owns only mutable
+ * per-run state — slot store, FIFO/array storage, metrics, RNG, the
+ * hazard-watchdog window — and executes an immutable sim::Program.
+ * Construct once, then run(); architectural state (register arrays) is
+ * inspectable before and after.
  */
 class Simulator {
   public:
+    /** Convenience: compiles a private Program, then runs it. */
     explicit Simulator(const System &sys, SimOptions opts = {});
+
+    /**
+     * Construct from a prebuilt compiled artifact. Allocates per-run
+     * state only — no IR walking, no Step compilation — so many
+     * Simulators (sequential or concurrent, each on its own thread)
+     * can share one Program (docs/architecture.md, sweep.h).
+     */
+    explicit Simulator(std::shared_ptr<const Program> program,
+                       SimOptions opts = {});
     ~Simulator();
 
     Simulator(const Simulator &) = delete;
@@ -172,6 +187,9 @@ class Simulator {
 
     /** Register a hook fired after each cycle's commit phase. */
     void addPostCycleHook(CycleHook hook);
+
+    /** The immutable compiled artifact this instance executes. */
+    const std::shared_ptr<const Program> &program() const;
 
   private:
     struct Impl;

@@ -1,0 +1,212 @@
+#include "sim/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace assassyn {
+namespace sim {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &fn,
+            size_t workers)
+{
+    if (n == 0)
+        return;
+    if (workers > n)
+        workers = n;
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    std::mutex err_mutex;
+    std::exception_ptr first_error;
+    auto work = [&] {
+        for (;;) {
+            size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            // After a failure, drain the remaining indices without
+            // running them: the pool still joins promptly and the
+            // first error is what the caller sees.
+            {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (first_error)
+                    continue;
+            }
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(err_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w)
+        pool.emplace_back(work);
+    for (std::thread &t : pool)
+        t.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+bool
+SweepReport::allOk() const
+{
+    for (const InstanceResult &run : runs)
+        if (!run.result.ok())
+            return false;
+    return true;
+}
+
+MetricsRegistry
+SweepReport::merged() const
+{
+    MetricsRegistry out;
+    for (const InstanceResult &run : runs) {
+        for (const auto &[key, value] : run.metrics.counters()) {
+            // high_water counters describe a maximum, not traffic:
+            // merging sums would fabricate an occupancy no run saw.
+            if (key.size() >= 10 &&
+                key.compare(key.size() - 10, 10, "high_water") == 0) {
+                if (value > out.counter(key))
+                    out.set(key, value);
+            } else {
+                out.add(key, value);
+            }
+        }
+        for (const auto &[key, hist] : run.metrics.histograms()) {
+            Histogram &dst = out.histogram(key);
+            if (dst.buckets.size() < hist.buckets.size())
+                dst.buckets.resize(hist.buckets.size(), 0);
+            for (size_t i = 0; i < hist.buckets.size(); ++i)
+                dst.buckets[i] += hist.buckets[i];
+            if (hist.high_water > dst.high_water)
+                dst.high_water = hist.high_water;
+            dst.samples += hist.samples;
+        }
+    }
+    return out;
+}
+
+std::string
+SweepReport::toJson(const std::string &design) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("assassyn.sweep.v1");
+    w.key("design");
+    w.value(design);
+    w.key("workers");
+    w.value(uint64_t(workers));
+    w.key("seconds");
+    w.value(seconds);
+    w.key("runs");
+    w.beginArray();
+    for (const InstanceResult &run : runs) {
+        w.beginObject();
+        w.key("name");
+        w.value(run.name);
+        w.key("status");
+        w.value(runStatusName(run.result.status));
+        w.key("cycles");
+        w.value(run.result.cycles);
+        w.key("end_cycle");
+        w.value(run.end_cycle);
+        w.key("seconds");
+        w.value(run.seconds);
+        if (!run.result.error.empty()) {
+            w.key("error");
+            w.value(run.result.error);
+        }
+        w.key("metrics");
+        run.metrics.writeJson(w);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("merged");
+    merged().writeJson(w);
+    w.endObject();
+    return w.str() + "\n";
+}
+
+void
+SweepReport::write(const std::string &path,
+                   const std::string &design) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("sweep: cannot open report file '", path, "'");
+    std::string json = toJson(design);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+}
+
+SweepReport
+runSweep(const std::vector<RunConfig> &configs,
+         const InstanceFn &instance, size_t workers)
+{
+    SweepReport report;
+    report.workers = workers ? workers : 1;
+    report.runs.resize(configs.size());
+    auto batch_start = std::chrono::steady_clock::now();
+    parallelFor(
+        configs.size(),
+        [&](size_t i) {
+            // Each index writes only its own preallocated result slot,
+            // so the batch needs no synchronization beyond the pool's
+            // index counter — and results keep RunConfig order.
+            auto start = std::chrono::steady_clock::now();
+            report.runs[i] = instance(configs[i]);
+            report.runs[i].seconds = secondsSince(start);
+        },
+        report.workers);
+    report.seconds = secondsSince(batch_start);
+    return report;
+}
+
+InstanceFn
+eventInstance(std::shared_ptr<const Program> program)
+{
+    return [program](const RunConfig &cfg) {
+        InstanceResult out;
+        out.name = cfg.name;
+        Simulator sim(program, cfg.sim);
+        std::optional<FaultInjector> inj;
+        if (cfg.fault) {
+            inj.emplace(program->sys(), *cfg.fault);
+            inj.value().attach(sim);
+        }
+        out.result = sim.run(cfg.max_cycles);
+        out.end_cycle = sim.cycle();
+        out.metrics = sim.metrics();
+        out.logs = sim.logOutput();
+        return out;
+    };
+}
+
+} // namespace sim
+} // namespace assassyn

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The parallel sweep runner: batch simulation over one compiled design
+ * (docs/architecture.md).
+ *
+ * The compile/run split makes a compiled artifact — a sim::Program or a
+ * const rtl::Netlist — immutable and shareable, so N runs of the same
+ * design (seed sweeps, workload sweeps, fault campaigns) pay ONE compile
+ * and then execute concurrently, one instance per worker thread. This
+ * header is the harness around that: describe each run as a RunConfig,
+ * hand runSweep() an InstanceFn that turns a config into a finished
+ * InstanceResult, and get back a SweepReport with per-run RunResults,
+ * per-run metrics, merged metrics, and a JSON rendering.
+ *
+ * Layering note: assassyn_rtl links against assassyn_sim, not the other
+ * way around, so this header never names rtl types. The event backend
+ * gets a ready-made InstanceFn (eventInstance); the netlist backend —
+ * or any other engine with the common run/metrics surface — goes
+ * through the instanceOf() adapter template, which only needs a factory
+ * callable. Determinism contract: an InstanceFn must depend only on its
+ * RunConfig, so results are independent of worker count and of the
+ * order instances get picked up — tests/parallel_determinism_test.cc
+ * pins sweep output byte-identical across workers={1,2,4,8}.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fault.h"
+#include "sim/metrics.h"
+#include "sim/program.h"
+#include "sim/simulator.h"
+
+namespace assassyn {
+namespace sim {
+
+/**
+ * Run @p fn(i) for every i in [0, n), distributed over @p workers
+ * threads pulling indices from a shared atomic counter. Blocks until
+ * every index completed. workers <= 1 (or n <= 1) degrades to a plain
+ * serial loop on the calling thread. An exception thrown by any fn(i)
+ * is captured and rethrown on the calling thread after the pool drains
+ * (first one wins; remaining indices are still consumed, cheaply).
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 size_t workers);
+
+/** One run of the sweep: everything that may vary between instances. */
+struct RunConfig {
+    std::string name;                 ///< report key (must be unique)
+    uint64_t max_cycles = 50'000'000; ///< per-run cycle budget
+    SimOptions sim;                   ///< seed, shuffle, logs, traces, ...
+    std::optional<FaultSpec> fault;   ///< optional fault-injection plan
+};
+
+/** What one instance produced. */
+struct InstanceResult {
+    std::string name;      ///< copied from the RunConfig
+    RunResult result;      ///< how the run ended
+    uint64_t end_cycle = 0;///< simulator cycle() after the run
+    double seconds = 0.0;  ///< wall-clock of this instance alone
+    MetricsRegistry metrics;
+    std::vector<std::string> logs; ///< captured log() lines, if enabled
+};
+
+/** Turns one RunConfig into a finished InstanceResult. */
+using InstanceFn = std::function<InstanceResult(const RunConfig &)>;
+
+/** The aggregated outcome of one runSweep() call. */
+struct SweepReport {
+    size_t workers = 1;   ///< thread count the sweep ran with
+    double seconds = 0.0; ///< wall-clock of the whole batch
+    std::vector<InstanceResult> runs; ///< in RunConfig order
+
+    /** True when every run finished (RunStatus::kFinished). */
+    bool allOk() const;
+
+    /**
+     * Element-wise merge of every run's metrics: counters sum,
+     * histogram buckets sum, high_water takes the max. The shape a
+     * fault-campaign or seed-sweep summary wants.
+     */
+    MetricsRegistry merged() const;
+
+    /** The machine-readable report (schema assassyn.sweep.v1). */
+    std::string toJson(const std::string &design) const;
+
+    /** Write toJson() to @p path. */
+    void write(const std::string &path, const std::string &design) const;
+};
+
+/**
+ * Run every config through @p instance on @p workers threads. Results
+ * keep config order regardless of completion order; the InstanceFn is
+ * called concurrently, so it must not touch shared mutable state.
+ */
+SweepReport runSweep(const std::vector<RunConfig> &configs,
+                     const InstanceFn &instance, size_t workers);
+
+/**
+ * The event-backend InstanceFn: each call builds a Simulator from the
+ * shared immutable @p program (no recompilation), attaches the fault
+ * plan if the config carries one, runs to the config's budget, and
+ * snapshots metrics + logs.
+ */
+InstanceFn eventInstance(std::shared_ptr<const Program> program);
+
+/**
+ * Adapter for any engine with the common backend surface (run /
+ * cycle / metrics / logOutput / the fault-injection accessors —
+ * rtl::NetlistSim has exactly this shape). @p make is called once per
+ * instance, concurrently, and must return a unique_ptr to a fresh
+ * engine built over shared immutable compiled state:
+ *
+ *     auto fn = instanceOf(sys, [&](const RunConfig &cfg) {
+ *         return std::make_unique<rtl::NetlistSim>(netlist, toRtl(cfg.sim));
+ *     });
+ */
+template <typename MakeSim>
+InstanceFn
+instanceOf(const System &sys, MakeSim make)
+{
+    const System *sp = &sys;
+    return [sp, make](const RunConfig &cfg) {
+        InstanceResult out;
+        out.name = cfg.name;
+        auto sim = make(cfg);
+        std::optional<FaultInjector> inj;
+        if (cfg.fault) {
+            inj.emplace(*sp, *cfg.fault);
+            inj->attach(*sim);
+        }
+        out.result = sim->run(cfg.max_cycles);
+        out.end_cycle = sim->cycle();
+        out.metrics = sim->metrics();
+        out.logs = sim->logOutput();
+        return out;
+    };
+}
+
+} // namespace sim
+} // namespace assassyn

@@ -7,21 +7,41 @@ namespace assassyn {
 namespace detail {
 
 namespace {
+
 std::mutex io_mutex;
+
+/**
+ * One message = one mutexed write. The prefix and the newline are
+ * composed into a single buffer before touching stderr so concurrent
+ * simulator instances (sim/sweep.h) can never interleave mid-message,
+ * even through stdio implementations that split fprintf format
+ * segments into separate writes.
+ */
+void
+emitLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 8);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::lock_guard<std::mutex> lock(io_mutex);
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
+}
+
 } // namespace
 
 void
 emitWarning(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(io_mutex);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emitLine("warn: ", msg);
 }
 
 void
 emitInform(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(io_mutex);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emitLine("info: ", msg);
 }
 
 } // namespace detail

@@ -20,6 +20,7 @@
 #include "rtl/netlist_sim.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "support/rng.h"
 
 namespace assassyn {
@@ -294,6 +295,77 @@ TEST_P(AlignmentFuzzTest, BackendsAgreeUnderFaultInjection)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AlignmentFuzzTest,
                          ::testing::Range(uint64_t(1), uint64_t(81)));
+
+/**
+ * The batch form of the alignment claim (sim/sweep.h): the same run
+ * configs — clean and fault-injected — go through the sweep runner on
+ * 4 workers against each backend, every instance executing over ONE
+ * shared compiled artifact (a sim::Program / a const rtl::Netlist).
+ * Every paired instance must agree exactly, so the Q5 guarantee
+ * survives both the compile/run split and concurrent execution.
+ */
+TEST(AlignmentSweepTest, SweepRunnerAlignsAcrossBackends)
+{
+    for (uint64_t seed : {uint64_t(3), uint64_t(17), uint64_t(42)}) {
+        RandomDesign gen(seed);
+        auto sys = gen.build();
+        auto prog = sim::Program::compile(*sys);
+        const rtl::Netlist nl(*sys);
+        ASSERT_TRUE(nl.levelized()) << "seed " << seed;
+
+        std::vector<sim::RunConfig> configs;
+        {
+            sim::RunConfig clean;
+            clean.name = "clean";
+            clean.max_cycles = 200;
+            configs.push_back(clean);
+        }
+        for (uint64_t f = 0; f < 3; ++f) {
+            sim::RunConfig cfg;
+            cfg.name = "fault" + std::to_string(f);
+            cfg.max_cycles = 200;
+            sim::FaultSpec spec;
+            spec.seed = seed * 7919 + 13 + f;
+            spec.count = 3;
+            spec.first_cycle = 5;
+            spec.last_cycle = 30;
+            cfg.fault = spec;
+            configs.push_back(cfg);
+        }
+
+        sim::SweepReport ev =
+            sim::runSweep(configs, sim::eventInstance(prog), 4);
+        sim::SweepReport rt = sim::runSweep(
+            configs,
+            sim::instanceOf(*sys,
+                            [&](const sim::RunConfig &cfg) {
+                                rtl::NetlistSimOptions o;
+                                o.capture_logs = cfg.sim.capture_logs;
+                                return std::make_unique<rtl::NetlistSim>(
+                                    nl, o);
+                            }),
+            4);
+
+        ASSERT_EQ(ev.runs.size(), configs.size());
+        ASSERT_EQ(rt.runs.size(), configs.size());
+        for (size_t i = 0; i < configs.size(); ++i) {
+            EXPECT_EQ(ev.runs[i].result.status, rt.runs[i].result.status)
+                << "seed " << seed << " run " << configs[i].name;
+            EXPECT_EQ(ev.runs[i].result.cycles, rt.runs[i].result.cycles)
+                << "seed " << seed << " run " << configs[i].name;
+            EXPECT_EQ(ev.runs[i].result.error, rt.runs[i].result.error)
+                << "seed " << seed << " run " << configs[i].name;
+            EXPECT_EQ(ev.runs[i].logs, rt.runs[i].logs)
+                << "seed " << seed << " run " << configs[i].name;
+            EXPECT_TRUE(ev.runs[i].metrics == rt.runs[i].metrics)
+                << "seed " << seed << " run " << configs[i].name
+                << " metrics diverged:\n"
+                << ev.runs[i].metrics.diff(rt.runs[i].metrics);
+        }
+        EXPECT_EQ(ev.merged().toJson("fuzz"), rt.merged().toJson("fuzz"))
+            << "seed " << seed;
+    }
+}
 
 } // namespace
 } // namespace assassyn

@@ -18,6 +18,7 @@
 #include "designs/ooo.h"
 #include "isa/iss.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "support/rng.h"
 
 namespace assassyn {
@@ -178,6 +179,58 @@ TEST_P(CpuFuzzTest, AllCoresMatchIss)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CpuFuzzTest,
                          ::testing::Range(uint64_t(1), uint64_t(61)));
+
+/**
+ * The sweep-runner form (sim/sweep.h): the CPU is compiled ONCE into a
+ * sim::Program, then a batch of shuffle-seed configs executes
+ * concurrently over it. Every instance must retire the ISS-golden
+ * instruction count and match its own serial run bit for bit — the
+ * shuffle-invariance property, proved from inside the thread pool.
+ */
+TEST(CpuSweepTest, SharedProgramShuffleSweepMatchesSerial)
+{
+    std::string program = randomProgram(5, 24);
+    auto code = isa::assemble(program);
+    std::vector<uint32_t> image(code.begin(), code.end());
+    image.resize(256, 0);
+    GoldenState golden = runIss(image);
+
+    auto cpu = designs::buildCpu(designs::BranchPolicy::kTaken, image);
+    auto prog = sim::Program::compile(*cpu.sys);
+
+    std::vector<sim::RunConfig> configs;
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        sim::RunConfig cfg;
+        cfg.name = "shuffle" + std::to_string(seed);
+        cfg.max_cycles = 1'000'000;
+        cfg.sim.shuffle = true;
+        cfg.sim.shuffle_seed = seed;
+        configs.push_back(cfg);
+    }
+    sim::SweepReport report =
+        sim::runSweep(configs, sim::eventInstance(prog), 4);
+    ASSERT_EQ(report.runs.size(), configs.size());
+    EXPECT_TRUE(report.allOk());
+
+    for (size_t i = 0; i < configs.size(); ++i) {
+        sim::Simulator serial(prog, configs[i].sim);
+        serial.run(configs[i].max_cycles);
+        ASSERT_TRUE(serial.finished()) << configs[i].name;
+        EXPECT_EQ(serial.readArray(cpu.retired, 0), golden.instructions)
+            << configs[i].name;
+        EXPECT_EQ(report.runs[i].result.cycles, serial.cycle())
+            << configs[i].name;
+        EXPECT_EQ(report.runs[i].metrics.toJson("cpu"),
+                  serial.metrics().toJson("cpu"))
+            << configs[i].name;
+    }
+    // Shuffle must not change behaviour at all: every instance's
+    // metrics are identical, so the merged counters are exactly
+    // one run's counters times the batch size.
+    EXPECT_EQ(report.merged().counter("total.executions"),
+              report.runs[0].metrics.counter("total.executions") *
+                  configs.size());
+}
 
 } // namespace
 } // namespace assassyn

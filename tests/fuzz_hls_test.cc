@@ -9,6 +9,7 @@
 
 #include "baseline/hls.h"
 #include "sim/simulator.h"
+#include "sim/sweep.h"
 #include "support/bits.h"
 #include "support/rng.h"
 
@@ -201,6 +202,60 @@ TEST_P(HlsFuzzTest, GeneratorMatchesReference)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HlsFuzzTest,
                          ::testing::Range(uint64_t(1), uint64_t(61)));
+
+/**
+ * The sweep-runner form (sim/sweep.h): several generated FSM designs
+ * compile once each into a sim::Program and a batch of shuffled runs
+ * executes concurrently. Every instance must match its serial run bit
+ * for bit, and the serial run must still match the reference
+ * interpreter — proving the compile/run split changes nothing about
+ * the mini-HLS flow's correctness.
+ */
+TEST(HlsSweepTest, SharedProgramSweepMatchesSerialAndReference)
+{
+    for (uint64_t seed : {uint64_t(7), uint64_t(23)}) {
+        HlsProgram hls = randomHls(seed, 16);
+        std::vector<uint32_t> image(16, 0);
+        Rng init(seed ^ 0xabcdef);
+        for (auto &w : image)
+            w = uint32_t(init.next());
+
+        HlsRef ref;
+        ref.mem = image;
+        ref.run(hls);
+
+        auto design = baseline::generateHls(hls, image);
+        auto prog = sim::Program::compile(*design.sys);
+
+        std::vector<sim::RunConfig> configs;
+        for (uint64_t s = 1; s <= 4; ++s) {
+            sim::RunConfig cfg;
+            cfg.name = "shuffle" + std::to_string(s);
+            cfg.max_cycles = 100000;
+            cfg.sim.shuffle = true;
+            cfg.sim.shuffle_seed = s;
+            configs.push_back(cfg);
+        }
+        sim::SweepReport report =
+            sim::runSweep(configs, sim::eventInstance(prog), 4);
+        ASSERT_EQ(report.runs.size(), configs.size());
+        EXPECT_TRUE(report.allOk()) << "seed " << seed;
+
+        sim::Simulator serial(prog, configs[0].sim);
+        serial.run(configs[0].max_cycles);
+        ASSERT_TRUE(serial.finished()) << "seed " << seed;
+        for (size_t i = 0; i < image.size(); ++i)
+            EXPECT_EQ(serial.readArray(design.mem, i), ref.mem[i])
+                << "seed " << seed << " mem[" << i << "]";
+        for (const sim::InstanceResult &run : report.runs) {
+            EXPECT_EQ(run.result.cycles, serial.cycle())
+                << "seed " << seed << " " << run.name;
+            EXPECT_EQ(run.metrics.toJson("hls"),
+                      serial.metrics().toJson("hls"))
+                << "seed " << seed << " " << run.name;
+        }
+    }
+}
 
 } // namespace
 } // namespace assassyn

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Parallel determinism: the thread-safety half of the compile/run split
+ * (docs/architecture.md).
+ *
+ * The contract under test: compiled artifacts — sim::Program and const
+ * rtl::Netlist — are immutable and shareable, per-run state lives
+ * entirely in the Simulator / NetlistSim instance, and elaboration uses
+ * no process-wide counters. So N threads running the same seed over one
+ * shared artifact must produce byte-identical metrics JSON, logs, and
+ * stall traces; distinct seeds must match their serial-run outputs
+ * exactly; sweep results must be independent of worker count; and
+ * independent Systems must elaborate concurrently to byte-identical
+ * Verilog. Run under ASSASSYN_SANITIZE=thread (README build matrix)
+ * these tests double as a data-race hunt.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+#include "rtl/netlist.h"
+#include "rtl/netlist_sim.h"
+#include "rtl/verilog.h"
+#include "sim/program.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "support/logging.h"
+
+namespace assassyn {
+namespace {
+
+using namespace dsl;
+
+/**
+ * Producer/consumer pipeline with FIFO waits, so event traces contain
+ * stall lines, plus arrays, logs, and a finish.
+ */
+std::unique_ptr<System>
+buildPipeline(const char *name)
+{
+    SysBuilder sb(name);
+    Stage sink = sb.stage("sink", {{"x", uintType(16)}});
+    Stage d = sb.driver();
+    Reg cyc = sb.reg("cyc", uintType(16));
+    Arr hist = sb.arr("hist", uintType(16), 8);
+    {
+        StageScope scope(sink);
+        // Consume only on odd driver cycles: events delivered on even
+        // cycles spin for one cycle, producing wait lines in the trace.
+        waitUntil([&] { return cyc.read().trunc(1) == lit(1, 1); });
+        Val x = sink.arg("x");
+        Val slot = x.trunc(3);
+        hist.write(slot, hist.read(slot) + 1);
+        log("got {}", {x});
+    }
+    {
+        StageScope scope(d);
+        Val v = cyc.read();
+        cyc.write(v + 1);
+        // Push on odd cycles: the event arrives when cyc is even, so
+        // the sink's wait_until fails for one cycle before consuming —
+        // the trace gets genuine wait lines.
+        when(v.trunc(1) == lit(1, 1), [&] {
+            asyncCall(sink, {(v * 3).as(uintType(16))});
+        });
+        when(v == lit(80, 16), [&] { finish(); });
+    }
+    compile(sb.sys());
+    return sb.take();
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(ParallelDeterminismTest, SharedProgramSameSeedIsByteIdentical)
+{
+    auto sys = buildPipeline("par_shared_prog");
+    auto prog = sim::Program::compile(*sys);
+
+    constexpr int kThreads = 4;
+    std::vector<std::string> metrics(kThreads), traces(kThreads);
+    std::vector<std::vector<std::string>> logs(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            sim::SimOptions opts;
+            opts.shuffle = true;
+            opts.shuffle_seed = 7; // same seed on every thread
+            opts.trace_path = ::testing::TempDir() +
+                              "par_shared_prog_trace_" +
+                              std::to_string(t) + ".txt";
+            sim::Simulator s(prog, opts);
+            s.run(200);
+            EXPECT_TRUE(s.finished());
+            metrics[t] = s.metrics().toJson("par_shared_prog");
+            logs[t] = s.logOutput();
+            traces[t] = slurp(opts.trace_path);
+            std::remove(opts.trace_path.c_str());
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(metrics[t], metrics[0]) << "thread " << t;
+        EXPECT_EQ(logs[t], logs[0]) << "thread " << t;
+        EXPECT_EQ(traces[t], traces[0]) << "thread " << t;
+    }
+    EXPECT_NE(traces[0].find("wait:"), std::string::npos)
+        << "trace should contain stall lines";
+}
+
+TEST(ParallelDeterminismTest, SharedNetlistSupportsConcurrentSims)
+{
+    auto sys = buildPipeline("par_shared_netlist");
+    const rtl::Netlist nl(*sys);
+    ASSERT_TRUE(nl.levelized());
+
+    constexpr int kThreads = 4;
+    std::vector<std::string> metrics(kThreads);
+    std::vector<std::vector<std::string>> logs(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            rtl::NetlistSim s(nl);
+            s.run(200);
+            EXPECT_TRUE(s.finished());
+            metrics[t] = s.metrics().toJson("par_shared_netlist");
+            logs[t] = s.logOutput();
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(metrics[t], metrics[0]) << "thread " << t;
+        EXPECT_EQ(logs[t], logs[0]) << "thread " << t;
+    }
+
+    // Cross-backend alignment holds from a concurrent run too.
+    sim::Simulator es(*sys);
+    es.run(200);
+    ASSERT_TRUE(es.finished());
+    EXPECT_EQ(es.metrics().toJson("par_shared_netlist"), metrics[0]);
+}
+
+TEST(ParallelDeterminismTest, DistinctSeedsMatchSerialRuns)
+{
+    auto sys = buildPipeline("par_seeds");
+    auto prog = sim::Program::compile(*sys);
+
+    std::vector<sim::RunConfig> configs;
+    for (uint64_t seed = 1; seed <= 6; ++seed) {
+        sim::RunConfig cfg;
+        cfg.name = "seed" + std::to_string(seed);
+        cfg.max_cycles = 200;
+        cfg.sim.shuffle = true;
+        cfg.sim.shuffle_seed = seed;
+        configs.push_back(cfg);
+    }
+    sim::SweepReport report =
+        sim::runSweep(configs, sim::eventInstance(prog), 4);
+    ASSERT_EQ(report.runs.size(), configs.size());
+    EXPECT_TRUE(report.allOk());
+
+    for (size_t i = 0; i < configs.size(); ++i) {
+        sim::Simulator serial(prog, configs[i].sim);
+        sim::RunResult res = serial.run(configs[i].max_cycles);
+        EXPECT_EQ(report.runs[i].name, configs[i].name);
+        EXPECT_EQ(report.runs[i].result.status, res.status);
+        EXPECT_EQ(report.runs[i].result.cycles, res.cycles);
+        EXPECT_EQ(report.runs[i].metrics.toJson("par_seeds"),
+                  serial.metrics().toJson("par_seeds"));
+        EXPECT_EQ(report.runs[i].logs, serial.logOutput());
+    }
+}
+
+TEST(ParallelDeterminismTest, SweepIndependentOfWorkerCount)
+{
+    auto sys = buildPipeline("par_workers");
+    auto prog = sim::Program::compile(*sys);
+
+    std::vector<sim::RunConfig> configs;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        sim::RunConfig cfg;
+        cfg.name = "seed" + std::to_string(seed);
+        cfg.max_cycles = 200;
+        cfg.sim.shuffle = true;
+        cfg.sim.shuffle_seed = seed;
+        configs.push_back(cfg);
+    }
+    sim::SweepReport ref =
+        sim::runSweep(configs, sim::eventInstance(prog), 1);
+    for (size_t workers : {2u, 4u, 8u}) {
+        sim::SweepReport rep =
+            sim::runSweep(configs, sim::eventInstance(prog), workers);
+        ASSERT_EQ(rep.runs.size(), ref.runs.size());
+        for (size_t i = 0; i < ref.runs.size(); ++i) {
+            EXPECT_EQ(rep.runs[i].result.status,
+                      ref.runs[i].result.status);
+            EXPECT_EQ(rep.runs[i].metrics.toJson("w"),
+                      ref.runs[i].metrics.toJson("w"))
+                << "workers=" << workers << " run=" << i;
+        }
+        EXPECT_EQ(rep.merged().toJson("w"), ref.merged().toJson("w"));
+    }
+}
+
+TEST(ParallelDeterminismTest, ConcurrentElaborationIsByteIdentical)
+{
+    // Dense ids are assigned by the owning System/Module and the DSL
+    // context stack is thread_local, so independent Systems may
+    // elaborate concurrently with byte-identical artifacts.
+    constexpr int kThreads = 4;
+    std::vector<std::string> verilog(kThreads), metrics(kThreads);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&, t] {
+            auto sys = buildPipeline("par_elab");
+            rtl::Netlist nl(*sys);
+            verilog[t] = rtl::emitVerilog(nl);
+            sim::Simulator s(*sys);
+            s.run(200);
+            EXPECT_TRUE(s.finished());
+            metrics[t] = s.metrics().toJson("par_elab");
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+    for (int t = 1; t < kThreads; ++t) {
+        EXPECT_EQ(verilog[t], verilog[0]) << "thread " << t;
+        EXPECT_EQ(metrics[t], metrics[0]) << "thread " << t;
+    }
+}
+
+TEST(ParallelDeterminismTest, WarningsDoNotInterleaveAcrossThreads)
+{
+    // Redirect stderr to a file, hammer warn()/inform() from many
+    // threads, and require every captured line to be exactly one
+    // intact message.
+    std::string path = ::testing::TempDir() + "par_warn_capture.txt";
+    int saved = dup(STDERR_FILENO);
+    ASSERT_GE(saved, 0);
+    int fd = open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_GE(dup2(fd, STDERR_FILENO), 0);
+    close(fd);
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+        pool.emplace_back([t] {
+            std::string payload(60, char('a' + t));
+            for (int i = 0; i < kPerThread; ++i) {
+                if (t % 2)
+                    warn("T", t, " ", payload);
+                else
+                    inform("T", t, " ", payload);
+            }
+        });
+    }
+    for (std::thread &th : pool)
+        th.join();
+
+    fflush(stderr);
+    dup2(saved, STDERR_FILENO);
+    close(saved);
+
+    std::ifstream in(path);
+    std::string line;
+    int lines = 0;
+    for (; std::getline(in, line); ++lines) {
+        // Each line: "<warn|info>: T<t> <60 copies of one letter>".
+        ASSERT_TRUE(line.rfind("warn: T", 0) == 0 ||
+                    line.rfind("info: T", 0) == 0)
+            << "interleaved line: " << line;
+        std::string tail = line.substr(line.find(' ', 6) + 1);
+        ASSERT_EQ(tail.size(), 60u) << "interleaved line: " << line;
+        for (char c : tail)
+            ASSERT_EQ(c, tail[0]) << "interleaved line: " << line;
+    }
+    EXPECT_EQ(lines, kThreads * kPerThread);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace assassyn
