@@ -11,6 +11,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,12 +37,18 @@ struct TimedRun {
     double kcps() const { return cycles / seconds / 1e3; }
 };
 
-/** Run the event-driven (Assassyn-generated) simulator to finish(). */
+/**
+ * Run the event-driven (Assassyn-generated) simulator to finish().
+ * A nonempty @p timeline_path records the run's Perfetto timeline
+ * (docs/observability.md, "Timeline tracing").
+ */
 inline TimedRun
-runEventSim(const System &sys, uint64_t max_cycles = 50'000'000)
+runEventSim(const System &sys, uint64_t max_cycles = 50'000'000,
+            const std::string &timeline_path = "")
 {
     sim::SimOptions opts;
     opts.capture_logs = false;
+    opts.timeline_path = timeline_path;
     auto t0 = std::chrono::steady_clock::now();
     sim::Simulator s(sys, opts);
     sim::RunResult res = s.run(max_cycles);
@@ -59,11 +67,15 @@ runEventSim(const System &sys, uint64_t max_cycles = 50'000'000)
 
 /** Run the netlist-level simulator (the Verilator stand-in). */
 inline TimedRun
-runNetlistSim(const System &sys, uint64_t max_cycles = 50'000'000)
+runNetlistSim(const System &sys, uint64_t max_cycles = 50'000'000,
+              const std::string &timeline_path = "")
 {
     auto t0 = std::chrono::steady_clock::now();
     rtl::Netlist nl(sys);
-    rtl::NetlistSim s(nl, /*capture_logs=*/false);
+    rtl::NetlistSimOptions nopts;
+    nopts.capture_logs = false;
+    nopts.timeline_path = timeline_path;
+    rtl::NetlistSim s(nl, nopts);
     sim::RunResult res = s.run(max_cycles);
     auto t1 = std::chrono::steady_clock::now();
     if (!s.finished())
@@ -212,6 +224,39 @@ sourceDir()
 #else
     return ".";
 #endif
+}
+
+/**
+ * The gitignored scratch directory for generated per-run artifacts
+ * (metrics reports, timeline traces): <sourceDir>/artifacts, created on
+ * first use. Tracked reference outputs (BENCH_*.json) stay at the repo
+ * root; everything a figure binary regenerates on every invocation
+ * lands here.
+ */
+inline std::string
+artifactsDir()
+{
+    std::string dir = sourceDir() + "/artifacts";
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+/**
+ * Consume @p flag from argv if present, returning whether it was there —
+ * the figure binaries' shared tiny flag parser (--smoke, --trace).
+ */
+inline bool
+eatFlag(int &argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            return true;
+        }
+    }
+    return false;
 }
 
 /** Geometric mean. */

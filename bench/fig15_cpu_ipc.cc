@@ -11,11 +11,14 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <iterator>
+
 #include "baseline/gem5like.h"
 #include "bench/bench_designs.h"
 #include "bench/common.h"
 #include "designs/cpu.h"
 #include "isa/workloads.h"
+#include "support/profiler.h"
 
 namespace {
 
@@ -23,7 +26,7 @@ using namespace assassyn;
 using namespace assassyn::bench;
 
 void
-printTable()
+printTable(bool trace)
 {
     std::printf("=== Fig. 15(a): CPU IPC (sodor=paper ref, gem5-like and "
                 "ours measured) ===\n");
@@ -39,6 +42,12 @@ printTable()
         auto cpu = designs::buildCpu(designs::BranchPolicy::kTaken, image);
         sim::SimOptions opts;
         opts.capture_logs = false;
+        // The last workload carries the timeline; since the host
+        // profiler is enabled, the trace file also absorbs every
+        // earlier workload's compile spans (process 2).
+        bool last = &ref == &kSodorIpc[std::size(kSodorIpc) - 1];
+        if (trace && last)
+            opts.timeline_path = artifactsDir() + "/fig15_trace.json";
         sim::Simulator s(*cpu.sys, opts);
         s.run(50'000'000);
         double ipc =
@@ -55,8 +64,12 @@ printTable()
     }
     std::printf("%-10s %8.2f %8.2f %8.2f   (paper: 0.76 / 0.79 / 0.78)\n",
                 "g-mean", gmean(sodor_v), gmean(gem5_v), gmean(ours_v));
-    report.write("fig15_metrics.json");
-    std::printf("metrics report: fig15_metrics.json\n");
+    std::string report_path = artifactsDir() + "/fig15_metrics.json";
+    report.write(report_path);
+    std::printf("metrics report: %s\n", report_path.c_str());
+    if (trace)
+        std::printf("timeline trace: %s/fig15_trace.json\n",
+                    artifactsDir().c_str());
 
     std::printf("\n=== Fig. 15(b): accelerator speedup over HLS ===\n");
     std::printf("%-8s %9s   (paper)\n", "design", "speedup");
@@ -94,7 +107,10 @@ BENCHMARK(BM_CpuVvaddIpc)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
-    printTable();
+    bool trace = eatFlag(argc, argv, "--trace");
+    if (trace)
+        HostProfiler::instance().enable();
+    printTable(trace);
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
     return 0;

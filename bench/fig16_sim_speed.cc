@@ -27,6 +27,7 @@
 #include "isa/workloads.h"
 #include "sim/program.h"
 #include "sim/sweep.h"
+#include "support/profiler.h"
 
 namespace {
 
@@ -187,7 +188,7 @@ writeBenchJson(const std::vector<ThroughputRow> &rows,
 }
 
 void
-printTable(bool smoke)
+printTable(bool smoke, bool trace)
 {
     std::printf("=== Fig. 16 (Q5): simulated k-cycles/s (and alignment) "
                 "===\n");
@@ -198,13 +199,26 @@ printTable(bool smoke)
     std::vector<ThroughputRow> rows;
     std::vector<double> cpu_speedups;
     size_t cpu_left = smoke ? 2 : size_t(-1);
+    bool first_cpu = true;
     for (const SodorIpc &ref : kSodorIpc) {
         if (cpu_left-- == 0)
             break;
         auto image = isa::buildMemoryImage(isa::workload(ref.name));
         auto cpu = designs::buildCpu(designs::BranchPolicy::kTaken, image);
-        TimedRun ev = runEventSim(*cpu.sys);
-        TimedRun nl = runNetlistSim(*cpu.sys);
+        // Under --trace, the first CPU workload records its timeline on
+        // both backends; the aligned metrics snapshots below then cover
+        // the trace.* keys too. (Byte-identity of the simulated-cycle
+        // events is asserted by tests/trace_timeline_test.cc with the
+        // host profiler off; here each file also carries its own host
+        // timeline.) Timed numbers for that workload include overhead.
+        std::string ev_tl, nl_tl;
+        if (trace && first_cpu) {
+            ev_tl = artifactsDir() + "/fig16_trace_event.json";
+            nl_tl = artifactsDir() + "/fig16_trace_rtl.json";
+        }
+        first_cpu = false;
+        TimedRun ev = runEventSim(*cpu.sys, 50'000'000, ev_tl);
+        TimedRun nl = runNetlistSim(*cpu.sys, 50'000'000, nl_tl);
         // The paper's alignment claim, checked at full counter depth:
         // not just equal cycle counts but an identical metrics snapshot.
         requireAligned(ev, nl, ref.name);
@@ -295,9 +309,17 @@ printTable(bool smoke)
     std::printf("(per-instance metrics bit-identical to the serial "
                 "baseline at every worker count)\n");
 
-    report.write("fig16_metrics.json");
-    std::printf("metrics report: fig16_metrics.json\n");
+    std::string report_path = artifactsDir() + "/fig16_metrics.json";
+    report.write(report_path);
+    std::printf("metrics report: %s\n", report_path.c_str());
     writeBenchJson(rows, sweep, smoke);
+    if (trace) {
+        // Standalone host timeline, written after the sweeps so the
+        // per-worker run:* spans are included.
+        std::string host_path = artifactsDir() + "/fig16_host_trace.json";
+        HostProfiler::instance().writeJson(host_path);
+        std::printf("host timeline: %s\n", host_path.c_str());
+    }
     std::printf("\n");
 }
 
@@ -333,18 +355,13 @@ main(int argc, char **argv)
     // --smoke: the short slice registered as the perf_smoke ctest label —
     // two CPU workloads plus one accelerator, no long-loop, no
     // micro-benchmarks. Keeps alignment + JSON emission on the CI path
-    // without the multi-minute full sweep.
-    bool smoke = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::string(argv[i]) == "--smoke") {
-            smoke = true;
-            for (int j = i; j + 1 < argc; ++j)
-                argv[j] = argv[j + 1];
-            --argc;
-            break;
-        }
-    }
-    printTable(smoke);
+    // without the multi-minute full sweep. --trace: record timelines for
+    // the first CPU workload and a host phase profile (artifacts/).
+    bool smoke = eatFlag(argc, argv, "--smoke");
+    bool trace = eatFlag(argc, argv, "--trace");
+    if (trace)
+        HostProfiler::instance().enable();
+    printTable(smoke, trace);
     if (smoke)
         return 0;
     ::benchmark::Initialize(&argc, argv);

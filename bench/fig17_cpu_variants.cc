@@ -15,6 +15,7 @@
 #include "designs/ooo.h"
 #include "isa/workloads.h"
 #include "sim/sweep.h"
+#include "support/profiler.h"
 
 namespace {
 
@@ -65,6 +66,10 @@ printTable()
     sim::parallelFor(
         kWorkloads,
         [&](size_t i) {
+            // One host-timeline span per workload job: under --trace
+            // the profile shows how the jobs packed onto the pool.
+            HostProfiler::Scope span(
+                "workload:" + std::string(kSodorIpc[i].name));
             auto image =
                 isa::buildMemoryImage(isa::workload(kSodorIpc[i].name));
             WorkloadRow &row = rows[i];
@@ -168,7 +173,15 @@ BENCHMARK(BM_OooTowers)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    bool trace = eatFlag(argc, argv, "--trace");
+    if (trace)
+        HostProfiler::instance().enable();
     printTable();
+    if (trace) {
+        std::string path = artifactsDir() + "/fig17_host_trace.json";
+        HostProfiler::instance().writeJson(path);
+        std::printf("host timeline: %s\n", path.c_str());
+    }
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
     return 0;

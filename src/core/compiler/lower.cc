@@ -8,6 +8,7 @@
 
 #include "core/compiler/pass.h"
 #include "core/compiler/walk.h"
+#include "support/profiler.h"
 
 namespace assassyn {
 
@@ -100,19 +101,34 @@ lowerCalls(System &sys)
 void
 compile(System &sys, const CompileOptions &opts)
 {
+    // Each pass gets a host-timeline span (support/profiler.h) so a
+    // --trace'd run shows where compile wall-clock goes; no-ops when
+    // the profiler is disabled (the default).
     resolveCrossRefs(sys);
-    if (opts.run_verify)
+    if (opts.run_verify) {
+        HostProfiler::Scope span("pass:verify");
         verifySystem(sys);
-    if (opts.run_fold)
+    }
+    if (opts.run_fold) {
+        HostProfiler::Scope span("pass:fold");
         foldConstants(sys);
-    if (opts.run_arbiter)
+    }
+    if (opts.run_arbiter) {
+        HostProfiler::Scope span("pass:arbiter");
         generateArbiters(sys);
-    if (opts.run_timing)
+    }
+    if (opts.run_timing) {
+        HostProfiler::Scope span("pass:timing");
         injectTiming(sys);
-    if (opts.run_toposort)
+    }
+    if (opts.run_toposort) {
+        HostProfiler::Scope span("pass:toposort");
         topoSortStages(sys);
-    if (opts.run_lower)
+    }
+    if (opts.run_lower) {
+        HostProfiler::Scope span("pass:lower");
         lowerCalls(sys);
+    }
 }
 
 } // namespace assassyn

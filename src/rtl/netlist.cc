@@ -7,6 +7,7 @@
 
 #include "core/compiler/walk.h"
 #include "support/logging.h"
+#include "support/profiler.h"
 
 namespace assassyn {
 namespace rtl {
@@ -457,6 +458,7 @@ class NetlistBuilder {
 void
 Netlist::finalize()
 {
+    HostProfiler::Scope prof_span("Netlist::finalize");
     comb_cycle_.clear();
     constexpr uint32_t kNoCell = 0xffffffffu;
     std::vector<uint32_t> producer(net_bits_.size(), kNoCell);

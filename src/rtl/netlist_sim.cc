@@ -92,9 +92,17 @@ struct NetlistSim::Impl {
     HookList pre_hooks;
     HookList post_hooks;
 
+    std::unique_ptr<sim::TraceRecorder> recorder;
+
     Impl(const Netlist &n, NetlistSimOptions o)
         : nl(n), opts(o), analyzer(n.sys())
     {
+        // Interned from the shared System IR (never from netlist-private
+        // FIFO indices), so the emitted file is byte-identical to the
+        // event simulator's for the same design and seed.
+        if (!opts.timeline_path.empty())
+            recorder = std::make_unique<sim::TraceRecorder>(
+                nl.sys(), opts.timeline_path, opts.timeline_events);
         nets.assign(nl.numNets(), 0);
         for (const auto &[net, value] : nl.constNets())
             nets[net] = value;
@@ -134,6 +142,12 @@ struct NetlistSim::Impl {
             cone_rt[c].sig.assign(nl.cones()[c].inputs.size(), 0);
             cone_rt[c].aver.assign(nl.cones()[c].arrays.size(), 0);
         }
+    }
+
+    ~Impl()
+    {
+        if (recorder)
+            recorder->finish(cycle);
     }
 
     /** One pass over the levelized cells [@p begin, @p end). */
@@ -233,6 +247,8 @@ struct NetlistSim::Impl {
     void
     step()
     {
+        if (recorder)
+            recorder->beginCycle(cycle);
         pre_hooks.fire(cycle);
 
         // Drive state-derived nets: FIFO pop interfaces and event-pending
@@ -264,9 +280,11 @@ struct NetlistSim::Impl {
             st.bp_stalled = false;
             bool pending = st.counter_idx < 0 ||
                            counters[st.counter_idx] > 0;
+            sim::StageActivity act = sim::StageActivity::kIdle;
             if (nets[st.exec_net]) {
                 ++st.execs;
                 ++total_execs;
+                act = sim::StageActivity::kExec;
             } else if (pending) {
                 ++st.wait_spins;
                 bool full_stall = false;
@@ -280,8 +298,18 @@ struct NetlistSim::Impl {
                     st.bp_stalled = true;
                     ++st.bp_stalls;
                 }
+                act = full_stall ? sim::StageActivity::kBackpressure
+                                 : sim::StageActivity::kWaitSpin;
             } else {
                 ++st.idle_cycles;
+            }
+            if (recorder) {
+                // The same four-way classification the event simulator
+                // makes from its phase-1 flags, so the coalesced
+                // activity spans align event for event.
+                recorder->stageActivity(st.mod, act);
+                if (nets[st.exec_net] && st.mod->isGenerated())
+                    recorder->grant(st.mod);
             }
         }
 
@@ -322,6 +350,8 @@ struct NetlistSim::Impl {
                 rt.head = (rt.head + 1) % rt.buf.size();
                 --rt.count;
                 ++rt.pops;
+                if (recorder)
+                    recorder->pop(blk.port);
                 progress = true;
             }
             int pushes = 0;
@@ -358,6 +388,8 @@ struct NetlistSim::Impl {
                         truncate(data, blk.width);
                     ++rt.count;
                     ++rt.pushes;
+                    if (recorder)
+                        recorder->push(blk.port, push_src);
                     progress = true;
                 }
             }
@@ -422,6 +454,8 @@ struct NetlistSim::Impl {
 
         post_hooks.fire(cycle);
         checkWatchdog(progress);
+        if (recorder)
+            recorder->endCycle();
         ++cycle;
         if (finish_req)
             finished = true;
@@ -485,6 +519,8 @@ struct NetlistSim::Impl {
                             ? sim::RunStatus::kLivelock
                             : sim::RunStatus::kDeadlock;
         hazard_flag = true;
+        if (recorder)
+            recorder->hazard(hazard);
     }
 
 
@@ -553,6 +589,11 @@ NetlistSim::run(uint64_t max_cycles)
         res.status = sim::RunStatus::kFault;
         res.error = err.what();
         res.cycles = im.cycle - start;
+        // Best-effort post-mortem timeline: close every open interval
+        // at the faulting cycle and write the file now, so the trace
+        // survives even if the NetlistSim object is kept alive.
+        if (im.recorder)
+            im.recorder->finish(im.cycle);
         return res;
     }
     res.cycles = im.cycle - start;
@@ -665,6 +706,12 @@ NetlistSim::metrics() const
     for (size_t i = 0; i < impl_->nl.arrays().size(); ++i)
         reg.set(arrayKey(*impl_->nl.arrays()[i].array, "writes"),
                 impl_->array_writes[i]);
+    // Dropped-span accounting, in lockstep with sim::Simulator: the
+    // recorder state is deterministic, so these keys align too.
+    if (const sim::TraceRecorder *rec = impl_->recorder.get()) {
+        reg.set("trace.events", rec->eventsRecorded());
+        reg.set("trace.dropped_events", rec->eventsDropped());
+    }
     return reg;
 }
 
@@ -678,6 +725,12 @@ void
 NetlistSim::addPostCycleHook(CycleHook hook)
 {
     impl_->post_hooks.add(std::move(hook));
+}
+
+sim::TraceRecorder *
+NetlistSim::traceRecorder() const
+{
+    return impl_->recorder.get();
 }
 
 } // namespace rtl

@@ -23,6 +23,7 @@
 #include "rtl/netlist.h"
 #include "sim/hazard.h"
 #include "sim/metrics.h"
+#include "sim/trace.h"
 #include "support/hooks.h"
 
 namespace assassyn {
@@ -55,6 +56,21 @@ struct NetlistSimOptions {
      * 0 disables.
      */
     uint64_t watchdog_window = 1024;
+
+    /**
+     * When nonempty, record the structured Chrome-trace / Perfetto
+     * timeline here (sim/trace.h, schema assassyn.trace.v1),
+     * byte-identical to the sim::Simulator trace of the same design
+     * and seed. Off (empty) by default; see docs/observability.md.
+     */
+    std::string timeline_path;
+
+    /**
+     * Ring bound on retained timeline events, in lockstep with
+     * sim::SimOptions::timeline_events so both backends drop the
+     * identical oldest prefix.
+     */
+    size_t timeline_events = size_t(1) << 20;
 };
 
 /** Executes an elaborated Netlist cycle by cycle. */
@@ -110,6 +126,14 @@ class NetlistSim {
 
     /** Hook fired after each cycle's sequential commit. */
     void addPostCycleHook(CycleHook hook);
+
+    /**
+     * The timeline recorder (sim/trace.h), or nullptr when
+     * NetlistSimOptions::timeline_path is empty. Exposed for
+     * dropped-span accounting in tests and for fault-injection event
+     * routing.
+     */
+    sim::TraceRecorder *traceRecorder() const;
 
   private:
     struct Impl;

@@ -96,6 +96,8 @@ FaultInjector::fire(uint64_t cycle, const StateAccess &sa)
             }
         }
         rec.target = target.str();
+        if (sa.trace)
+            sa.trace(rec.target, rec.applied);
         records_.push_back(std::move(rec));
     }
 }

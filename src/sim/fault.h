@@ -68,6 +68,8 @@ class FaultInjector {
         std::function<uint64_t(const Port *)> occupancy;
         std::function<uint64_t(const Port *, size_t)> read_fifo;
         std::function<void(const Port *, size_t, uint64_t)> write_fifo;
+        /** Routes each fired fault onto the backend's timeline trace. */
+        std::function<void(const std::string &, bool)> trace;
     };
 
     /** Register the injection hook on @p s. Attach to one backend only. */
@@ -91,6 +93,10 @@ class FaultInjector {
         };
         sa.write_fifo = [sim](const Port *p, size_t pos, uint64_t v) {
             sim->writeFifo(p, pos, v);
+        };
+        sa.trace = [sim](const std::string &target, bool applied) {
+            if (auto *rec = sim->traceRecorder())
+                rec->fault(target, applied);
         };
         s.addPreCycleHook(
             [this, sa](uint64_t cycle) { fire(cycle, sa); });

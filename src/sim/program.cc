@@ -5,6 +5,7 @@
 
 #include "core/compiler/walk.h"
 #include "support/logging.h"
+#include "support/profiler.h"
 
 namespace assassyn {
 namespace sim {
@@ -346,6 +347,7 @@ Program::Program(const System &sys) : sys_(&sys), analyzer_(sys)
 std::shared_ptr<const Program>
 Program::compile(const System &sys)
 {
+    HostProfiler::Scope span("Program::compile");
     return std::shared_ptr<const Program>(new Program(sys));
 }
 

@@ -93,11 +93,13 @@ struct Simulator::Impl {
     HazardReport hazard;
 
     std::vector<uint32_t> shuffle_scratch;
+    std::unique_ptr<PathLease> vcd_lease;
     std::unique_ptr<VcdWriter> vcd;
     std::vector<std::vector<size_t>> vcd_arrays;
     std::vector<size_t> vcd_execs;
     std::vector<size_t> vcd_fifos;
-    FILE *trace_file = nullptr;
+    std::unique_ptr<OutputFile> trace_file;
+    std::unique_ptr<TraceRecorder> recorder;
     uint64_t total_execs = 0;
     uint64_t total_subs = 0;
     std::vector<std::string> logs;
@@ -138,22 +140,29 @@ struct Simulator::Impl {
             mods.push_back({mod.get(), 0, 0, false, 0});
         if (!opts.vcd_path.empty())
             buildVcd();
-        if (!opts.trace_path.empty()) {
-            trace_file = std::fopen(opts.trace_path.c_str(), "w");
-            if (!trace_file)
-                fatal("cannot open trace file '", opts.trace_path, "'");
-        }
+        // Both per-run output files go through the locked OutputFile
+        // writer: construction fails fast — before any cycle runs —
+        // when two concurrent instances (a runSweep misconfiguration)
+        // were handed the same path.
+        if (!opts.trace_path.empty())
+            trace_file = std::make_unique<OutputFile>(opts.trace_path);
+        if (!opts.timeline_path.empty())
+            recorder = std::make_unique<TraceRecorder>(
+                sys, opts.timeline_path, opts.timeline_events);
     }
 
     ~Impl()
     {
-        if (trace_file)
-            std::fclose(trace_file);
+        if (recorder)
+            recorder->finish(cycle);
     }
 
     void
     buildVcd()
     {
+        // VcdWriter owns its FILE; the lease alone provides the
+        // process-wide collision check for the path.
+        vcd_lease = std::make_unique<PathLease>(opts.vcd_path);
         vcd = std::make_unique<VcdWriter>(opts.vcd_path);
         for (const ArrState &arr : arrays) {
             std::vector<size_t> ids;
@@ -344,6 +353,8 @@ struct Simulator::Impl {
     void
     stepCycle()
     {
+        if (recorder)
+            recorder->beginCycle(cycle);
         pre_hooks.fire(cycle);
 
         const std::vector<ModProg> &progs = prog->progs();
@@ -414,6 +425,8 @@ struct Simulator::Impl {
                 f.head = (f.head + 1) % f.buf.size();
                 --f.count;
                 ++f.pops;
+                if (recorder)
+                    recorder->pop(f.port);
                 progress = true;
             }
             f.deq_pending = false;
@@ -437,6 +450,8 @@ struct Simulator::Impl {
                     f.buf[(f.head + f.count) % f.buf.size()] = f.push_val;
                     ++f.count;
                     ++f.pushes;
+                    if (recorder)
+                        recorder->push(f.port, f.push_src);
                     progress = true;
                 }
                 f.push_pending = false;
@@ -454,6 +469,19 @@ struct Simulator::Impl {
             }
         }
         for (ModState &ms : mods) {
+            if (recorder) {
+                // The same four-way classification the netlist backend
+                // derives from its settled exec_valid nets, so the
+                // coalesced activity spans align event for event.
+                StageActivity act =
+                    ms.strobe       ? StageActivity::kExec
+                    : ms.bp_stalled ? StageActivity::kBackpressure
+                    : ms.waited     ? StageActivity::kWaitSpin
+                                    : StageActivity::kIdle;
+                recorder->stageActivity(ms.mod, act);
+                if (ms.strobe && ms.mod->isGenerated())
+                    recorder->grant(ms.mod);
+            }
             ms.events_in += ms.inc;
             if (ms.inc)
                 progress = true;
@@ -483,6 +511,8 @@ struct Simulator::Impl {
             writeTrace();
         post_hooks.fire(cycle);
         checkWatchdog(progress);
+        if (recorder)
+            recorder->endCycle();
         ++cycle;
         if (finish_pending)
             finished = true;
@@ -525,9 +555,11 @@ struct Simulator::Impl {
         hazard_status = hazard.kind == "livelock" ? RunStatus::kLivelock
                                                   : RunStatus::kDeadlock;
         hazard_flag = true;
+        if (recorder)
+            recorder->hazard(hazard);
         if (trace_file) {
-            std::fprintf(trace_file, "%s", hazard.toString().c_str());
-            std::fflush(trace_file);
+            trace_file->write(hazard.toString());
+            trace_file->flush();
         }
     }
 
@@ -536,14 +568,20 @@ struct Simulator::Impl {
     flushOnFault(const std::string &message)
     {
         if (trace_file) {
-            std::fprintf(trace_file, "#%llu: FAULT: %s\n",
-                         (unsigned long long)cycle, message.c_str());
-            std::fflush(trace_file);
+            trace_file->printf("#%llu: FAULT: %s\n",
+                               (unsigned long long)cycle,
+                               message.c_str());
+            trace_file->flush();
         }
         // The faulting cycle never reached its sample point; capture the
         // state as-is so the waveform ends at the failure.
         if (vcd)
             sampleVcd();
+        // Best-effort post-mortem timeline: close every open interval
+        // at the faulting cycle and write the file now, so the trace
+        // survives even if the Simulator object is kept alive.
+        if (recorder)
+            recorder->finish(cycle);
     }
 
     /**
@@ -568,19 +606,24 @@ struct Simulator::Impl {
             any |= ms.strobe || ms.waited;
         if (!any)
             return;
-        std::fprintf(trace_file, "#%llu:", (unsigned long long)cycle);
+        // One composed line = one locked write: concurrent instances
+        // can never interleave mid-line even if misconfigured to share
+        // a stream.
+        std::string line = "#" + std::to_string(cycle) + ":";
         for (uint32_t mid : prog->topoIdx()) {
             const ModState &ms = mods[mid];
-            if (ms.strobe)
-                std::fprintf(trace_file, " %s", ms.mod->name().c_str());
-            else if (ms.waited)
-                std::fprintf(trace_file, " %s(wait:%s)",
-                             ms.mod->name().c_str(),
-                             ms.bp_stalled ? "fifo_full"
-                                           : stallReason(*ms.mod));
+            if (ms.strobe) {
+                line += " " + ms.mod->name();
+            } else if (ms.waited) {
+                line += " " + ms.mod->name() + "(wait:" +
+                        (ms.bp_stalled ? "fifo_full"
+                                       : stallReason(*ms.mod)) +
+                        ")";
+            }
         }
-        std::fprintf(trace_file, "\n");
-        std::fflush(trace_file);
+        line += "\n";
+        trace_file->write(line);
+        trace_file->flush();
     }
 };
 
@@ -731,6 +774,14 @@ Simulator::metrics() const
     }
     for (const ArrState &arr : impl_->arrays)
         reg.set(arrayKey(*arr.array, "writes"), arr.writes);
+    // Dropped-span accounting for the timeline ring (only when tracing
+    // is on, so untraced runs keep their exact historical snapshots —
+    // and traced runs still align across backends, because the recorder
+    // state is deterministic).
+    if (const TraceRecorder *rec = impl_->recorder.get()) {
+        reg.set("trace.events", rec->eventsRecorded());
+        reg.set("trace.dropped_events", rec->eventsDropped());
+    }
     return reg;
 }
 
@@ -750,6 +801,12 @@ const std::shared_ptr<const Program> &
 Simulator::program() const
 {
     return impl_->prog;
+}
+
+TraceRecorder *
+Simulator::traceRecorder() const
+{
+    return impl_->recorder.get();
 }
 
 } // namespace sim

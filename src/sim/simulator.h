@@ -31,6 +31,7 @@
 #include "sim/hazard.h"
 #include "sim/metrics.h"
 #include "sim/program.h"
+#include "sim/trace.h"
 #include "support/hooks.h"
 #include "support/rng.h"
 
@@ -67,6 +68,23 @@ struct SimOptions {
      * story of paper Sec. 7 Q5.
      */
     std::string trace_path;
+
+    /**
+     * When nonempty, record a structured Chrome-trace / Perfetto
+     * timeline here (sim/trace.h, schema assassyn.trace.v1): coalesced
+     * per-stage activity spans, FIFO push->pop flows, arbiter grants,
+     * fault injections, and watchdog verdicts, byte-identical to the
+     * rtl::NetlistSim trace of the same design and seed. Off (empty) by
+     * default; see docs/observability.md ("Timeline tracing").
+     */
+    std::string timeline_path;
+
+    /**
+     * Ring bound on retained timeline events when timeline_path is set:
+     * the oldest events fall out first, and the drop count surfaces as
+     * the trace.dropped_events metric.
+     */
+    size_t timeline_events = size_t(1) << 20;
 
     /** Event-counter saturation bound, mirroring the 8-bit RTL counter. */
     uint64_t max_pending_events = 255;
@@ -190,6 +208,13 @@ class Simulator {
 
     /** The immutable compiled artifact this instance executes. */
     const std::shared_ptr<const Program> &program() const;
+
+    /**
+     * The timeline recorder (sim/trace.h), or nullptr when
+     * SimOptions::timeline_path is empty. Exposed for dropped-span
+     * accounting in tests and for fault-injection event routing.
+     */
+    TraceRecorder *traceRecorder() const;
 
   private:
     struct Impl;

@@ -8,6 +8,7 @@
 
 #include "support/json.h"
 #include "support/logging.h"
+#include "support/profiler.h"
 
 namespace assassyn {
 namespace sim {
@@ -65,7 +66,13 @@ parallelFor(size_t n, const std::function<void(size_t)> &fn,
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w)
-        pool.emplace_back(work);
+        pool.emplace_back([&, w] {
+            // Stable per-worker host-timeline track names, so a
+            // profiled runSweep renders one row per worker thread.
+            if (HostProfiler::instance().enabled())
+                HostProfiler::setThreadName("worker-" + std::to_string(w));
+            work();
+        });
     for (std::thread &t : pool)
         t.join();
     if (first_error)
@@ -157,12 +164,12 @@ void
 SweepReport::write(const std::string &path,
                    const std::string &design) const
 {
-    FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        fatal("sweep: cannot open report file '", path, "'");
-    std::string json = toJson(design);
-    std::fwrite(json.data(), 1, json.size(), f);
-    std::fclose(f);
+    // The locked writer leases the path for the process lifetime of the
+    // file object, so two concurrent sweeps handed the same report path
+    // fail with a structured collision diagnostic instead of
+    // interleaving output.
+    OutputFile out(path);
+    out.write(toJson(design));
 }
 
 SweepReport
@@ -180,6 +187,7 @@ runSweep(const std::vector<RunConfig> &configs,
             // so the batch needs no synchronization beyond the pool's
             // index counter — and results keep RunConfig order.
             auto start = std::chrono::steady_clock::now();
+            HostProfiler::Scope span("run:" + configs[i].name);
             report.runs[i] = instance(configs[i]);
             report.runs[i].seconds = secondsSince(start);
         },

@@ -1,0 +1,619 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+#include "support/json.h"
+#include "support/jsonv.h"
+#include "support/profiler.h"
+
+namespace assassyn {
+namespace sim {
+
+const char *
+stageActivityName(StageActivity a)
+{
+    switch (a) {
+      case StageActivity::kExec: return "exec";
+      case StageActivity::kWaitSpin: return "wait_spin";
+      case StageActivity::kBackpressure: return "backpressure";
+      case StageActivity::kIdle: return "idle";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+/**
+ * One staged/retained trace event. Strings are small and event volume
+ * is ring-bounded, so plain std::string members beat an interning layer
+ * in complexity; the comparator below totally orders every field, which
+ * is what makes the per-cycle sort independent of backend iteration
+ * order.
+ */
+struct TraceRecorder::Event {
+    uint64_t ts = 0;
+    uint64_t dur = 0;
+    uint64_t id = 0;  ///< flow id: fifo ordinal << 32 | sequence
+    uint64_t tid = 0; ///< 0 = "system"; stage tracks are Module::id + 1
+    char ph = 'X';    ///< 'X' span, 's'/'f' flow, 'i' instant
+    std::string name;
+    const char *cat = "";
+    std::vector<std::pair<std::string, std::string>> args;
+
+    bool
+    operator<(const Event &other) const
+    {
+        return std::tie(ts, tid, ph, name, id, dur, args) <
+               std::tie(other.ts, other.tid, other.ph, other.name,
+                        other.id, other.dur, other.args);
+    }
+};
+
+/** Open-interval state of one stage's activity track. */
+struct TraceRecorder::StageTrack {
+    const Module *mod = nullptr;
+    StageActivity cur = StageActivity::kIdle;
+    uint64_t start = 0;
+    bool open = false;
+};
+
+TraceRecorder::TraceRecorder(const System &sys, std::string path,
+                             size_t max_events)
+    : sys_(sys), max_events_(max_events),
+      out_(std::make_unique<OutputFile>(std::move(path)))
+{
+    // All interning derives from the System, in creation order —
+    // identical for both backends regardless of their private FIFO /
+    // net numbering.
+    stages_.resize(sys.modules().size());
+    for (const auto &mod : sys.modules())
+        stages_[mod->id()].mod = mod.get();
+    uint32_t ordinal = 0;
+    for (const auto &mod : sys.modules()) {
+        for (const auto &port : mod->ports()) {
+            fifo_ordinal_[port.get()] = ordinal++;
+            fifo_name_[port.get()] = "fifo." + port->fullName();
+        }
+    }
+    push_seq_.assign(ordinal, 0);
+    pop_seq_.assign(ordinal, 0);
+}
+
+TraceRecorder::~TraceRecorder()
+{
+    finish(cycle_);
+}
+
+void
+TraceRecorder::beginCycle(uint64_t cycle)
+{
+    if (!done_)
+        cycle_ = cycle;
+}
+
+void
+TraceRecorder::stageActivity(const Module *mod, StageActivity activity)
+{
+    if (done_)
+        return;
+    StageTrack &track = stages_[mod->id()];
+    if (!track.open) {
+        track.open = true;
+        track.cur = activity;
+        track.start = cycle_;
+        return;
+    }
+    if (activity == track.cur)
+        return;
+    Event ev;
+    ev.ts = track.start;
+    ev.dur = cycle_ - track.start;
+    ev.tid = mod->id() + 1;
+    ev.ph = 'X';
+    ev.name = stageActivityName(track.cur);
+    ev.cat = "stage";
+    stage(std::move(ev));
+    track.cur = activity;
+    track.start = cycle_;
+}
+
+void
+TraceRecorder::push(const Port *port, const Module *src)
+{
+    if (done_)
+        return;
+    uint32_t ordinal = fifo_ordinal_.at(port);
+    Event ev;
+    ev.ts = cycle_;
+    ev.id = (uint64_t(ordinal) << 32) |
+            (push_seq_[ordinal]++ & 0xffffffffull);
+    ev.tid = src->id() + 1;
+    ev.ph = 's';
+    ev.name = fifo_name_.at(port);
+    ev.cat = "fifo";
+    stage(std::move(ev));
+}
+
+void
+TraceRecorder::pop(const Port *port)
+{
+    if (done_)
+        return;
+    uint32_t ordinal = fifo_ordinal_.at(port);
+    Event ev;
+    ev.ts = cycle_;
+    // FIFO discipline: the n-th pop dequeues the n-th committed push,
+    // so matching sequence numbers link producer to consumer.
+    ev.id = (uint64_t(ordinal) << 32) |
+            (pop_seq_[ordinal]++ & 0xffffffffull);
+    ev.tid = port->owner()->id() + 1;
+    ev.ph = 'f';
+    ev.name = fifo_name_.at(port);
+    ev.cat = "fifo";
+    stage(std::move(ev));
+}
+
+void
+TraceRecorder::grant(const Module *arbiter)
+{
+    if (done_)
+        return;
+    Event ev;
+    ev.ts = cycle_;
+    ev.tid = arbiter->id() + 1;
+    ev.ph = 'i';
+    ev.name = "grant";
+    ev.cat = "arbiter";
+    stage(std::move(ev));
+}
+
+void
+TraceRecorder::fault(const std::string &target, bool applied)
+{
+    if (done_)
+        return;
+    Event ev;
+    ev.ts = cycle_;
+    ev.tid = 0;
+    ev.ph = 'i';
+    ev.name = "fault";
+    ev.cat = "fault";
+    ev.args.emplace_back("target", target);
+    ev.args.emplace_back("applied", applied ? "true" : "false");
+    stage(std::move(ev));
+}
+
+void
+TraceRecorder::hazard(const HazardReport &report)
+{
+    if (done_)
+        return;
+    Event ev;
+    ev.ts = cycle_;
+    ev.tid = 0;
+    ev.ph = 'i';
+    ev.name = "watchdog";
+    ev.cat = "hazard";
+    ev.args.emplace_back("kind", report.kind);
+    stage(std::move(ev));
+}
+
+void
+TraceRecorder::stage(Event ev)
+{
+    staged_.push_back(std::move(ev));
+}
+
+void
+TraceRecorder::endCycle()
+{
+    if (done_ || staged_.empty())
+        return;
+    // The deterministic heart of the cross-backend byte-identity
+    // guarantee: within one cycle the backends report the same event
+    // *multiset* (the metrics alignment guarantee) in different orders
+    // (shuffle, iteration order); a total-order sort normalizes both to
+    // the same sequence before anything touches the ring.
+    std::sort(staged_.begin(), staged_.end());
+    for (Event &ev : staged_)
+        append(std::move(ev));
+    staged_.clear();
+}
+
+void
+TraceRecorder::append(Event ev)
+{
+    if (max_events_ == 0) {
+        ++dropped_;
+        return;
+    }
+    if (ring_.size() < max_events_) {
+        ring_.push_back(std::move(ev));
+        return;
+    }
+    // Bounded ring: the oldest event falls out, so a long run keeps its
+    // most recent window (where the interesting ending — the fault, the
+    // watchdog verdict — lives). Drops are counted and surfaced in
+    // MetricsRegistry as trace.dropped_events.
+    ring_[ring_head_] = std::move(ev);
+    ring_head_ = (ring_head_ + 1) % max_events_;
+    ++dropped_;
+}
+
+void
+TraceRecorder::finish(uint64_t end_cycle)
+{
+    if (done_)
+        return;
+    cycle_ = end_cycle;
+    for (StageTrack &track : stages_) {
+        if (!track.open || end_cycle <= track.start)
+            continue;
+        Event ev;
+        ev.ts = track.start;
+        ev.dur = end_cycle - track.start;
+        ev.tid = track.mod->id() + 1;
+        ev.ph = 'X';
+        ev.name = stageActivityName(track.cur);
+        ev.cat = "stage";
+        stage(std::move(ev));
+        track.open = false;
+    }
+    endCycle();
+    writeFile();
+    done_ = true;
+}
+
+uint64_t
+TraceRecorder::eventsRecorded() const
+{
+    return ring_.size();
+}
+
+uint64_t
+TraceRecorder::eventsDropped() const
+{
+    return dropped_;
+}
+
+const std::string &
+TraceRecorder::path() const
+{
+    return out_->path();
+}
+
+void
+TraceRecorder::writeFile()
+{
+    // Retained events, oldest first, then a stable sort by timestamp:
+    // coalesced spans are appended when an interval *closes*, so their
+    // start timestamps lag the append order; the sort restores global
+    // (and therefore per-track) timestamp monotonicity, and stability
+    // keeps the result a pure function of the append sequence.
+    std::vector<const Event *> ordered;
+    ordered.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i)
+        ordered.push_back(&ring_[(ring_head_ + i) % ring_.size()]);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const Event *a, const Event *b) {
+                         return a->ts < b->ts;
+                     });
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("assassyn.trace.v1");
+    w.key("traceEvents");
+    w.beginArray();
+
+    auto meta = [&](const char *what, uint64_t pid, int64_t tid,
+                    const std::string &name) {
+        w.beginObject();
+        w.key("name");
+        w.value(what);
+        w.key("ph");
+        w.value("M");
+        w.key("pid");
+        w.value(pid);
+        if (tid >= 0) {
+            w.key("tid");
+            w.value(uint64_t(tid));
+        }
+        w.key("args");
+        w.beginObject();
+        w.key("name");
+        w.value(name);
+        w.endObject();
+        w.endObject();
+    };
+    meta("process_name", 1, -1, "simulated-cycles");
+    meta("thread_name", 1, 0, "system");
+    for (const auto &mod : sys_.modules())
+        meta("thread_name", 1, int64_t(mod->id()) + 1, mod->name());
+
+    for (const Event *ev : ordered) {
+        w.beginObject();
+        w.key("name");
+        w.value(ev->name);
+        w.key("cat");
+        w.value(ev->cat);
+        w.key("ph");
+        w.value(std::string(1, ev->ph));
+        w.key("ts");
+        w.value(ev->ts);
+        if (ev->ph == 'X') {
+            w.key("dur");
+            w.value(ev->dur);
+        }
+        w.key("pid");
+        w.value(uint64_t(1));
+        w.key("tid");
+        w.value(ev->tid);
+        if (ev->ph == 's' || ev->ph == 'f') {
+            w.key("id");
+            w.value(ev->id);
+        }
+        if (ev->ph == 'f') {
+            w.key("bp");
+            w.value("e");
+        }
+        if (ev->ph == 'i') {
+            w.key("s");
+            w.value("t");
+        }
+        if (!ev->args.empty()) {
+            w.key("args");
+            w.beginObject();
+            for (const auto &[k, v] : ev->args) {
+                w.key(k);
+                w.value(v);
+            }
+            w.endObject();
+        }
+        w.endObject();
+    }
+
+    // The host wall-clock timeline merges in as a second process when
+    // the profiler is live. Differential tests keep it off: host
+    // timestamps are real time, not deterministic.
+    if (HostProfiler::instance().enabled())
+        HostProfiler::instance().writeChromeEvents(w, /*pid=*/2);
+
+    w.endArray();
+    w.key("stats");
+    w.beginObject();
+    w.key("events");
+    w.value(uint64_t(ring_.size()));
+    w.key("dropped_events");
+    w.value(dropped_);
+    w.key("ring_capacity");
+    w.value(uint64_t(max_events_));
+    w.endObject();
+    w.endObject();
+
+    out_->write(w.str());
+    out_->write("\n");
+    out_->flush();
+}
+
+// ---------------------------------------------------------------------------
+// TraceReader
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string
+argToString(const jsonv::Value &v)
+{
+    switch (v.kind) {
+      case jsonv::Value::Kind::kString:
+        return v.string;
+      case jsonv::Value::Kind::kBool:
+        return v.boolean ? "true" : "false";
+      case jsonv::Value::Kind::kNumber:
+        return std::to_string(v.u64());
+      default:
+        return "";
+    }
+}
+
+uint64_t
+numField(const jsonv::Value &ev, const char *key)
+{
+    const jsonv::Value *v = ev.find(key);
+    return v && v->isNumber() ? v->u64() : 0;
+}
+
+std::string
+strField(const jsonv::Value &ev, const char *key)
+{
+    const jsonv::Value *v = ev.find(key);
+    return v && v->isString() ? v->string : std::string();
+}
+
+} // namespace
+
+TraceReader
+TraceReader::fromFile(const std::string &path)
+{
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("trace reader: cannot open '", path, "'");
+    std::string text;
+    char buf[65536];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+    return fromString(text);
+}
+
+TraceReader
+TraceReader::fromString(const std::string &json)
+{
+    TraceReader reader;
+    jsonv::Value doc = jsonv::parse(json);
+    if (!doc.isObject())
+        fatal("trace reader: document is not a JSON object");
+    reader.schema_ = strField(doc, "schema");
+    const jsonv::Value *events = doc.find("traceEvents");
+    if (!events || !events->isArray())
+        fatal("trace reader: no traceEvents array");
+    if (const jsonv::Value *stats = doc.find("stats"))
+        for (const auto &[k, v] : stats->object)
+            reader.stats_[k] = v.u64();
+
+    // Pass 1: track names from metadata events.
+    std::map<std::pair<uint64_t, uint64_t>, std::string> names;
+    for (const jsonv::Value &ev : events->array) {
+        if (strField(ev, "ph") != "M" ||
+            strField(ev, "name") != "thread_name")
+            continue;
+        const jsonv::Value *args = ev.find("args");
+        if (args)
+            names[{numField(ev, "pid"), numField(ev, "tid")}] =
+                strField(*args, "name");
+    }
+    auto trackOf = [&](uint64_t pid, uint64_t tid) {
+        auto it = names.find({pid, tid});
+        return it != names.end() ? it->second
+                                 : "tid" + std::to_string(tid);
+    };
+
+    // Pass 2: events. B/E pairs match per (pid, tid) via a stack.
+    std::map<std::pair<uint64_t, uint64_t>, std::vector<TraceSpan>> open;
+    std::map<std::pair<std::string, uint64_t>, size_t> flow_of;
+    for (const jsonv::Value &ev : events->array) {
+        std::string ph = strField(ev, "ph");
+        if (ph.empty() || ph == "M")
+            continue;
+        uint64_t pid = numField(ev, "pid");
+        uint64_t tid = numField(ev, "tid");
+        if (ph == "X") {
+            TraceSpan span;
+            span.pid = pid;
+            span.tid = tid;
+            span.track = trackOf(pid, tid);
+            span.name = strField(ev, "name");
+            span.cat = strField(ev, "cat");
+            span.ts = numField(ev, "ts");
+            span.dur = numField(ev, "dur");
+            reader.spans_.push_back(std::move(span));
+        } else if (ph == "B") {
+            TraceSpan span;
+            span.pid = pid;
+            span.tid = tid;
+            span.track = trackOf(pid, tid);
+            span.name = strField(ev, "name");
+            span.cat = strField(ev, "cat");
+            span.ts = numField(ev, "ts");
+            open[{pid, tid}].push_back(std::move(span));
+        } else if (ph == "E") {
+            auto &stack = open[{pid, tid}];
+            if (stack.empty())
+                fatal("trace reader: unmatched 'E' event on track ",
+                      trackOf(pid, tid));
+            TraceSpan span = std::move(stack.back());
+            stack.pop_back();
+            span.dur = numField(ev, "ts") - span.ts;
+            reader.spans_.push_back(std::move(span));
+        } else if (ph == "i" || ph == "I") {
+            TraceInstant inst;
+            inst.pid = pid;
+            inst.tid = tid;
+            inst.track = trackOf(pid, tid);
+            inst.name = strField(ev, "name");
+            inst.cat = strField(ev, "cat");
+            inst.ts = numField(ev, "ts");
+            if (const jsonv::Value *args = ev.find("args"))
+                for (const auto &[k, v] : args->object)
+                    inst.args[k] = argToString(v);
+            reader.instants_.push_back(std::move(inst));
+        } else if (ph == "s" || ph == "f") {
+            std::string name = strField(ev, "name");
+            uint64_t id = numField(ev, "id");
+            auto key = std::make_pair(name, id);
+            auto it = flow_of.find(key);
+            if (it == flow_of.end()) {
+                TraceFlow flow;
+                flow.name = name;
+                flow.id = id;
+                it = flow_of
+                         .emplace(key, reader.flows_.size())
+                         .first;
+                reader.flows_.push_back(std::move(flow));
+            }
+            TraceFlow &flow = reader.flows_[it->second];
+            if (ph == "s") {
+                flow.src_track = trackOf(pid, tid);
+                flow.src_ts = numField(ev, "ts");
+            } else {
+                flow.dst_track = trackOf(pid, tid);
+                flow.dst_ts = numField(ev, "ts");
+            }
+        }
+    }
+    return reader;
+}
+
+std::vector<TraceSpan>
+TraceReader::spans(const std::string &track,
+                   const std::string &name) const
+{
+    std::vector<TraceSpan> out;
+    for (const TraceSpan &span : spans_)
+        if (span.track == track && (name.empty() || span.name == name))
+            out.push_back(span);
+    return out;
+}
+
+std::vector<TraceSpan>
+TraceReader::spansIn(const std::string &track, uint64_t t0,
+                     uint64_t t1) const
+{
+    std::vector<TraceSpan> out;
+    for (const TraceSpan &span : spans_)
+        if (span.track == track && span.ts < t1 && span.end() > t0)
+            out.push_back(span);
+    return out;
+}
+
+std::vector<TraceInstant>
+TraceReader::instants(const std::string &track,
+                      const std::string &name) const
+{
+    std::vector<TraceInstant> out;
+    for (const TraceInstant &inst : instants_)
+        if (inst.track == track && (name.empty() || inst.name == name))
+            out.push_back(inst);
+    return out;
+}
+
+const TraceFlow *
+TraceReader::follow(const std::string &name, uint64_t id) const
+{
+    for (const TraceFlow &flow : flows_)
+        if (flow.name == name && flow.id == id)
+            return &flow;
+    return nullptr;
+}
+
+std::vector<std::string>
+TraceReader::tracks() const
+{
+    std::vector<std::string> out;
+    for (const TraceSpan &span : spans_)
+        out.push_back(span.track);
+    for (const TraceInstant &inst : instants_)
+        out.push_back(inst.track);
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+} // namespace sim
+} // namespace assassyn

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * The simulated-cycle half of the dual-timeline tracing layer
+ * (docs/observability.md): a structured Chrome trace-event / Perfetto-
+ * loadable timeline of one run, recorded identically by sim::Simulator
+ * and rtl::NetlistSim.
+ *
+ * The paper's Fig. 2(d) argument is that a unified abstraction makes
+ * the event trace and the RTL waveform the same artifact. The metrics
+ * subsystem proved counter-level alignment; this layer extends the
+ * guarantee to the timeline itself: for the same design and seed, both
+ * backends emit a byte-identical trace file. Three properties make
+ * that hold:
+ *
+ *  - all interning (track ids, FIFO flow ordinals) derives from the
+ *    shared System IR, never from backend-private dense indices (the
+ *    Program and the Netlist number FIFOs differently);
+ *  - events staged within a cycle are sorted under a deterministic key
+ *    at endCycle(), erasing backend-specific iteration (and shuffle)
+ *    order;
+ *  - the bounded ring drops events only after that sort, so both
+ *    backends drop the identical prefix.
+ *
+ * Content (process 1, 1 simulated cycle = 1 us in the viewer):
+ *  - one track per stage, carrying coalesced activity spans ("X"
+ *    events): exec / wait_spin / backpressure / idle intervals, emitted
+ *    on state *change*, never per cycle;
+ *  - FIFO flow events ("s" at the producer's committed push, "f" at the
+ *    consumer's committed pop) linking the two stages; the id encodes
+ *    (fifo ordinal, sequence number), and FIFO order guarantees the
+ *    n-th pop matches the n-th push;
+ *  - instants: arbiter grants (on the arbiter's track), fault
+ *    injections and watchdog verdicts (on the "system" track, tid 0).
+ *
+ * When the HostProfiler is enabled at write time, its wall-clock
+ * timeline is merged into the same file as process 2 — one file, two
+ * clock domains. Differential tests keep the profiler off, since host
+ * timestamps are not deterministic.
+ *
+ * File shape (schema assassyn.trace.v1): a JSON object with "schema",
+ * "traceEvents" (the Chrome array), and "stats" (events kept/dropped,
+ * ring capacity). chrome://tracing and ui.perfetto.dev load it as is.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ir/system.h"
+#include "sim/hazard.h"
+#include "support/logging.h"
+
+namespace assassyn {
+namespace sim {
+
+/** Per-cycle activity classification of one stage (see sim/metrics.h). */
+enum class StageActivity : uint8_t {
+    kExec,         ///< body executed this cycle
+    kWaitSpin,     ///< event pending, wait_until failed / input empty
+    kBackpressure, ///< gated by a full kStallProducer FIFO
+    kIdle,         ///< no pending event
+};
+
+/** The span/instant/flow vocabulary written into the trace file. */
+const char *stageActivityName(StageActivity a);
+
+/**
+ * Records one run's simulated-cycle timeline. Owned by a backend
+ * instance; the backend reports per-cycle facts (stage activity, FIFO
+ * commits, grants, faults, verdicts) and the recorder coalesces,
+ * orders, bounds, and renders them. finish() — or destruction — closes
+ * open intervals and writes the file through the locked OutputFile
+ * writer (path collisions are a structured fatal() at construction).
+ */
+class TraceRecorder {
+  public:
+    /**
+     * @param sys the design (interning source — must be the same System
+     *        both backends were built from)
+     * @param path output file, opened (and leased) immediately
+     * @param max_events ring bound on retained simulated-cycle events;
+     *        the oldest events fall out first and are counted
+     */
+    TraceRecorder(const System &sys, std::string path, size_t max_events);
+    ~TraceRecorder();
+
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    // --- Per-cycle recording API (called by the backends) ---------------
+
+    /** Start recording cycle @p cycle (before pre-cycle hooks fire). */
+    void beginCycle(uint64_t cycle);
+
+    /** This cycle's activity classification of @p mod. */
+    void stageActivity(const Module *mod, StageActivity activity);
+
+    /** A committed push into @p port's FIFO by stage @p src. */
+    void push(const Port *port, const Module *src);
+
+    /** A committed pop from @p port's FIFO. */
+    void pop(const Port *port);
+
+    /** A compiler-generated arbiter granted (executed) this cycle. */
+    void grant(const Module *arbiter);
+
+    /** A fault injection fired (sim/fault.h). */
+    void fault(const std::string &target, bool applied);
+
+    /** The watchdog's deadlock/livelock verdict. */
+    void hazard(const HazardReport &report);
+
+    /**
+     * Close the cycle: deterministically sort the staged events and
+     * append them to the bounded ring.
+     */
+    void endCycle();
+
+    // --- Finalization ---------------------------------------------------
+
+    /**
+     * Close open activity intervals at @p end_cycle, flush, and write
+     * the trace file. Idempotent; recording stops afterwards. Called by
+     * the backend's destructor if not called explicitly, so the file
+     * survives every failure mode.
+     */
+    void finish(uint64_t end_cycle);
+
+    // --- Introspection (dropped-span accounting, tests) -----------------
+
+    /** Events currently retained in the ring. */
+    uint64_t eventsRecorded() const;
+
+    /** Events that fell out of the ring (dropped-span accounting). */
+    uint64_t eventsDropped() const;
+
+    size_t ringCapacity() const { return max_events_; }
+
+    const std::string &path() const;
+
+  private:
+    struct Event;
+    struct StageTrack;
+
+    void stage(Event ev);
+    void append(Event ev);
+    void writeFile();
+
+    const System &sys_;
+    size_t max_events_;
+
+    std::unique_ptr<OutputFile> out_;
+
+    std::vector<StageTrack> stages_;      ///< by Module::id
+    std::map<const Port *, uint32_t> fifo_ordinal_;
+    std::map<const Port *, std::string> fifo_name_;
+    std::vector<uint64_t> push_seq_;      ///< by fifo ordinal
+    std::vector<uint64_t> pop_seq_;       ///< by fifo ordinal
+
+    uint64_t cycle_ = 0;
+    bool done_ = false;
+
+    std::vector<Event> staged_;  ///< events of the current cycle
+    std::vector<Event> ring_;    ///< bounded retained events
+    size_t ring_head_ = 0;       ///< oldest retained event
+    uint64_t dropped_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// TraceReader: the query API over an emitted trace file.
+// ---------------------------------------------------------------------------
+
+/** One completed interval ("X" events, or a matched B/E pair). */
+struct TraceSpan {
+    uint64_t pid = 0;
+    uint64_t tid = 0;
+    std::string track; ///< resolved thread_name (or "tid<N>")
+    std::string name;
+    std::string cat;
+    uint64_t ts = 0;
+    uint64_t dur = 0;
+
+    uint64_t end() const { return ts + dur; }
+};
+
+/** One instant event ("i"). */
+struct TraceInstant {
+    uint64_t pid = 0;
+    uint64_t tid = 0;
+    std::string track;
+    std::string name;
+    std::string cat;
+    uint64_t ts = 0;
+    std::map<std::string, std::string> args;
+};
+
+/** One flow, matched start ("s") to finish ("f") by (name, id). */
+struct TraceFlow {
+    std::string name;
+    uint64_t id = 0;
+    std::string src_track; ///< producer (empty if the start was dropped)
+    uint64_t src_ts = 0;
+    std::string dst_track; ///< consumer (empty if the finish was dropped)
+    uint64_t dst_ts = 0;
+
+    bool complete() const
+    {
+        return !src_track.empty() && !dst_track.empty();
+    }
+};
+
+/**
+ * Loads a trace file back into queryable form: spans by track / name /
+ * time range, instants, and matched flows. Used by the differential
+ * trace tests and available for ad-hoc analysis; malformed input is a
+ * fatal() naming the problem.
+ */
+class TraceReader {
+  public:
+    static TraceReader fromFile(const std::string &path);
+    static TraceReader fromString(const std::string &json);
+
+    const std::string &schema() const { return schema_; }
+
+    /** All spans, in file order. */
+    const std::vector<TraceSpan> &spans() const { return spans_; }
+
+    /** Spans on @p track, optionally filtered by exact @p name. */
+    std::vector<TraceSpan> spans(const std::string &track,
+                                 const std::string &name = "") const;
+
+    /** Spans on @p track overlapping the half-open range [t0, t1). */
+    std::vector<TraceSpan> spansIn(const std::string &track, uint64_t t0,
+                                   uint64_t t1) const;
+
+    const std::vector<TraceInstant> &instants() const { return instants_; }
+
+    /** Instants on @p track, optionally filtered by exact @p name. */
+    std::vector<TraceInstant> instants(const std::string &track,
+                                       const std::string &name = "") const;
+
+    const std::vector<TraceFlow> &flows() const { return flows_; }
+
+    /** Follow one flow by (name, id); nullptr when absent. */
+    const TraceFlow *follow(const std::string &name, uint64_t id) const;
+
+    /** Sorted distinct track names seen in the file. */
+    std::vector<std::string> tracks() const;
+
+    /** The "stats" counters of the file (events, dropped_events, ...). */
+    const std::map<std::string, uint64_t> &stats() const { return stats_; }
+
+  private:
+    std::string schema_;
+    std::vector<TraceSpan> spans_;
+    std::vector<TraceInstant> instants_;
+    std::vector<TraceFlow> flows_;
+    std::map<std::string, uint64_t> stats_;
+};
+
+} // namespace sim
+} // namespace assassyn

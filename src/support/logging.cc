@@ -1,7 +1,9 @@
 #include "support/logging.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <mutex>
+#include <set>
 
 namespace assassyn {
 namespace detail {
@@ -45,4 +47,81 @@ emitInform(const std::string &msg)
 }
 
 } // namespace detail
+
+namespace {
+
+// The process-wide registry of live output paths behind PathLease.
+// Plain function-local statics so the registry is ready before any
+// static-initialization-order games and never torn down while a lease
+// can still release into it.
+std::mutex &
+leaseMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::set<std::string> &
+leasedPaths()
+{
+    static std::set<std::string> s;
+    return s;
+}
+
+} // namespace
+
+PathLease::PathLease(std::string path) : path_(std::move(path))
+{
+    std::lock_guard<std::mutex> lock(leaseMutex());
+    if (!leasedPaths().insert(path_).second)
+        fatal("output path collision: '", path_,
+              "' is already open for writing by this process — two "
+              "concurrent runs (e.g. runSweep instances) were given the "
+              "same trace/report path; give each run a distinct path");
+}
+
+PathLease::~PathLease()
+{
+    std::lock_guard<std::mutex> lock(leaseMutex());
+    leasedPaths().erase(path_);
+}
+
+OutputFile::OutputFile(std::string path) : lease_(std::move(path))
+{
+    file_ = std::fopen(lease_.path().c_str(), "w");
+    if (!file_)
+        fatal("cannot open output file '", lease_.path(),
+              "' for writing");
+}
+
+OutputFile::~OutputFile()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+OutputFile::write(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fwrite(text.data(), 1, text.size(), file_);
+}
+
+void
+OutputFile::printf(const char *fmt, ...)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(file_, fmt, args);
+    va_end(args);
+}
+
+void
+OutputFile::flush()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fflush(file_);
+}
+
 } // namespace assassyn

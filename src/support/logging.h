@@ -11,6 +11,8 @@
  */
 #pragma once
 
+#include <cstdio>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -85,5 +87,69 @@ assertThat(bool cond, const std::string &msg)
     if (!cond)
         throw InternalError("assertion failed: " + msg);
 }
+
+/**
+ * A process-wide exclusive lease on an output path.
+ *
+ * Two concurrent simulator instances handed the same trace/VCD/report
+ * path would silently interleave or clobber each other's output — the
+ * classic runSweep misconfiguration. Every writer of a run artifact
+ * takes a lease first; a second lease on a live path is a fatal()
+ * structured error naming the path, which the sweep runner's
+ * first-error capture surfaces on the calling thread. The lease is
+ * released on destruction, so *sequential* reuse of a path (run, then
+ * rerun) stays legal. Matching is by exact path string: two spellings
+ * of one file ("a.json" vs "./a.json") are not detected, which is fine
+ * for the generated-config case this guards.
+ */
+class PathLease {
+  public:
+    explicit PathLease(std::string path);
+    ~PathLease();
+
+    PathLease(const PathLease &) = delete;
+    PathLease &operator=(const PathLease &) = delete;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/**
+ * The locked output-file writer: an exclusive PathLease plus a FILE
+ * with a per-file mutex, so every artifact writer (timeline traces,
+ * event traces, sweep reports, VCD headers) gets collision detection
+ * and non-interleaved writes from one place. One write()/printf() call
+ * is one atomic append.
+ */
+class OutputFile {
+  public:
+    /** Opens @p path for writing; fatal() on collision or open failure. */
+    explicit OutputFile(std::string path);
+    ~OutputFile();
+
+    OutputFile(const OutputFile &) = delete;
+    OutputFile &operator=(const OutputFile &) = delete;
+
+    /** Append one blob under the file lock. */
+    void write(const std::string &text);
+
+    /** Append one formatted record under the file lock. */
+    void printf(const char *fmt, ...)
+#if defined(__GNUC__)
+        __attribute__((format(printf, 2, 3)))
+#endif
+        ;
+
+    void flush();
+
+    const std::string &path() const { return lease_.path(); }
+
+  private:
+    PathLease lease_;
+    FILE *file_ = nullptr;
+    std::mutex mutex_;
+};
 
 } // namespace assassyn

@@ -1,0 +1,263 @@
+#include "support/profiler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace assassyn {
+
+namespace {
+
+/** The calling thread's track name; "main" until set. */
+std::string &
+threadTrack()
+{
+    thread_local std::string track = "main";
+    return track;
+}
+
+} // namespace
+
+struct HostProfiler::State {
+    std::atomic<bool> enabled{false};
+    std::chrono::steady_clock::time_point epoch;
+    mutable std::mutex mutex;
+    std::vector<Span> spans;
+};
+
+HostProfiler::State &
+HostProfiler::state()
+{
+    static State s;
+    return s;
+}
+
+HostProfiler &
+HostProfiler::instance()
+{
+    static HostProfiler p;
+    return p;
+}
+
+void
+HostProfiler::enable()
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.spans.clear();
+    s.epoch = std::chrono::steady_clock::now();
+    s.enabled.store(true, std::memory_order_release);
+}
+
+void
+HostProfiler::disable()
+{
+    state().enabled.store(false, std::memory_order_release);
+}
+
+bool
+HostProfiler::enabled() const
+{
+    return state().enabled.load(std::memory_order_acquire);
+}
+
+void
+HostProfiler::setThreadName(const std::string &name)
+{
+    threadTrack() = name;
+}
+
+uint64_t
+HostProfiler::nowUs() const
+{
+    State &s = state();
+    if (!s.enabled.load(std::memory_order_acquire))
+        return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - s.epoch)
+            .count());
+}
+
+void
+HostProfiler::record(Span span)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.spans.push_back(std::move(span));
+}
+
+std::vector<HostProfiler::Span>
+HostProfiler::spans() const
+{
+    State &s = state();
+    std::vector<Span> out;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        out = s.spans;
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Span &a, const Span &b) {
+                         if (a.track != b.track)
+                             return a.track < b.track;
+                         if (a.begin_us != b.begin_us)
+                             return a.begin_us < b.begin_us;
+                         return a.end_us > b.end_us;
+                     });
+    return out;
+}
+
+std::vector<std::string>
+HostProfiler::tracks() const
+{
+    std::vector<std::string> out;
+    for (const Span &span : spans())
+        if (out.empty() || out.back() != span.track)
+            out.push_back(span.track);
+    return out;
+}
+
+void
+HostProfiler::writeChromeEvents(JsonWriter &w, uint64_t pid) const
+{
+    std::vector<Span> all = spans();
+    std::vector<std::string> names = tracks();
+
+    // Deterministic tid assignment: sorted track name -> 1..N.
+    auto tidOf = [&](const std::string &track) {
+        return uint64_t(std::lower_bound(names.begin(), names.end(),
+                                         track) -
+                        names.begin()) +
+               1;
+    };
+
+    w.beginObject();
+    w.key("name");
+    w.value("process_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(pid);
+    w.key("args");
+    w.beginObject();
+    w.key("name");
+    w.value("host");
+    w.endObject();
+    w.endObject();
+    for (const std::string &track : names) {
+        w.beginObject();
+        w.key("name");
+        w.value("thread_name");
+        w.key("ph");
+        w.value("M");
+        w.key("pid");
+        w.value(pid);
+        w.key("tid");
+        w.value(tidOf(track));
+        w.key("args");
+        w.beginObject();
+        w.key("name");
+        w.value(track);
+        w.endObject();
+        w.endObject();
+    }
+
+    auto emit = [&](const char *ph, const Span &span, uint64_t ts) {
+        w.beginObject();
+        w.key("name");
+        w.value(span.name);
+        w.key("cat");
+        w.value("host");
+        w.key("ph");
+        w.value(ph);
+        w.key("ts");
+        w.value(ts);
+        w.key("pid");
+        w.value(pid);
+        w.key("tid");
+        w.value(tidOf(span.track));
+        w.endObject();
+    };
+
+    // Per track (spans() orders by track, begin asc, end desc), emit a
+    // balanced B/E stream via a containment stack. RAII scoping makes a
+    // thread's spans properly nested; a span overlapping but escaping
+    // its stack parent (two threads sharing one track name) is clamped
+    // to the parent's end so the stream stays balanced and each track's
+    // timestamps stay monotone.
+    size_t i = 0;
+    while (i < all.size()) {
+        const std::string &track = all[i].track;
+        std::vector<std::pair<const Span *, uint64_t>> open; // span, end
+        auto popUntil = [&](uint64_t ts) {
+            while (!open.empty() && open.back().second <= ts) {
+                emit("E", *open.back().first, open.back().second);
+                open.pop_back();
+            }
+        };
+        for (; i < all.size() && all[i].track == track; ++i) {
+            const Span &span = all[i];
+            popUntil(span.begin_us);
+            uint64_t end = span.end_us;
+            if (!open.empty() && end > open.back().second)
+                end = open.back().second;
+            emit("B", span, span.begin_us);
+            open.emplace_back(&span, end);
+        }
+        popUntil(~uint64_t(0));
+    }
+}
+
+void
+HostProfiler::writeJson(const std::string &path) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("assassyn.trace.v1");
+    w.key("traceEvents");
+    w.beginArray();
+    writeChromeEvents(w, /*pid=*/2);
+    w.endArray();
+    w.key("stats");
+    w.beginObject();
+    w.key("host_spans");
+    w.value(uint64_t(spans().size()));
+    w.endObject();
+    w.endObject();
+    OutputFile out(path);
+    out.write(w.str());
+    out.write("\n");
+}
+
+HostProfiler::Scope::Scope(std::string name) : name_(std::move(name))
+{
+    HostProfiler &p = instance();
+    if (!p.enabled())
+        return;
+    active_ = true;
+    begin_us_ = p.nowUs();
+}
+
+HostProfiler::Scope::~Scope()
+{
+    if (!active_)
+        return;
+    HostProfiler &p = instance();
+    // A span that outlives a disable() is still recorded: losing the
+    // tail of a phase would make every profile end mid-span.
+    Span span;
+    span.track = threadTrack();
+    span.name = std::move(name_);
+    span.begin_us = begin_us_;
+    span.end_us = p.nowUs();
+    if (span.end_us < span.begin_us)
+        span.end_us = span.begin_us;
+    p.record(std::move(span));
+}
+
+} // namespace assassyn

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The host wall-clock half of the dual-timeline tracing layer
+ * (docs/observability.md): where does the *toolchain* spend time, as
+ * opposed to where the *simulated design* spends cycles (sim/trace.h).
+ *
+ * HostProfiler is a process-wide singleton recording named spans on
+ * named tracks. One track per thread: the main thread is "main", sweep
+ * workers call setThreadName("worker-N") at pool entry. Spans are
+ * opened with the RAII HostProfiler::Scope, so each track's spans are
+ * properly nested by construction, and each compiler pass, each
+ * Program::compile / Netlist::finalize, and each sweep instance shows
+ * up as one interval. Off by default; every instrumentation point costs
+ * one relaxed atomic load while disabled.
+ *
+ * The profiler lives in support/ (not sim/) on purpose: the compiler
+ * pass driver in assassyn_core links only assassyn_support, and the
+ * whole point is a single timeline spanning compiler passes, artifact
+ * builds, and sweep workers.
+ *
+ * Timestamps are steady-clock microseconds since the enable() epoch.
+ * Rendering: writeJson() emits a standalone Chrome-trace file; the
+ * per-track event stream can also be merged into a simulated-cycle
+ * trace as its second process (sim/trace.cc does this).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace assassyn {
+
+class JsonWriter;
+
+/** Process-wide host wall-clock phase profiler. */
+class HostProfiler {
+  public:
+    /** One recorded interval on one track. */
+    struct Span {
+        std::string track; ///< thread track name ("main", "worker-3", ...)
+        std::string name;  ///< phase name ("pass:verify", "run:seed2", ...)
+        uint64_t begin_us = 0;
+        uint64_t end_us = 0;
+    };
+
+    static HostProfiler &instance();
+
+    /** Reset recorded spans and start the timestamp epoch. */
+    void enable();
+
+    /** Stop recording (spans survive until the next enable()). */
+    void disable();
+
+    bool enabled() const;
+
+    /**
+     * Name the calling thread's track. Unnamed threads record on
+     * "main"; give every pool worker a distinct name or its spans
+     * merge into another thread's track.
+     */
+    static void setThreadName(const std::string &name);
+
+    /** Snapshot of recorded spans, ordered by (track, begin, end). */
+    std::vector<Span> spans() const;
+
+    /** Sorted distinct track names among the recorded spans. */
+    std::vector<std::string> tracks() const;
+
+    /** Microseconds since the enable() epoch (0 while disabled). */
+    uint64_t nowUs() const;
+
+    /**
+     * Append the recorded timeline as Chrome trace events into an open
+     * JSON events array: process/thread metadata for @p pid, then one
+     * balanced B/E pair per span, per-track in timestamp order. Track
+     * tids are assigned by sorted track name, so the rendering is a
+     * pure function of the recorded spans.
+     */
+    void writeChromeEvents(JsonWriter &w, uint64_t pid) const;
+
+    /**
+     * Write a standalone Chrome-trace / Perfetto-loadable file (schema
+     * assassyn.trace.v1) holding just the host timeline. Routed through
+     * the locked OutputFile writer, so path collisions are fatal.
+     */
+    void writeJson(const std::string &path) const;
+
+    /** RAII span on the calling thread's track; no-op while disabled. */
+    class Scope {
+      public:
+        explicit Scope(std::string name);
+        ~Scope();
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        std::string name_;
+        uint64_t begin_us_ = 0;
+        bool active_ = false;
+    };
+
+  private:
+    HostProfiler() = default;
+
+    void record(Span span);
+
+    struct State;
+    static State &state();
+};
+
+} // namespace assassyn

@@ -16,6 +16,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -33,6 +34,7 @@
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 #include "support/logging.h"
+#include "support/profiler.h"
 
 namespace assassyn {
 namespace {
@@ -243,6 +245,52 @@ TEST(ParallelDeterminismTest, ConcurrentElaborationIsByteIdentical)
         EXPECT_EQ(verilog[t], verilog[0]) << "thread " << t;
         EXPECT_EQ(metrics[t], metrics[0]) << "thread " << t;
     }
+}
+
+TEST(ParallelDeterminismTest, SweepHostProfileHasOneTrackPerWorker)
+{
+    // The host timeline of a sweep must label work by pool worker: each
+    // worker thread gets its own "worker-N" track, and every instance
+    // shows up as exactly one "run:<name>" span on some worker's track.
+    auto sys = buildPipeline("par_host_profile");
+    auto prog = sim::Program::compile(*sys);
+
+    constexpr size_t kRuns = 8;
+    constexpr size_t kWorkers = 4;
+    std::vector<sim::RunConfig> configs;
+    for (uint64_t seed = 1; seed <= kRuns; ++seed) {
+        sim::RunConfig cfg;
+        cfg.name = "seed" + std::to_string(seed);
+        cfg.max_cycles = 200;
+        cfg.sim.shuffle = true;
+        cfg.sim.shuffle_seed = seed;
+        configs.push_back(cfg);
+    }
+
+    HostProfiler::instance().enable();
+    sim::SweepReport report =
+        sim::runSweep(configs, sim::eventInstance(prog), kWorkers);
+    HostProfiler::instance().disable();
+    ASSERT_TRUE(report.allOk());
+
+    for (const std::string &track : HostProfiler::instance().tracks())
+        EXPECT_TRUE(track.rfind("worker-", 0) == 0 &&
+                    track.size() == 8 && track[7] >= '0' &&
+                    track[7] < char('0' + kWorkers))
+            << "unexpected track: " << track;
+
+    size_t run_spans = 0;
+    std::vector<std::string> seen;
+    for (const HostProfiler::Span &span : HostProfiler::instance().spans())
+        if (span.name.rfind("run:", 0) == 0) {
+            ++run_spans;
+            seen.push_back(span.name);
+            EXPECT_LE(span.begin_us, span.end_us);
+        }
+    EXPECT_EQ(run_spans, kRuns) << "one span per sweep instance";
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end())
+        << "duplicate run spans";
 }
 
 TEST(ParallelDeterminismTest, WarningsDoNotInterleaveAcrossThreads)

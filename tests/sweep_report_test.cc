@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Edge cases of SweepReport::merged() (sim/sweep.h): the element-wise
+ * metrics merge under empty and single-run reports, histogram-bucket
+ * summation with mismatched bucket counts, and the high_water rule —
+ * a maximum is taken, never a sum, because summing occupancy maxima
+ * would fabricate an occupancy no run ever saw.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/sweep.h"
+
+namespace assassyn {
+namespace {
+
+sim::InstanceResult
+runWith(const std::string &name, sim::MetricsRegistry metrics)
+{
+    sim::InstanceResult out;
+    out.name = name;
+    out.result.status = sim::RunStatus::kFinished;
+    out.metrics = std::move(metrics);
+    return out;
+}
+
+TEST(SweepReport, MergedOfEmptyReportIsEmpty)
+{
+    sim::SweepReport report;
+    sim::MetricsRegistry merged = report.merged();
+    EXPECT_TRUE(merged.counters().empty());
+    EXPECT_TRUE(merged.histograms().empty());
+    EXPECT_TRUE(report.allOk()) << "vacuously true on zero runs";
+}
+
+TEST(SweepReport, MergedOfSingleRunIsThatRun)
+{
+    sim::MetricsRegistry m;
+    m.set("cycles", 120);
+    m.set("fifo.sink.x.high_water", 3);
+    m.histogram("fifo.sink.x.occupancy").record(0);
+    m.histogram("fifo.sink.x.occupancy").record(3);
+
+    sim::SweepReport report;
+    report.runs.push_back(runWith("only", m));
+    sim::MetricsRegistry merged = report.merged();
+
+    EXPECT_TRUE(merged == m) << merged.diff(m);
+}
+
+TEST(SweepReport, MergedSumsCountersButMaxesHighWater)
+{
+    sim::MetricsRegistry a;
+    a.set("cycles", 100);
+    a.set("fifo.sink.x.pushes", 7);
+    a.set("fifo.sink.x.high_water", 5);
+
+    sim::MetricsRegistry b;
+    b.set("cycles", 50);
+    b.set("fifo.sink.x.pushes", 3);
+    b.set("fifo.sink.x.high_water", 2);
+
+    sim::SweepReport report;
+    report.runs.push_back(runWith("a", a));
+    report.runs.push_back(runWith("b", b));
+    sim::MetricsRegistry merged = report.merged();
+
+    EXPECT_EQ(merged.counter("cycles"), 150u);
+    EXPECT_EQ(merged.counter("fifo.sink.x.pushes"), 10u);
+    // max(5, 2), not 7: no run ever reached occupancy 7.
+    EXPECT_EQ(merged.counter("fifo.sink.x.high_water"), 5u);
+
+    // Order independence: the merge is a fold over commutative ops.
+    sim::SweepReport flipped;
+    flipped.runs.push_back(runWith("b", b));
+    flipped.runs.push_back(runWith("a", a));
+    EXPECT_TRUE(flipped.merged() == merged);
+}
+
+TEST(SweepReport, MergedHistogramsSumBucketwiseAcrossRaggedSizes)
+{
+    // Run a saw occupancies up to 2; run b reached 4 — its histogram
+    // has more buckets. The merge must widen, sum bucket-wise, max the
+    // high_water, and sum the sample counts.
+    sim::MetricsRegistry a;
+    a.histogram("occ").record(0);
+    a.histogram("occ").record(1);
+    a.histogram("occ").record(2);
+
+    sim::MetricsRegistry b;
+    b.histogram("occ").record(4);
+    b.histogram("occ").record(1);
+
+    sim::SweepReport report;
+    report.runs.push_back(runWith("a", a));
+    report.runs.push_back(runWith("b", b));
+    sim::MetricsRegistry merged = report.merged();
+    const sim::Histogram *h = merged.histogramOrNull("occ");
+    ASSERT_NE(h, nullptr);
+
+    ASSERT_EQ(h->buckets.size(), 5u);
+    EXPECT_EQ(h->buckets[0], 1u);
+    EXPECT_EQ(h->buckets[1], 2u);
+    EXPECT_EQ(h->buckets[2], 1u);
+    EXPECT_EQ(h->buckets[3], 0u);
+    EXPECT_EQ(h->buckets[4], 1u);
+    EXPECT_EQ(h->high_water, 4u);
+    EXPECT_EQ(h->samples, 5u);
+}
+
+TEST(SweepReport, MergedKeepsDisjointKeysFromEveryRun)
+{
+    sim::MetricsRegistry a;
+    a.set("stage.alpha.execs", 11);
+    sim::MetricsRegistry b;
+    b.set("stage.beta.execs", 22);
+
+    sim::SweepReport report;
+    report.runs.push_back(runWith("a", a));
+    report.runs.push_back(runWith("b", b));
+    sim::MetricsRegistry merged = report.merged();
+
+    EXPECT_EQ(merged.counter("stage.alpha.execs"), 11u);
+    EXPECT_EQ(merged.counter("stage.beta.execs"), 22u);
+}
+
+} // namespace
+} // namespace assassyn

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Structural validation of every machine-readable report the toolchain
+ * emits (ctest -L trace; the `validate_reports` build target):
+ *
+ *  - assassyn.trace.v1 (sim/trace.h + support/profiler.h): required
+ *    top-level keys, well-formed Chrome trace events, per-(pid, tid)
+ *    timestamp monotonicity over non-metadata events, and balanced
+ *    B/E nesting per track;
+ *  - assassyn.sweep.v1 (sim/sweep.h): per-run records and the merged
+ *    section;
+ *  - assassyn.bench.fig16.v2 (bench/fig16_sim_speed.cc): the tracked
+ *    throughput report at the repo root.
+ *
+ * The validators work on the raw JSON through support/jsonv.h — not
+ * through TraceReader — so they catch malformations the higher-level
+ * query API would paper over.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/compiler/pass.h"
+#include "core/dsl/builder.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "support/jsonv.h"
+#include "support/profiler.h"
+
+namespace assassyn {
+namespace {
+
+using namespace dsl;
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "assassyn_" + name;
+}
+
+jsonv::Value
+parseFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return jsonv::parse(os.str());
+}
+
+const jsonv::Value &
+field(const jsonv::Value &obj, const char *key)
+{
+    const jsonv::Value *v = obj.find(key);
+    EXPECT_NE(v, nullptr) << "missing required key '" << key << "'";
+    static jsonv::Value null_value;
+    return v ? *v : null_value;
+}
+
+/**
+ * The Chrome trace-event invariants every assassyn.trace.v1 file must
+ * satisfy: every event carries name/ph/pid/tid (+ts when not metadata),
+ * per-(pid, tid) timestamps are monotone non-decreasing, and every
+ * track's B/E stream is balanced.
+ */
+void
+validateTraceEvents(const jsonv::Value &events)
+{
+    ASSERT_TRUE(events.isArray());
+    std::map<std::pair<uint64_t, uint64_t>, uint64_t> last_ts;
+    std::map<std::pair<uint64_t, uint64_t>, int> be_depth;
+    for (const jsonv::Value &ev : events.array) {
+        ASSERT_TRUE(ev.isObject());
+        const jsonv::Value &ph = field(ev, "ph");
+        ASSERT_TRUE(ph.isString());
+        EXPECT_TRUE(field(ev, "name").isString());
+        ASSERT_TRUE(field(ev, "pid").isNumber());
+        if (ph.string == "M")
+            continue; // metadata: no timestamp
+        ASSERT_TRUE(field(ev, "tid").isNumber());
+        ASSERT_TRUE(field(ev, "ts").isNumber());
+        auto key = std::make_pair(field(ev, "pid").u64(),
+                                  field(ev, "tid").u64());
+        uint64_t ts = field(ev, "ts").u64();
+        auto it = last_ts.find(key);
+        if (it != last_ts.end())
+            EXPECT_GE(ts, it->second)
+                << "timestamps regressed on pid " << key.first
+                << " tid " << key.second;
+        last_ts[key] = ts;
+        if (ph.string == "X") {
+            EXPECT_TRUE(field(ev, "dur").isNumber());
+        } else if (ph.string == "B") {
+            ++be_depth[key];
+        } else if (ph.string == "E") {
+            EXPECT_GT(be_depth[key], 0)
+                << "'E' without matching 'B' on tid " << key.second;
+            --be_depth[key];
+        } else if (ph.string == "s" || ph.string == "f") {
+            EXPECT_TRUE(field(ev, "id").isNumber());
+        } else if (ph.string == "i") {
+            EXPECT_TRUE(field(ev, "s").isString());
+        }
+    }
+    for (const auto &[key, depth] : be_depth)
+        EXPECT_EQ(depth, 0) << "unclosed 'B' events on pid " << key.first
+                            << " tid " << key.second;
+}
+
+/** A driver streaming a bounded counter into a consuming sink. */
+struct Stream {
+    SysBuilder sb{"stream"};
+    Stage sink, d;
+
+    Stream()
+    {
+        sink = sb.stage("sink", {{"x", uintType(16)}});
+        d = sb.driver();
+        Reg n = sb.reg("n", uintType(16));
+        {
+            StageScope scope(sink);
+            sink.arg("x");
+        }
+        {
+            StageScope scope(d);
+            Val cur = n.read();
+            when(cur < 20, [&] { asyncCall(sink, {cur}); });
+            when(cur == 20, [&] { finish(); });
+            n.write(cur + 1);
+        }
+        compile(sb.sys());
+    }
+};
+
+TEST(ValidateReports, TraceV1IsWellFormedChromeTrace)
+{
+    // Profiler on: the file then carries both clock domains, so the
+    // validator exercises 'X'/'s'/'f'/'i' (pid 1) and 'B'/'E' (pid 2).
+    HostProfiler::instance().enable();
+    Stream design;
+    std::string path = tempPath("validate_trace.json");
+    {
+        sim::SimOptions opts;
+        opts.capture_logs = false;
+        opts.timeline_path = path;
+        sim::Simulator s(design.sb.sys(), opts);
+        s.run(10'000);
+        ASSERT_TRUE(s.finished());
+    }
+    HostProfiler::instance().disable();
+
+    jsonv::Value doc = parseFile(path);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(field(doc, "schema").string, "assassyn.trace.v1");
+    validateTraceEvents(field(doc, "traceEvents"));
+    const jsonv::Value &stats = field(doc, "stats");
+    ASSERT_TRUE(stats.isObject());
+    EXPECT_TRUE(field(stats, "events").isNumber());
+    EXPECT_TRUE(field(stats, "dropped_events").isNumber());
+    EXPECT_TRUE(field(stats, "ring_capacity").isNumber());
+    std::remove(path.c_str());
+}
+
+TEST(ValidateReports, HostProfileV1IsWellFormedChromeTrace)
+{
+    HostProfiler::instance().enable();
+    {
+        HostProfiler::Scope outer("phase:outer");
+        HostProfiler::Scope inner("phase:inner");
+    }
+    std::string path = tempPath("validate_host.json");
+    HostProfiler::instance().writeJson(path);
+    HostProfiler::instance().disable();
+
+    jsonv::Value doc = parseFile(path);
+    EXPECT_EQ(field(doc, "schema").string, "assassyn.trace.v1");
+    validateTraceEvents(field(doc, "traceEvents"));
+    EXPECT_GE(field(field(doc, "stats"), "host_spans").u64(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(ValidateReports, SweepV1HasPerRunRecordsAndMergedSection)
+{
+    Stream design;
+    auto prog = sim::Program::compile(design.sb.sys());
+    std::vector<sim::RunConfig> configs(2);
+    configs[0].name = "a";
+    configs[0].sim.capture_logs = false;
+    configs[1].name = "b";
+    configs[1].sim.capture_logs = false;
+    sim::SweepReport report =
+        sim::runSweep(configs, sim::eventInstance(prog), 2);
+    ASSERT_TRUE(report.allOk());
+
+    std::string path = tempPath("validate_sweep.json");
+    report.write(path, "stream");
+
+    jsonv::Value doc = parseFile(path);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(field(doc, "schema").string, "assassyn.sweep.v1");
+    EXPECT_EQ(field(doc, "design").string, "stream");
+    EXPECT_EQ(field(doc, "workers").u64(), 2u);
+    EXPECT_TRUE(field(doc, "seconds").isNumber());
+    const jsonv::Value &runs = field(doc, "runs");
+    ASSERT_TRUE(runs.isArray());
+    ASSERT_EQ(runs.array.size(), 2u);
+    for (const jsonv::Value &run : runs.array) {
+        EXPECT_TRUE(field(run, "name").isString());
+        EXPECT_EQ(field(run, "status").string, "finished");
+        EXPECT_TRUE(field(run, "cycles").isNumber());
+        EXPECT_TRUE(field(run, "end_cycle").isNumber());
+        EXPECT_TRUE(field(run, "seconds").isNumber());
+        EXPECT_TRUE(field(run, "metrics").isObject());
+    }
+    EXPECT_TRUE(field(doc, "merged").isObject());
+    std::remove(path.c_str());
+}
+
+TEST(ValidateReports, BenchFig16V2TrackedReportIsWellFormed)
+{
+    std::string path = std::string(ASSASSYN_SOURCE_DIR) +
+                       "/BENCH_fig16.json";
+    jsonv::Value doc = parseFile(path);
+    ASSERT_TRUE(doc.isObject()) << path;
+    EXPECT_EQ(field(doc, "schema").string, "assassyn.bench.fig16.v2");
+    EXPECT_TRUE(field(doc, "smoke").isNumber());
+
+    const jsonv::Value &runs = field(doc, "runs");
+    ASSERT_TRUE(runs.isArray());
+    ASSERT_FALSE(runs.array.empty());
+    for (const jsonv::Value &run : runs.array) {
+        EXPECT_TRUE(field(run, "design").isString());
+        EXPECT_TRUE(field(run, "cycles").isNumber());
+        EXPECT_GT(field(run, "asyn_cps").number, 0.0);
+        EXPECT_GT(field(run, "rtl_cps").number, 0.0);
+        EXPECT_GT(field(run, "asyn_over_rtl").number, 0.0);
+    }
+
+    const jsonv::Value &sweep = field(doc, "sweep");
+    ASSERT_TRUE(sweep.isObject());
+    EXPECT_TRUE(field(sweep, "design").isString());
+    EXPECT_GT(field(sweep, "instances").u64(), 0u);
+    EXPECT_TRUE(field(sweep, "cycles_per_instance").isNumber());
+    EXPECT_TRUE(field(sweep, "hardware_threads").isNumber());
+    const jsonv::Value &rows = field(sweep, "rows");
+    ASSERT_TRUE(rows.isArray());
+    ASSERT_FALSE(rows.array.empty());
+    for (const jsonv::Value &row : rows.array) {
+        EXPECT_GT(field(row, "workers").u64(), 0u);
+        EXPECT_TRUE(field(row, "seconds").isNumber());
+        EXPECT_TRUE(field(row, "batch_kcps").isNumber());
+        EXPECT_TRUE(field(row, "speedup_vs_1").isNumber());
+    }
+}
+
+} // namespace
+} // namespace assassyn
