@@ -80,6 +80,10 @@ buildCpu(BranchPolicy policy, const std::vector<uint32_t> &memory_image,
     Reg pc = sb.reg("pc", uintType(32));
     Reg halted = sb.reg("halted", uintType(1));
     Reg retired = sb.reg("retired", uintType(32));
+    // The pc of the most recently retired instruction: latched at
+    // writeback so the differential grader (src/grader) can diff control
+    // flow against the ISS at every retirement, not just at halt.
+    Reg ret_pc = sb.reg("ret_pc", uintType(32));
     Reg br_total = sb.reg("br_total", uintType(32));
     Reg br_taken = sb.reg("br_taken", uintType(32));
     Reg br_mispred = sb.reg("br_mispred", uintType(32));
@@ -97,20 +101,24 @@ buildCpu(BranchPolicy policy, const std::vector<uint32_t> &memory_image,
                                    {"ctrl", ctrlType().type()}});
     Stage memst = sb.stage("memst", {{"result", uintType(32)},
                                      {"sdata", uintType(32)},
+                                     {"pc", uintType(32)},
                                      {"ctrl", ctrl2Type().type()}});
     Stage wb = sb.stage("wb", {{"value", uintType(32)},
+                               {"pc", uintType(32)},
                                {"ctrl", ctrl3Type().type()}});
 
     // ---- Writeback --------------------------------------------------------
     {
         StageScope scope(wb);
         Val value = wb.arg("value");
+        Val pcv = wb.arg("pc");
         Val ctrl = wb.arg("ctrl");
         Val rd = ctrl3Type().field(ctrl, "rd");
         Val writes = ctrl3Type().field(ctrl, "writes").as(uintType(1));
         Val is_ecall = ctrl3Type().field(ctrl, "is_ecall").as(uintType(1));
         when(writes == 1, [&] { rf.write(rd, value); });
         retired.write(retired.read() + 1);
+        ret_pc.write(pcv);
         when(is_ecall == 1, [&] { finish(); });
         // Bypass network, WB leg (value being written this cycle).
         expose("w_valid", wb.argValid("value"));
@@ -124,6 +132,7 @@ buildCpu(BranchPolicy policy, const std::vector<uint32_t> &memory_image,
         StageScope scope(memst);
         Val result = memst.arg("result");
         Val sdata = memst.arg("sdata");
+        Val pcv = memst.arg("pc");
         Val ctrl = memst.arg("ctrl");
         Val rd = ctrl2Type().field(ctrl, "rd");
         Val writes = ctrl2Type().field(ctrl, "writes").as(uintType(1));
@@ -134,7 +143,7 @@ buildCpu(BranchPolicy policy, const std::vector<uint32_t> &memory_image,
         Val load_val = mem.read(addr_word);
         Val value = select(is_load == 1, load_val, result);
         when(is_store == 1, [&] { mem.write(addr_word, sdata); });
-        asyncCall(wb, {value,
+        asyncCall(wb, {value, pcv,
                        ctrl3Type().pack({{"rd", rd},
                                          {"writes", writes},
                                          {"is_ecall", is_ecall}})});
@@ -214,7 +223,7 @@ buildCpu(BranchPolicy policy, const std::vector<uint32_t> &memory_image,
             br_mispred.write(br_mispred.read() + 1);
         });
 
-        asyncCall(memst, {alu, sdata,
+        asyncCall(memst, {alu, sdata, pcv,
                           ctrl2Type().pack({{"rd", rd},
                                             {"writes", writes},
                                             {"is_load", is_load},
@@ -438,6 +447,7 @@ buildCpu(BranchPolicy policy, const std::vector<uint32_t> &memory_image,
     out.mem = mem.array();
     out.rf = rf.array();
     out.retired = retired.array();
+    out.ret_pc = ret_pc.array();
     out.br_total = br_total.array();
     out.br_taken = br_taken.array();
     out.br_mispred = br_mispred.array();

@@ -45,6 +45,7 @@ struct CpuDesign {
     RegArray *mem = nullptr;       ///< unified instruction/data memory
     RegArray *rf = nullptr;        ///< 32-entry register file
     RegArray *retired = nullptr;   ///< retired-instruction counter
+    RegArray *ret_pc = nullptr;    ///< pc of the most recently retired inst
     RegArray *br_total = nullptr;  ///< executed conditional branches
     RegArray *br_taken = nullptr;  ///< taken conditional branches
     RegArray *br_mispred = nullptr; ///< control transfers that redirected

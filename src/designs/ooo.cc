@@ -11,7 +11,7 @@ using namespace dsl;
 
 namespace {
 
-constexpr uint64_t kRobEntries = 8; ///< 3-bit index + 1 generation bit
+constexpr uint64_t kRobEntries = 8; ///< 4-bit positions: 3-bit index + wrap bit
 constexpr uint64_t kRsEntries = 4;
 
 enum AluOp : uint64_t {
@@ -86,15 +86,31 @@ buildOoo(const std::vector<uint32_t> &memory_image)
     Reg epoch = sb.reg("epoch", uintType(1));
     Reg head = sb.reg("rob_head", uintType(4));
     Reg tail = sb.reg("rob_tail", uintType(4));
-    Arr rob_alloc = sb.arr("rob_alloc_gen", uintType(1), kRobEntries);
-    // done_gen starts out of phase with alloc_gen so a freshly allocated
+    // Each ROB slot is tagged with the allocation sequence number (the
+    // value of the `dispatched` counter at dispatch) and an entry is
+    // "done" only when the done tag equals the alloc tag. A 1-bit
+    // generation is NOT enough here: a mispredict rewinds the tail, so
+    // re-dispatch replays the exact same 4-bit positions the squashed
+    // entries had — a squashed-but-executed entry would leave its done
+    // bit in phase and the refilled slot would commit the stale value.
+    // Sequence numbers are never reused, so stale done tags can't alias.
+    Arr rob_alloc = sb.arr("rob_alloc_seq", uintType(32), kRobEntries);
+    // done_seq starts out of phase with alloc_seq so a freshly allocated
     // entry is never spuriously "done" before its first execution.
-    Arr rob_done = sb.arr("rob_done_gen", uintType(1), kRobEntries,
-                          std::vector<uint64_t>(kRobEntries, 1));
+    Arr rob_done = sb.arr("rob_done_seq", uintType(32), kRobEntries,
+                          std::vector<uint64_t>(kRobEntries, 0xffffffff));
     Arr rob_meta = sb.arr("rob_meta", metaType().type(), kRobEntries);
     Arr rob_val = sb.arr("rob_val", uintType(64), kRobEntries);
+    // Fetch pc of each ROB entry, written by the dispatch role and read
+    // at commit so the grader (src/grader) can diff retired control
+    // flow against the ISS. Never consulted by the datapath itself.
+    Arr rob_pc = sb.arr("rob_pc", uintType(32), kRobEntries);
     Arr rs_alloc = sb.arr("rs_alloc_gen", uintType(1), kRsEntries);
     Arr rs_done = sb.arr("rs_done_gen", uintType(1), kRsEntries);
+    // ROB alloc seq of the uop each RS slot holds: a squashed RS entry
+    // whose rob_pos comes back alive after the tail rewinds + refills
+    // must not issue against the new occupant of that position.
+    Arr rs_seq = sb.arr("rs_seq", uintType(32), kRsEntries);
     Arr rs_ctrl = sb.arr("rs_ctrl", rsCtrlType().type(), kRsEntries);
     Arr rs_a = sb.arr("rs_a", opndType().type(), kRsEntries);
     Arr rs_b = sb.arr("rs_b", opndType().type(), kRsEntries);
@@ -103,6 +119,7 @@ buildOoo(const std::vector<uint32_t> &memory_image)
     Arr rs_pred = sb.arr("rs_pred", uintType(32), kRsEntries);
 
     Reg retired = sb.reg("retired", uintType(32));
+    Reg ret_pc = sb.reg("ret_pc", uintType(32));
     Reg br_total = sb.reg("br_total", uintType(32));
     Reg br_taken = sb.reg("br_taken", uintType(32));
     Reg br_mispred = sb.reg("br_mispred", uintType(32));
@@ -136,9 +153,8 @@ buildOoo(const std::vector<uint32_t> &memory_image)
         };
         auto doneTag = [&](Val pos) {
             Val idx = pos.slice(2, 0);
-            Val gen = pos.bit(3);
-            return live(pos) & (rob_alloc.read(idx) == gen) &
-                   (rob_done.read(idx) == gen);
+            return live(pos) &
+                   (rob_done.read(idx) == rob_alloc.read(idx));
         };
 
         // ---- Commit (head of the ROB, in order) ---------------------------
@@ -163,6 +179,7 @@ buildOoo(const std::vector<uint32_t> &memory_image)
                      [&] { br_taken.write(br_taken.read() + 1); });
             });
             retired.write(retired.read() + 1);
+            ret_pc.write(rob_pc.read(head_idx));
             when(h_ecall == 1, [&] { finish(); });
         });
 
@@ -180,6 +197,25 @@ buildOoo(const std::vector<uint32_t> &memory_image)
                                       oldest_store_age);
         }
 
+        // Control transfers must resolve in age order: a younger branch
+        // or jalr fetched down a mispredicted path may become ready
+        // before the older, still-unresolved branch that put it there,
+        // and letting it execute first would fire a wrong-path flush
+        // (tail rewind, epoch flip, fetch redirect to a wrong-path
+        // target). Gate issue of a ctrl uop until it is the oldest
+        // un-done ctrl entry in the ROB.
+        Val oldest_ctrl_age = lit(15, 4);
+        for (uint64_t off = kRobEntries; off-- > 0;) {
+            Val pos = (headv + off) & 0xf;
+            Val idx = pos.slice(2, 0);
+            Val meta = rob_meta.read(idx);
+            Val is_ct = metaType().field(meta, "is_ctrl").as(uintType(1));
+            Val undone = rob_done.read(idx) != rob_alloc.read(idx);
+            Val alive = lit(off, 4) < count;
+            oldest_ctrl_age = select(alive & (is_ct == 1) & undone,
+                                     lit(off, 4), oldest_ctrl_age);
+        }
+
         struct RsView {
             Val busy, ready, is_ctrl, age;
             Val a_now, b_now;
@@ -191,7 +227,12 @@ buildOoo(const std::vector<uint32_t> &memory_image)
             Val allocated =
                 rs_alloc.read(k) != rs_done.read(k).as(uintType(1));
             Val alive = live(pos);
-            view[k].busy = (allocated & alive).named(
+            // The seq match rejects a zombie: a squashed entry whose
+            // position came back alive when the rewound tail refilled it
+            // with a different instruction.
+            Val current =
+                rob_alloc.read(pos.slice(2, 0)) == rs_seq.read(k);
+            view[k].busy = (allocated & alive & current).named(
                 "rs_busy" + std::to_string(k));
             view[k].age = (pos - headv) & 0xf;
 
@@ -220,11 +261,14 @@ buildOoo(const std::vector<uint32_t> &memory_image)
                 rsCtrlType().field(ctrl, "is_load").as(uintType(1));
             Val mem_ok =
                 (is_load == 0) | (oldest_store_age >= view[k].age);
-            view[k].ready = view[k].busy & a_rdy & b_rdy & mem_ok;
             Val is_br = rsCtrlType().field(ctrl, "is_br").as(uintType(1));
             Val is_jalr =
                 rsCtrlType().field(ctrl, "is_jalr").as(uintType(1));
             view[k].is_ctrl = is_br | is_jalr;
+            Val ctrl_ok = (view[k].is_ctrl == 0) |
+                          (view[k].age <= oldest_ctrl_age);
+            view[k].ready =
+                view[k].busy & a_rdy & b_rdy & mem_ok & ctrl_ok;
         }
 
         // Pick: branches first (paper Q6), then oldest.
@@ -310,7 +354,7 @@ buildOoo(const std::vector<uint32_t> &memory_image)
                    lit(0, 32).concat(result)));
         when(sel_valid, [&] {
             rob_val.write(x_idx, exec_val);
-            rob_done.write(x_idx, x_pos.bit(3));
+            rob_done.write(x_idx, rob_alloc.read(x_idx));
             rs_done.write(sel_idx, rs_alloc.read(sel_idx));
         });
         when(!sel_valid, [&] {
@@ -389,8 +433,8 @@ buildOoo(const std::vector<uint32_t> &memory_image)
             }
             Val busy = found & (r != 0) & (use == 1);
             Val idx = tagp.slice(2, 0);
-            Val gen = tagp.bit(3);
-            Val done = busy & (rob_done.read(idx) == gen);
+            Val done =
+                busy & (rob_done.read(idx) == rob_alloc.read(idx));
             Val val = select(done, rob_val.read(idx).slice(31, 0),
                              rf.read(r));
             Val ready = (!busy) | done;
@@ -444,9 +488,11 @@ buildOoo(const std::vector<uint32_t> &memory_image)
             rs_imm.write(free_idx, u_imm);
             rs_pc.write(free_idx, u_pc);
             rs_pred.write(free_idx, u_pred);
+            rs_seq.write(free_idx, dispatched.read());
 
             Val t_idx = tailv.slice(2, 0);
-            rob_alloc.write(t_idx, tailv.bit(3));
+            rob_alloc.write(t_idx, dispatched.read());
+            rob_pc.write(t_idx, u_pc);
             rob_meta.write(t_idx,
                            metaType().pack({{"rd", rd},
                                             {"writes", u_writes},
@@ -617,6 +663,7 @@ buildOoo(const std::vector<uint32_t> &memory_image)
     out.mem = mem.array();
     out.rf = rf.array();
     out.retired = retired.array();
+    out.ret_pc = ret_pc.array();
     out.br_total = br_total.array();
     out.br_taken = br_taken.array();
     out.br_mispred = br_mispred.array();

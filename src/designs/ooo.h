@@ -40,6 +40,7 @@ struct OooDesign {
     RegArray *mem = nullptr;
     RegArray *rf = nullptr;
     RegArray *retired = nullptr;
+    RegArray *ret_pc = nullptr;       ///< pc of the most recent commit
     RegArray *br_total = nullptr;
     RegArray *br_taken = nullptr;
     RegArray *br_mispred = nullptr;

@@ -1,0 +1,518 @@
+#include "grader/grader.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "designs/cpu.h"
+#include "designs/ooo.h"
+#include "isa/iss.h"
+#include "rtl/netlist.h"
+#include "rtl/netlist_sim.h"
+#include "sim/simulator.h"
+#include "sim/sweep.h"
+#include "support/json.h"
+#include "support/logging.h"
+
+namespace assassyn {
+namespace grader {
+
+const char *
+coreName(Core core)
+{
+    switch (core) {
+      case Core::kInOrder: return "inorder";
+      case Core::kOoO: return "ooo";
+    }
+    return "?";
+}
+
+const char *
+engineName(Engine engine)
+{
+    switch (engine) {
+      case Engine::kEvent: return "event";
+      case Engine::kNetlist: return "netlist";
+    }
+    return "?";
+}
+
+const char *
+gradeStatusName(GradeStatus status)
+{
+    switch (status) {
+      case GradeStatus::kPass: return "pass";
+      case GradeStatus::kDiverged: return "diverged";
+      case GradeStatus::kFault: return "fault";
+      case GradeStatus::kHazard: return "hazard";
+      case GradeStatus::kTimeout: return "timeout";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Everything the golden pre-run learns about a program. */
+struct GoldenTrace {
+    uint64_t retired = 0;
+    uint32_t regs[32] = {};
+    std::vector<uint32_t> memory;
+
+    /** One store that changed memory, in program order. */
+    struct Store {
+        uint32_t word = 0;  ///< word address
+        uint32_t value = 0; ///< value after the store
+    };
+    std::vector<Store> stores;
+};
+
+/**
+ * Run the ISS to completion, recording final state plus the ordered
+ * sequence of *visible* stores — stores whose value differs from the
+ * word already in memory. Silent stores are invisible to the DUT-side
+ * change scan, so they must be invisible to the expectation too.
+ */
+GoldenTrace
+goldenRun(const CorpusProgram &prog, const std::vector<uint32_t> &image)
+{
+    isa::Iss iss(image);
+    GoldenTrace gold;
+    // The DUTs retire at most one instruction per cycle, so the cycle
+    // budget also bounds the retirements any aligned run can reach.
+    uint64_t limit = prog.max_cycles;
+    while (!iss.stats().halted && iss.stats().retired < limit) {
+        uint32_t word = iss.loadWord(iss.pc());
+        isa::Decoded d = isa::decode(word);
+        if (d.opcode == isa::kStore) {
+            uint32_t addr = iss.reg(d.rs1) + uint32_t(d.imm);
+            uint32_t value = iss.reg(d.rs2);
+            if (iss.loadWord(addr) != value)
+                gold.stores.push_back({addr / 4, value});
+        }
+        iss.stepOne();
+    }
+    if (!iss.stats().halted)
+        fatal("grader: golden model for '", prog.name,
+              "' did not reach ECALL within ", limit,
+              " instructions — raise '#: max-cycles' or fix the program");
+    gold.retired = iss.stats().retired;
+    for (unsigned i = 0; i < 32; ++i)
+        gold.regs[i] = iss.reg(i);
+    gold.memory = iss.memory();
+    return gold;
+}
+
+/** The architectural-state handles shared by both CPU designs. */
+struct Handles {
+    const RegArray *mem = nullptr;
+    const RegArray *rf = nullptr;
+    const RegArray *retired = nullptr;
+    const RegArray *ret_pc = nullptr;
+};
+
+/**
+ * The per-cycle diffing state driven from a post-cycle hook. Templated
+ * over the backend (sim::Simulator / rtl::NetlistSim share the read
+ * surface but not a base class).
+ */
+template <typename SimT> struct Lockstep {
+    SimT *sim = nullptr;
+    Handles h;
+    const GoldenTrace *gold = nullptr;
+    isa::Iss iss;                  ///< stepped once per DUT retirement
+    std::vector<uint32_t> shadow;  ///< last-seen copy of DUT memory
+    size_t store_cursor = 0;       ///< next expected visible store
+    uint64_t seen_retired = 0;     ///< DUT retired counter, last cycle
+    uint64_t retirement = 0;       ///< dynamic instruction index (1-based)
+    size_t max_deltas = 8;
+    std::optional<Divergence> div; ///< first divergence only
+
+    Lockstep(SimT *s, Handles handles, const GoldenTrace *g,
+             std::vector<uint32_t> image, size_t cap)
+        : sim(s), h(handles), gold(g), iss(std::move(image)),
+          shadow(iss.memory()), max_deltas(cap)
+    {
+    }
+
+    void
+    diverge(uint64_t cycle, const char *kind, uint64_t pc,
+            std::vector<StateDelta> deltas)
+    {
+        Divergence d;
+        d.retirement = retirement;
+        d.cycle = cycle;
+        d.pc = pc;
+        d.kind = kind;
+        if (deltas.size() > max_deltas)
+            deltas.resize(max_deltas);
+        d.deltas = std::move(deltas);
+        div = std::move(d);
+    }
+
+    /**
+     * Match this cycle's memory changes against the golden visible-store
+     * sequence. Order-based, so the in-order core's MEM-stage store skew
+     * (a store lands up to two cycles before its own retirement) is
+     * absorbed without weakening the check.
+     */
+    void
+    scanMemory(uint64_t cycle)
+    {
+        for (size_t w = 0; w < shadow.size(); ++w) {
+            uint64_t now = sim->readArray(h.mem, w);
+            if (now == shadow[w])
+                continue;
+            bool expected = store_cursor < gold->stores.size() &&
+                            gold->stores[store_cursor].word == w &&
+                            gold->stores[store_cursor].value == now;
+            if (expected) {
+                ++store_cursor;
+            } else if (!div) {
+                uint64_t want = store_cursor < gold->stores.size()
+                                    ? gold->stores[store_cursor].value
+                                    : shadow[w];
+                diverge(cycle, "mem", iss.pc(),
+                        {{"mem", uint64_t(w) * 4, want, now}});
+            }
+            shadow[w] = uint32_t(now);
+        }
+    }
+
+    /** Step the golden model once per new DUT retirement and diff. */
+    void
+    checkRetirements(uint64_t cycle)
+    {
+        uint64_t now_retired = sim->readArray(h.retired, 0);
+        while (seen_retired < now_retired && !div) {
+            ++seen_retired;
+            ++retirement;
+            if (iss.stats().halted) {
+                // The golden program is over; any further retirement is
+                // the DUT running past its own ECALL.
+                diverge(cycle, "retired", iss.pc(),
+                        {{"retired", 0, gold->retired, now_retired}});
+                return;
+            }
+            isa::StepInfo si = iss.stepOne();
+            // ret_pc holds only the latest retirement, so the pc check
+            // applies to the final retirement of the cycle (both cores
+            // are 1-wide; the loop body runs once per cycle in practice).
+            if (seen_retired == now_retired) {
+                uint64_t dut_pc = sim->readArray(h.ret_pc, 0);
+                if (dut_pc != si.pc) {
+                    diverge(cycle, "pc", si.pc,
+                            {{"pc", 0, si.pc, dut_pc}});
+                    return;
+                }
+            }
+            std::vector<StateDelta> regs;
+            for (unsigned i = 0; i < 32; ++i) {
+                uint64_t dut = sim->readArray(h.rf, i);
+                uint64_t want = iss.reg(i);
+                if (dut != want)
+                    regs.push_back({"reg", i, want, dut});
+            }
+            if (!regs.empty())
+                diverge(cycle, "reg", si.pc, std::move(regs));
+        }
+    }
+
+    void
+    onCycle(uint64_t cycle)
+    {
+        if (div)
+            return; // first divergence frozen; stop diffing
+        scanMemory(cycle);
+        checkRetirements(cycle);
+    }
+};
+
+/** Post-run whole-state diff for runs that never visibly diverged. */
+template <typename SimT>
+void
+finalStateCheck(Lockstep<SimT> &ls, Verdict &v)
+{
+    std::vector<StateDelta> deltas;
+    if (ls.retirement != ls.gold->retired)
+        deltas.push_back({"retired", 0, ls.gold->retired, ls.retirement});
+    if (ls.store_cursor != ls.gold->stores.size()) {
+        const auto &missing = ls.gold->stores[ls.store_cursor];
+        deltas.push_back({"mem", uint64_t(missing.word) * 4, missing.value,
+                          ls.sim->readArray(ls.h.mem, missing.word)});
+    }
+    for (unsigned i = 0; i < 32 && deltas.size() < ls.max_deltas; ++i) {
+        uint64_t dut = ls.sim->readArray(ls.h.rf, i);
+        if (dut != ls.gold->regs[i])
+            deltas.push_back({"reg", i, ls.gold->regs[i], dut});
+    }
+    for (size_t w = 0; w < ls.gold->memory.size() &&
+                       deltas.size() < ls.max_deltas;
+         ++w) {
+        uint64_t dut = ls.sim->readArray(ls.h.mem, w);
+        if (dut != ls.gold->memory[w])
+            deltas.push_back({"mem", uint64_t(w) * 4, ls.gold->memory[w],
+                              dut});
+    }
+    if (deltas.empty())
+        return;
+    if (deltas.size() > ls.max_deltas)
+        deltas.resize(ls.max_deltas);
+    Divergence d;
+    d.retirement = ls.retirement;
+    d.cycle = ls.sim->cycle();
+    d.pc = ls.iss.pc();
+    d.kind = "final-state";
+    d.deltas = std::move(deltas);
+    v.divergence = std::move(d);
+    v.status = GradeStatus::kDiverged;
+}
+
+/** The engine-generic grade: attach, run, classify. */
+template <typename SimT>
+Verdict
+runGrade(const CorpusProgram &prog, Core core, SimT &sim,
+         const System &sys, const Handles &h, const GoldenTrace &gold,
+         const std::vector<uint32_t> &image, const GradeOptions &opts)
+{
+    Verdict v;
+    v.program = prog.name;
+    v.core = core;
+    v.golden_retired = gold.retired;
+
+    Lockstep<SimT> ls(&sim, h, &gold, image, opts.max_deltas);
+    sim.addPostCycleHook([&ls](uint64_t cycle) { ls.onCycle(cycle); });
+
+    std::optional<sim::FaultInjector> inj;
+    if (opts.fault) {
+        inj.emplace(sys, *opts.fault);
+        inj->attach(sim);
+    }
+
+    sim::RunResult result = sim.run(prog.max_cycles);
+    v.retirements = ls.retirement;
+    v.cycles = sim.cycle();
+    v.ipc = v.cycles ? double(v.retirements) / double(v.cycles) : 0.0;
+
+    if (ls.div) {
+        v.status = GradeStatus::kDiverged;
+        v.divergence = std::move(ls.div);
+        return v;
+    }
+    switch (result.status) {
+      case sim::RunStatus::kFault:
+        v.status = GradeStatus::kFault;
+        v.error = result.error;
+        return v;
+      case sim::RunStatus::kDeadlock:
+      case sim::RunStatus::kLivelock:
+        v.status = GradeStatus::kHazard;
+        v.error = result.hazard.toString();
+        return v;
+      case sim::RunStatus::kMaxCycles:
+        v.status = GradeStatus::kTimeout;
+        v.error = "cycle budget elapsed before ECALL";
+        return v;
+      case sim::RunStatus::kFinished:
+        break;
+    }
+    finalStateCheck(ls, v);
+    return v;
+}
+
+/** Build the requested core over @p image; handles are design-agnostic. */
+struct BuiltDesign {
+    std::unique_ptr<System> sys;
+    Handles h;
+};
+
+BuiltDesign
+buildCore(Core core, const std::vector<uint32_t> &image)
+{
+    BuiltDesign out;
+    if (core == Core::kInOrder) {
+        auto d = designs::buildCpu(designs::BranchPolicy::kTaken, image);
+        out.h = {d.mem, d.rf, d.retired, d.ret_pc};
+        out.sys = std::move(d.sys);
+    } else {
+        auto d = designs::buildOoo(image);
+        out.h = {d.mem, d.rf, d.retired, d.ret_pc};
+        out.sys = std::move(d.sys);
+    }
+    return out;
+}
+
+void
+writeVerdict(JsonWriter &w, const Verdict &v)
+{
+    w.beginObject();
+    w.key("program");
+    w.value(v.program);
+    w.key("core");
+    w.value(coreName(v.core));
+    w.key("status");
+    w.value(gradeStatusName(v.status));
+    w.key("retirements");
+    w.value(v.retirements);
+    w.key("golden_retired");
+    w.value(v.golden_retired);
+    w.key("cycles");
+    w.value(v.cycles);
+    w.key("ipc");
+    w.value(v.ipc);
+    w.key("error");
+    w.value(v.error);
+    if (v.divergence) {
+        const Divergence &d = *v.divergence;
+        w.key("divergence");
+        w.beginObject();
+        w.key("retirement");
+        w.value(d.retirement);
+        w.key("cycle");
+        w.value(d.cycle);
+        w.key("pc");
+        w.value(d.pc);
+        w.key("kind");
+        w.value(d.kind);
+        w.key("deltas");
+        w.beginArray();
+        for (const StateDelta &delta : d.deltas) {
+            w.beginObject();
+            w.key("kind");
+            w.value(delta.kind);
+            w.key("index");
+            w.value(delta.index);
+            w.key("expected");
+            w.value(delta.expected);
+            w.key("actual");
+            w.value(delta.actual);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+Verdict
+gradeProgram(const CorpusProgram &program, Core core, Engine engine,
+             const GradeOptions &opts)
+{
+    std::vector<uint32_t> image = program.image();
+    GoldenTrace gold = goldenRun(program, image);
+    BuiltDesign design = buildCore(core, image);
+
+    if (engine == Engine::kEvent) {
+        sim::SimOptions so;
+        so.capture_logs = false;
+        so.shuffle = opts.shuffle;
+        so.shuffle_seed = opts.shuffle_seed;
+        so.timeline_path = opts.timeline_path;
+        sim::Simulator sim(*design.sys, so);
+        return runGrade(program, core, sim, *design.sys, design.h, gold,
+                        image, opts);
+    }
+    rtl::NetlistSimOptions no;
+    no.capture_logs = false;
+    no.timeline_path = opts.timeline_path;
+    rtl::Netlist nl(*design.sys);
+    rtl::NetlistSim sim(nl, no);
+    return runGrade(program, core, sim, *design.sys, design.h, gold,
+                    image, opts);
+}
+
+std::string
+Verdict::toJson() const
+{
+    JsonWriter w;
+    writeVerdict(w, *this);
+    return w.str();
+}
+
+bool
+GradeReport::allPass() const
+{
+    for (const GradeRun &run : runs)
+        if (!run.verdict.pass())
+            return false;
+    return !runs.empty();
+}
+
+std::string
+GradeReport::toJson(const std::string &corpus) const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("schema");
+    w.value("assassyn.grade.v1");
+    w.key("corpus");
+    w.value(corpus);
+    w.key("grades");
+    w.value(uint64_t(runs.size()));
+    w.key("pass");
+    w.value(allPass());
+    w.key("runs");
+    w.beginArray();
+    for (const GradeRun &run : runs) {
+        w.beginObject();
+        w.key("engine");
+        w.value(engineName(run.engine));
+        w.key("seconds");
+        w.value(run.seconds);
+        w.key("verdict");
+        writeVerdict(w, run.verdict);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+GradeReport::write(const std::string &path, const std::string &corpus) const
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out.good())
+        fatal("grade report: cannot open '", path, "' for writing");
+    out << toJson(corpus) << "\n";
+}
+
+GradeReport
+gradeCorpus(const std::vector<CorpusProgram> &programs,
+            const std::vector<Core> &cores,
+            const std::vector<Engine> &engines, const GradeOptions &opts,
+            size_t workers)
+{
+    struct Job {
+        const CorpusProgram *program;
+        Core core;
+        Engine engine;
+    };
+    std::vector<Job> jobs;
+    for (const CorpusProgram &prog : programs)
+        for (Core core : cores)
+            for (Engine engine : engines)
+                jobs.push_back({&prog, core, engine});
+
+    GradeReport report;
+    report.runs.resize(jobs.size());
+    sim::parallelFor(
+        jobs.size(),
+        [&](size_t i) {
+            const Job &job = jobs[i];
+            auto t0 = std::chrono::steady_clock::now();
+            GradeRun run;
+            run.engine = job.engine;
+            run.verdict =
+                gradeProgram(*job.program, job.core, job.engine, opts);
+            run.seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            report.runs[i] = std::move(run);
+        },
+        workers);
+    return report;
+}
+
+} // namespace grader
+} // namespace assassyn

@@ -34,7 +34,7 @@ Iss::storeWord(uint32_t byte_addr, uint32_t value)
 IssStats
 Iss::run(uint64_t max_insts)
 {
-    while (!stats_.halted && stats_.instructions < max_insts)
+    while (!stats_.halted && stats_.retired < max_insts)
         step();
     if (!stats_.halted)
         fatal("ISS: instruction budget exhausted (runaway program?)");
@@ -46,6 +46,12 @@ Iss::stepOne()
 {
     StepInfo info;
     info.pc = pc_;
+    if (stats_.halted) {
+        // A halted machine retires nothing more; the grader polls this
+        // without tripping a re-execution of the word behind the ECALL.
+        info.halted = true;
+        return info;
+    }
     info.inst = decode(loadWord(pc_));
     uint64_t taken_before = stats_.branches_taken;
     step();
@@ -58,6 +64,7 @@ void
 Iss::step()
 {
     Decoded d = decode(loadWord(pc_));
+    ++stats_.fetched;
     uint32_t next_pc = pc_ + 4;
     uint32_t rs1 = regs_[d.rs1];
     uint32_t rs2 = regs_[d.rs2];
@@ -150,6 +157,11 @@ Iss::step()
     if (write_rd && d.rd != 0)
         regs_[d.rd] = result;
     pc_ = next_pc;
+    // Retirement: the instruction completed architecturally. A step that
+    // fatal()s above counts as fetched but never as retired, mirroring
+    // the DSL CPUs whose `retired` counter only moves at writeback /
+    // ROB commit.
+    ++stats_.retired;
     ++stats_.instructions;
 }
 

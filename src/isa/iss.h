@@ -17,9 +17,22 @@
 namespace assassyn {
 namespace isa {
 
-/** Statistics of one functional run. */
+/**
+ * Statistics of one functional run.
+ *
+ * Retirement accounting matches the DSL CPUs (designs/cpu.h,
+ * designs/ooo.h): `retired` counts instructions that completed
+ * architecturally — including the halting ECALL — exactly like the
+ * `retired` counter both cores increment at writeback/commit, so
+ * grader IPC (retired / cycles) is comparable across all engines.
+ * `fetched` counts instruction words decoded, which can exceed
+ * `retired` when a step faults mid-execution; IPC must never be
+ * computed from it.
+ */
 struct IssStats {
-    uint64_t instructions = 0;
+    uint64_t retired = 0;   ///< architecturally completed instructions
+    uint64_t fetched = 0;   ///< instruction words fetched and decoded
+    uint64_t instructions = 0; ///< legacy alias, kept equal to retired
     uint64_t branches = 0;
     uint64_t branches_taken = 0;
     uint64_t loads = 0;
@@ -45,10 +58,14 @@ class Iss {
      */
     Iss(std::vector<uint32_t> memory_words, uint32_t entry_pc = 0);
 
-    /** Execute until ECALL or @p max_insts; returns statistics. */
+    /** Execute until ECALL or @p max_insts retirements; returns stats. */
     IssStats run(uint64_t max_insts = 100'000'000);
 
-    /** Execute one instruction; drives trace-based timing models. */
+    /**
+     * Execute one instruction; drives trace-based timing models and the
+     * grader's lockstep retirement diffing (src/grader). Stepping a
+     * halted machine is a no-op that reports halted.
+     */
     StepInfo stepOne();
 
     /** Statistics accumulated so far. */

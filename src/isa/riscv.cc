@@ -54,6 +54,81 @@ decode(uint32_t raw)
     return d;
 }
 
+uint32_t
+encode(const Decoded &d)
+{
+    auto iWord = [&](uint32_t imm12) {
+        return (imm12 & 0xfff) << 20 | d.rs1 << 15 | d.funct3 << 12 |
+               d.rd << 7 | d.opcode;
+    };
+    uint32_t u;
+    switch (d.opcode) {
+      case kLui:
+      case kAuipc:
+        return (uint32_t(d.imm) & 0xfffff000) | d.rd << 7 | d.opcode;
+      case kJal:
+        u = uint32_t(d.imm);
+        return ((u >> 20) & 1) << 31 | ((u >> 1) & 0x3ff) << 21 |
+               ((u >> 11) & 1) << 20 | ((u >> 12) & 0xff) << 12 |
+               d.rd << 7 | kJal;
+      case kJalr:
+      case kLoad:
+      case kOpImm:
+      case kSystem:
+        return iWord(uint32_t(d.imm));
+      case kBranch:
+        u = uint32_t(d.imm);
+        return ((u >> 12) & 1) << 31 | ((u >> 5) & 0x3f) << 25 |
+               d.rs2 << 20 | d.rs1 << 15 | d.funct3 << 12 |
+               ((u >> 1) & 0xf) << 8 | ((u >> 11) & 1) << 7 | kBranch;
+      case kStore:
+        u = uint32_t(d.imm);
+        return ((u >> 5) & 0x7f) << 25 | d.rs2 << 20 | d.rs1 << 15 |
+               d.funct3 << 12 | (u & 0x1f) << 7 | kStore;
+      case kOp:
+        return d.funct7 << 25 | d.rs2 << 20 | d.rs1 << 15 |
+               d.funct3 << 12 | d.rd << 7 | kOp;
+      default:
+        fatal("encode: unsupported opcode ", d.opcode);
+    }
+}
+
+bool
+isLegal(const Decoded &d)
+{
+    switch (d.opcode) {
+      case kLui:
+      case kAuipc:
+      case kJal:
+        return true;
+      case kJalr:
+        return d.funct3 == 0;
+      case kBranch:
+        // funct3 2 and 3 are reserved in the BRANCH major opcode.
+        return d.funct3 != 2 && d.funct3 != 3;
+      case kLoad:
+        return d.funct3 == 2; // word-addressed subset: LW only
+      case kStore:
+        return d.funct3 == 2; // SW only
+      case kOpImm:
+        if (d.funct3 == 1)
+            return d.funct7 == 0x00; // SLLI
+        if (d.funct3 == 5)
+            return d.funct7 == 0x00 || d.funct7 == 0x20; // SRLI / SRAI
+        return true;
+      case kOp:
+        if (d.funct7 == 0x00)
+            return true;
+        if (d.funct7 == 0x20)
+            return d.funct3 == 0 || d.funct3 == 5; // SUB / SRA
+        return false; // includes the M extension space (funct7 0x01)
+      case kSystem:
+        return d.raw == 0x00000073; // ECALL, the halt convention
+      default:
+        return false;
+    }
+}
+
 bool
 writesRd(const Decoded &d)
 {

@@ -46,6 +46,31 @@ struct Decoded {
 /** Decode a raw 32-bit instruction word. */
 Decoded decode(uint32_t raw);
 
+/**
+ * Re-encode a decoded instruction into its 32-bit word.
+ *
+ * The exact inverse of decode() over the supported subset: for any
+ * word w with isLegal(decode(w)), encode(decode(w)) == w bit for bit
+ * (pinned exhaustively per opcode class in
+ * tests/riscv_roundtrip_test.cc). Fields that a format does not carry
+ * (e.g. rs2 of an I-type) are ignored; the immediate is re-packed from
+ * Decoded::imm, so OP-IMM shifts reproduce their funct7 bits through
+ * the immediate. Unsupported opcodes are a fatal().
+ */
+uint32_t encode(const Decoded &d);
+
+/**
+ * True when the decoded fields name a legal instruction of the
+ * supported subset; false for reserved or malformed encodings (bad
+ * branch funct3, OP funct7 outside {0x00, 0x20}, SUB/SRA funct7 on a
+ * non-subtract/shift operation, non-LW loads, non-SW stores, any
+ * SYSTEM word other than ECALL, ...). decode() itself never rejects —
+ * it is a pure field extractor — so feeders that must not execute
+ * garbage (the grader's fuzz corpus, the decode round-trip tests)
+ * filter through this predicate.
+ */
+bool isLegal(const Decoded &d);
+
 /** True when the instruction writes a destination register. */
 bool writesRd(const Decoded &d);
 

@@ -1,0 +1,34 @@
+# riscv-tests-style: OP/OP-IMM arithmetic, results stored for diffing.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200        # result region
+    li   t0, 1234
+    li   t1, -567
+    add  t2, t0, t1       # 667
+    sw   t2, 0(s0)
+    sub  t2, t0, t1       # 1801
+    sw   t2, 4(s0)
+    addi t2, t0, 2047     # max positive I-imm
+    sw   t2, 8(s0)
+    addi t2, t0, -2048    # min negative I-imm
+    sw   t2, 12(s0)
+    add  t2, t1, t1       # negative + negative
+    sw   t2, 16(s0)
+    sub  t2, x0, t0       # 0 - x: negation
+    sw   t2, 20(s0)
+    li   t3, 0x7fffffff
+    addi t4, t3, 1        # signed overflow wraps
+    sw   t4, 24(s0)
+    add  t5, t3, t3
+    sw   t5, 28(s0)
+    slt  t2, t1, t0       # signed compare: 1
+    sw   t2, 32(s0)
+    slt  t2, t0, t1       # 0
+    sw   t2, 36(s0)
+    sltu t2, t1, t0       # -567 unsigned is huge: 0
+    sw   t2, 40(s0)
+    slti t2, t1, 0        # 1
+    sw   t2, 44(s0)
+    sltiu t2, t0, 2000    # 1
+    sw   t2, 48(s0)
+    ecall

@@ -1,0 +1,49 @@
+# All six conditional branches, taken and not-taken each, including the
+# signed/unsigned split on negative operands. Each arm bumps a counter.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200
+    li   s1, 0            # taken-arm counter
+    li   t0, -1
+    li   t1, 1
+    beq  t0, t0, t_beq
+    j    n_beq
+t_beq:
+    addi s1, s1, 1
+n_beq:
+    bne  t0, t1, t_bne
+    j    n_bne
+t_bne:
+    addi s1, s1, 1
+n_bne:
+    blt  t0, t1, t_blt    # -1 < 1 signed: taken
+    j    n_blt
+t_blt:
+    addi s1, s1, 1
+n_blt:
+    bltu t0, t1, t_bltu   # 0xffffffff < 1 unsigned: not taken
+    addi s1, s1, 16
+    j    n_bltu
+t_bltu:
+    addi s1, s1, 64       # must not execute
+n_bltu:
+    bge  t1, t0, t_bge
+    j    n_bge
+t_bge:
+    addi s1, s1, 1
+n_bge:
+    bgeu t0, t1, t_bgeu   # unsigned: taken
+    j    n_bgeu
+t_bgeu:
+    addi s1, s1, 1
+n_bgeu:
+    beq  t0, t1, bad      # never
+    bne  t0, t0, bad
+    blt  t1, t0, bad
+    bge  t0, t1, bad
+    sw   s1, 0(s0)        # expect 21
+    ecall
+bad:
+    li   s1, -1
+    sw   s1, 0(s0)
+    ecall

@@ -1,0 +1,27 @@
+# Iterative Fibonacci: store F(0)..F(14) then the sum of the table.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200
+    li   t0, 0            # F(i)
+    li   t1, 1            # F(i+1)
+    li   t2, 15           # count
+    mv   s1, s0
+loop:
+    sw   t0, 0(s1)
+    add  t3, t0, t1
+    mv   t0, t1
+    mv   t1, t3
+    addi s1, s1, 4
+    addi t2, t2, -1
+    bnez t2, loop
+    li   t2, 15           # second pass: checksum the table
+    mv   s1, s0
+    li   t4, 0
+sum:
+    lw   t5, 0(s1)
+    add  t4, t4, t5
+    addi s1, s1, 4
+    addi t2, t2, -1
+    bnez t2, sum
+    sw   t4, 60(s0)
+    ecall

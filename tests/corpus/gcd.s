@@ -1,0 +1,31 @@
+# Euclid's algorithm by repeated subtraction over four pairs.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200
+    li   a0, 1071
+    li   a1, 462
+    jal  ra, gcd
+    sw   a0, 0(s0)        # 21
+    li   a0, 252
+    li   a1, 105
+    jal  ra, gcd
+    sw   a0, 4(s0)        # 21
+    li   a0, 17
+    li   a1, 5
+    jal  ra, gcd
+    sw   a0, 8(s0)        # 1
+    li   a0, 64
+    li   a1, 48
+    jal  ra, gcd
+    sw   a0, 12(s0)       # 16
+    ecall
+gcd:
+    beq  a0, a1, done
+    blt  a0, a1, swap
+    sub  a0, a0, a1
+    j    gcd
+swap:
+    sub  a1, a1, a0
+    j    gcd
+done:
+    jr   ra

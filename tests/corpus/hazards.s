@@ -1,0 +1,33 @@
+# Pipeline-hazard stress: load-use chains, back-to-back RAW deps,
+# store-to-load forwarding distance 1 and 2, and a WAW burst.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200
+    li   t0, 7
+    sw   t0, 0(s0)
+    lw   t1, 0(s0)        # load-use, distance 1
+    addi t1, t1, 1
+    sw   t1, 4(s0)
+    lw   t2, 4(s0)        # load-use feeding a branch
+    bnez t2, l1
+    addi s1, s1, 99       # never
+l1:
+    add  t3, t2, t2       # RAW chain
+    add  t3, t3, t3
+    add  t3, t3, t3       # 64
+    sw   t3, 8(s0)
+    sw   t3, 12(s0)       # store; load next cycle
+    lw   t4, 12(s0)
+    addi t4, t4, 1
+    sw   t4, 12(s0)       # store-load-store same word
+    lw   t5, 12(s0)
+    sw   t5, 16(s0)
+    li   t6, 1            # WAW burst: t6 rewritten back to back
+    li   t6, 2
+    li   t6, 3
+    sw   t6, 20(s0)
+    lw   s2, 8(s0)        # two outstanding loads back to back
+    lw   s3, 16(s0)
+    add  s4, s2, s3
+    sw   s4, 24(s0)
+    ecall

@@ -1,0 +1,29 @@
+# Load/store patterns: pointer walks, negative offsets, read-after-write
+# to the same slot, and a store that silently rewrites the same value.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200
+    li   t0, 0x11111111
+    li   t1, 0x22222222
+    sw   t0, 0(s0)
+    sw   t1, 4(s0)
+    lw   t2, 0(s0)        # read back
+    lw   t3, 4(s0)
+    add  t4, t2, t3
+    sw   t4, 8(s0)
+    addi s1, s0, 16       # pointer arithmetic
+    sw   t4, -4(s1)       # negative offset: same word as 12(s0)
+    lw   t5, 12(s0)
+    sw   t5, 16(s0)
+    sw   t0, 0(s0)        # silent store: same value again
+    li   s2, 4            # walk 4 slots forward
+    addi s3, s0, 32
+walk:
+    sw   s2, 0(s3)
+    lw   t6, 0(s3)
+    addi t6, t6, 100
+    sw   t6, 0(s3)        # overwrite just-written slot
+    addi s3, s3, 4
+    addi s2, s2, -1
+    bnez s2, walk
+    ecall

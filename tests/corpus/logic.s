@@ -1,0 +1,31 @@
+# Bitwise OP/OP-IMM coverage with asymmetric operand patterns.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200
+    li   t0, 0x0f0f0f0f
+    li   t1, 0x33cc33cc
+    and  t2, t0, t1
+    sw   t2, 0(s0)
+    or   t2, t0, t1
+    sw   t2, 4(s0)
+    xor  t2, t0, t1
+    sw   t2, 8(s0)
+    andi t2, t0, 0x7ff
+    sw   t2, 12(s0)
+    ori  t2, t0, -1       # all ones via sign-extended imm
+    sw   t2, 16(s0)
+    xori t2, t1, -1       # bitwise not
+    sw   t2, 20(s0)
+    not  t2, t0
+    sw   t2, 24(s0)
+    and  t2, t0, x0       # identity/zero laws
+    sw   t2, 28(s0)
+    or   t2, t1, x0
+    sw   t2, 32(s0)
+    xor  t2, t1, t1
+    sw   t2, 36(s0)
+    seqz t2, t2           # t2 was 0 -> 1
+    sw   t2, 40(s0)
+    snez t2, t0
+    sw   t2, 44(s0)
+    ecall

@@ -1,0 +1,39 @@
+# Build a source block, copy it, then checksum both halves.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200        # src
+    li   s1, 0x280        # dst
+    li   t0, 16           # words
+    li   t1, 0x1000
+    mv   t2, s0
+fill:                     # src[i] = 0x1000 + i*3
+    sw   t1, 0(t2)
+    addi t1, t1, 3
+    addi t2, t2, 4
+    addi t0, t0, -1
+    bnez t0, fill
+    li   t0, 16
+    mv   t2, s0
+    mv   t3, s1
+copy:
+    lw   t4, 0(t2)
+    sw   t4, 0(t3)
+    addi t2, t2, 4
+    addi t3, t3, 4
+    addi t0, t0, -1
+    bnez t0, copy
+    li   t0, 16           # checksum src ^ dst word-wise; must be zero
+    mv   t2, s0
+    mv   t3, s1
+    li   t5, 0
+check:
+    lw   t4, 0(t2)
+    lw   t6, 0(t3)
+    xor  t4, t4, t6
+    or   t5, t5, t4
+    addi t2, t2, 4
+    addi t3, t3, 4
+    addi t0, t0, -1
+    bnez t0, check
+    sw   t5, 0x2fc(x0)    # 0 when the copy is faithful
+    ecall

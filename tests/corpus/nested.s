@@ -1,0 +1,28 @@
+# Nested loops: a multiplication table by repeated addition (no MUL in
+# the subset), accumulating a grand total.
+#: mem 256
+#: max-cycles 100000
+    li   s0, 0x200
+    li   s1, 1            # i = 1..6
+    li   s4, 0            # grand total
+    mv   s5, s0
+iloop:
+    li   s2, 1            # j = 1..6
+jloop:
+    li   t0, 0            # t0 = i * j by adding i, j times
+    mv   t1, s2
+mul:
+    add  t0, t0, s1
+    addi t1, t1, -1
+    bnez t1, mul
+    add  s4, s4, t0
+    addi s2, s2, 1
+    li   t2, 6
+    ble  s2, t2, jloop
+    sw   s4, 0(s5)        # running total after row i
+    addi s5, s5, 4
+    addi s1, s1, 1
+    li   t2, 6
+    ble  s1, t2, iloop
+    sw   s4, 28(s0)       # 441 = (1+..+6)^2
+    ecall

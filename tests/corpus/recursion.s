@@ -1,0 +1,32 @@
+# Recursive Fibonacci with a real stack: exercises call/ret, stack
+# stores/loads, and deep jalr return chains. fib(10) = 55.
+#: mem 256
+#: max-cycles 200000
+    li   sp, 0x3f0        # stack top (grows down, stays in memory)
+    li   a0, 10
+    jal  ra, fib
+    li   s0, 0x200
+    sw   a0, 0(s0)        # 55
+    li   a0, 1
+    jal  ra, fib
+    sw   a0, 4(s0)        # 1
+    ecall
+fib:
+    li   t0, 2
+    blt  a0, t0, base
+    addi sp, sp, -12
+    sw   ra, 0(sp)
+    sw   a0, 4(sp)
+    addi a0, a0, -1
+    jal  ra, fib
+    sw   a0, 8(sp)        # fib(n-1)
+    lw   a0, 4(sp)
+    addi a0, a0, -2
+    jal  ra, fib
+    lw   t1, 8(sp)
+    add  a0, a0, t1
+    lw   ra, 0(sp)
+    addi sp, sp, 12
+    jr   ra
+base:
+    jr   ra               # fib(0)=0, fib(1)=1: a0 already correct

@@ -1,0 +1,32 @@
+# Shift semantics: logical vs arithmetic, by-register amounts masked
+# to 5 bits, and the 0/31 edge amounts.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200
+    li   t0, 0x80000001
+    slli t1, t0, 1
+    sw   t1, 0(s0)
+    srli t1, t0, 1
+    sw   t1, 4(s0)
+    srai t1, t0, 1        # sign bit smears
+    sw   t1, 8(s0)
+    srai t1, t0, 31       # all sign
+    sw   t1, 12(s0)
+    srli t1, t0, 31
+    sw   t1, 16(s0)
+    slli t1, t0, 0        # zero-amount is identity
+    sw   t1, 20(s0)
+    li   t2, 33           # register amounts use the low 5 bits only
+    sll  t1, t0, t2       # effective 1
+    sw   t1, 24(s0)
+    srl  t1, t0, t2
+    sw   t1, 28(s0)
+    sra  t1, t0, t2
+    sw   t1, 32(s0)
+    li   t3, 4
+    li   t4, 0x1234
+    sll  t1, t4, t3
+    sw   t1, 36(s0)
+    sra  t1, t4, t3
+    sw   t1, 40(s0)
+    ecall

@@ -1,0 +1,43 @@
+# Bubble sort eight words written from immediates, worst-case order.
+#: mem 256
+#: max-cycles 100000
+    li   s0, 0x200
+    li   t0, 80           # descending fill: 80,70,...,10
+    mv   t1, s0
+    li   t2, 8
+fill:
+    sw   t0, 0(t1)
+    addi t0, t0, -10
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, fill
+    li   s1, 7            # outer passes
+outer:
+    mv   t1, s0
+    mv   t2, s1
+inner:
+    lw   t3, 0(t1)
+    lw   t4, 4(t1)
+    ble  t3, t4, noswap
+    sw   t4, 0(t1)
+    sw   t3, 4(t1)
+noswap:
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, inner
+    addi s1, s1, -1
+    bnez s1, outer
+    li   t5, 0            # verify sortedness: OR of (a[i] > a[i+1])
+    mv   t1, s0
+    li   t2, 7
+verify:
+    lw   t3, 0(t1)
+    lw   t4, 4(t1)
+    sgt_check:
+    slt  t6, t4, t3       # 1 when out of order
+    or   t5, t5, t6
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, verify
+    sw   t5, 32(s0)       # 0 when sorted
+    ecall

@@ -1,0 +1,25 @@
+# Strided accesses: write every 3rd word of a 24-word region, then a
+# backward gather pass, mixing positive and negative offsets.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200
+    li   t0, 8            # 8 strided writes, stride 12 bytes
+    mv   t1, s0
+    li   t2, 5
+scatter:
+    sw   t2, 0(t1)
+    add  t2, t2, t2       # 5,10,20,... doubling payload
+    addi t1, t1, 12
+    addi t0, t0, -1
+    bnez t0, scatter
+    li   t0, 8            # gather backwards through the same slots
+    addi t1, t1, -12      # back to the last written slot
+    li   t3, 0
+gather:
+    lw   t4, 0(t1)
+    add  t3, t3, t4
+    addi t1, t1, -12
+    addi t0, t0, -1
+    bnez t0, gather
+    sw   t3, 0x2f0(x0)    # sum of the doubling series
+    ecall

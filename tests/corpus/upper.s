@@ -1,0 +1,28 @@
+# LUI / AUIPC / link-register semantics of JAL and JALR.
+#: mem 256
+#: max-cycles 50000
+    li   s0, 0x200
+    lui  t0, 0xfffff      # top bits
+    sw   t0, 0(s0)
+    lui  t1, 1
+    addi t1, t1, -1       # 0xfff
+    sw   t1, 4(s0)
+    auipc t2, 0           # pc of this instruction
+    sw   t2, 8(s0)
+    auipc t3, 16          # pc + (16 << 12)
+    sw   t3, 12(s0)
+    jal  t4, link1        # link = pc + 4
+link1:
+    sw   t4, 16(s0)
+    auipc t5, 0           # base for an indirect jump
+    addi t5, t5, 16       # address of 'after', 4 words ahead
+    jalr t6, 0(t5)
+    addi s1, s1, 99       # skipped by the jalr
+after:
+    sw   t6, 20(s0)       # link of the jalr
+    sw   s1, 24(s0)       # still zero
+    jal  x0, fin          # jal with x0 link: plain jump
+    addi s1, s1, 1        # skipped
+fin:
+    sw   s1, 28(s0)
+    ecall

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Decode round-trip coverage for src/isa/riscv.cc: over the supported
+ * subset, encode() is the exact inverse of decode() — for every legal
+ * word w, encode(decode(w)) == w bit for bit. Each opcode class is
+ * swept exhaustively over its register fields and function codes with
+ * boundary immediates, a seeded sweep hammers the property on random
+ * words, and the reserved encodings isLegal() documents are pinned as
+ * negatives so the grader's fuzz feeder can rely on the predicate.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/riscv.h"
+#include "support/rng.h"
+
+namespace assassyn {
+namespace isa {
+namespace {
+
+/** Round-trip one raw word; returns true when it was legal. */
+bool
+roundTrip(uint32_t raw)
+{
+    Decoded d = decode(raw);
+    if (!isLegal(d))
+        return false;
+    EXPECT_EQ(encode(d), raw)
+        << "round-trip mismatch for " << disassemble(d);
+    // A second trip through the decoder must reproduce every field.
+    Decoded d2 = decode(encode(d));
+    EXPECT_EQ(d2.opcode, d.opcode);
+    EXPECT_EQ(d2.rd, d.rd);
+    EXPECT_EQ(d2.rs1, d.rs1);
+    EXPECT_EQ(d2.rs2, d.rs2);
+    EXPECT_EQ(d2.funct3, d.funct3);
+    EXPECT_EQ(d2.funct7, d.funct7);
+    EXPECT_EQ(d2.imm, d.imm);
+    return true;
+}
+
+/** Representative 12-bit immediates: zero, ±1, and both extremes. */
+const uint32_t kImm12[] = {0x000, 0x001, 0x7ff, 0x800, 0xfff, 0x555};
+
+TEST(RiscvRoundTrip, UTypeExhaustiveRdWithBoundaryImmediates)
+{
+    const uint32_t imm20[] = {0x00000, 0x00001, 0x7ffff, 0x80000,
+                              0xfffff, 0xaaaaa};
+    size_t legal = 0;
+    for (uint32_t op : {uint32_t(kLui), uint32_t(kAuipc)})
+        for (uint32_t rd = 0; rd < 32; ++rd)
+            for (uint32_t imm : imm20)
+                legal += roundTrip(op | (rd << 7) | (imm << 12));
+    EXPECT_EQ(legal, 2u * 32 * 6); // every U-type encoding is legal
+}
+
+TEST(RiscvRoundTrip, JTypeExhaustiveRdWithBoundaryImmediates)
+{
+    // J-type scrambles imm[20|10:1|11|19:12]; sweep raw bit patterns of
+    // the scrambled field so every permuted lane is exercised.
+    const uint32_t immbits[] = {0x00000, 0xfffff, 0x80000, 0x00800,
+                                0x7f800, 0x003ff, 0x5a5a5};
+    for (uint32_t rd = 0; rd < 32; ++rd)
+        for (uint32_t bits : immbits)
+            EXPECT_TRUE(roundTrip(kJal | (rd << 7) | (bits << 12)));
+}
+
+TEST(RiscvRoundTrip, ITypeExhaustiveRegistersAndFunct3)
+{
+    size_t legal = 0, swept = 0;
+    for (uint32_t f3 = 0; f3 < 8; ++f3)
+        for (uint32_t rd = 0; rd < 32; ++rd)
+            for (uint32_t rs1 = 0; rs1 < 32; ++rs1)
+                for (uint32_t imm : kImm12) {
+                    for (uint32_t op :
+                         {uint32_t(kOpImm), uint32_t(kJalr),
+                          uint32_t(kLoad)}) {
+                        ++swept;
+                        legal += roundTrip(op | (rd << 7) | (f3 << 12) |
+                                           (rs1 << 15) | (imm << 20));
+                    }
+                }
+    EXPECT_GT(legal, 0u);
+    EXPECT_LT(legal, swept); // the shift and JALR/LW filters bit
+}
+
+TEST(RiscvRoundTrip, ShiftImmediatesCarryFunct7ThroughTheImmediate)
+{
+    // SLLI/SRLI/SRAI pack their shift amount in imm[4:0] and the
+    // SRA-vs-SRL discriminator in imm[11:5]; the round trip must keep
+    // both.
+    for (uint32_t shamt = 0; shamt < 32; ++shamt) {
+        EXPECT_TRUE(roundTrip(kOpImm | (1 << 7) | (1 << 12) | (2 << 15) |
+                              (shamt << 20))); // slli x1, x2, shamt
+        EXPECT_TRUE(roundTrip(kOpImm | (1 << 7) | (5 << 12) | (2 << 15) |
+                              (shamt << 20))); // srli
+        EXPECT_TRUE(roundTrip(kOpImm | (1 << 7) | (5 << 12) | (2 << 15) |
+                              (shamt << 20) | (0x20u << 25))); // srai
+    }
+}
+
+TEST(RiscvRoundTrip, RTypeExhaustiveFunctSpace)
+{
+    // All 128 funct7 values x all funct3: exactly {0x00 x any, 0x20 x
+    // {SUB, SRA}} survive, and each survivor round-trips.
+    size_t legal = 0;
+    for (uint32_t f7 = 0; f7 < 128; ++f7)
+        for (uint32_t f3 = 0; f3 < 8; ++f3)
+            for (uint32_t regs :
+                 {0u, (31u << 7) | (31u << 15) | (31u << 20),
+                  (5u << 7) | (10u << 15) | (17u << 20)})
+                legal += roundTrip(kOp | regs | (f3 << 12) | (f7 << 25));
+    EXPECT_EQ(legal, 3u * (8 + 2));
+}
+
+TEST(RiscvRoundTrip, SAndBTypesSplitImmediatesReassemble)
+{
+    // S-type splits imm[11:5|4:0]; B-type scrambles imm[12|10:5|4:1|11].
+    // Walk a one-hot pattern across the split fields.
+    for (uint32_t f3 : {0u, 1u, 4u, 5u, 6u, 7u}) // legal branch funct3
+        for (unsigned hi = 0; hi < 7; ++hi)
+            for (unsigned lo = 0; lo < 5; ++lo) {
+                uint32_t w = kBranch | (3 << 15) | (4 << 20) |
+                             (f3 << 12) | (1u << (25 + hi)) |
+                             (1u << (8 + lo));
+                EXPECT_TRUE(roundTrip(w));
+            }
+    for (unsigned hi = 0; hi < 7; ++hi)
+        for (unsigned lo = 0; lo < 5; ++lo) {
+            uint32_t w = kStore | (3 << 15) | (4 << 20) | (2 << 12) |
+                         (1u << (25 + hi)) | (1u << (7 + lo));
+            EXPECT_TRUE(roundTrip(w));
+        }
+}
+
+TEST(RiscvRoundTrip, SeededSweepHoldsOnRandomWords)
+{
+    Rng rng(0xdec0de);
+    size_t legal = 0;
+    for (int i = 0; i < 2'000'000; ++i)
+        legal += roundTrip(uint32_t(rng.next()));
+    // The subset is sparse but not vanishing: the sweep must actually
+    // exercise the property, not vacuously pass on all-illegal draws.
+    EXPECT_GT(legal, 10'000u);
+}
+
+TEST(RiscvRoundTrip, ReservedEncodingsAreRejected)
+{
+    auto illegal = [](uint32_t raw) { return !isLegal(decode(raw)); };
+
+    // BRANCH funct3 2 and 3 are reserved.
+    EXPECT_TRUE(illegal(kBranch | (2 << 12)));
+    EXPECT_TRUE(illegal(kBranch | (3 << 12)));
+    // JALR carries funct3 0 only.
+    EXPECT_TRUE(illegal(kJalr | (1 << 12)));
+    EXPECT_TRUE(illegal(kJalr | (7 << 12)));
+    // Word-addressed subset: LW/SW only; LB/LH/SB/SH are out.
+    for (uint32_t f3 : {0u, 1u, 4u, 5u}) {
+        EXPECT_TRUE(illegal(kLoad | (f3 << 12)));
+        EXPECT_TRUE(illegal(kStore | (f3 << 12)));
+    }
+    // Shift immediates: any funct7 other than 0x00 (and 0x20 for SRAI)
+    // is reserved.
+    EXPECT_TRUE(illegal(kOpImm | (1 << 12) | (0x20u << 25))); // "sub" slli
+    EXPECT_TRUE(illegal(kOpImm | (1 << 12) | (0x01u << 25)));
+    EXPECT_TRUE(illegal(kOpImm | (5 << 12) | (0x10u << 25)));
+    // OP funct7 outside {0x00, 0x20}: the whole M-extension space.
+    EXPECT_TRUE(illegal(kOp | (0x01u << 25)));               // mul
+    EXPECT_TRUE(illegal(kOp | (4 << 12) | (0x01u << 25)));   // div
+    // OP funct7 0x20 on anything but SUB/SRA.
+    for (uint32_t f3 : {1u, 2u, 3u, 4u, 6u, 7u})
+        EXPECT_TRUE(illegal(kOp | (f3 << 12) | (0x20u << 25)));
+    // SYSTEM: only the exact ECALL word halts; EBREAK and CSR ops don't.
+    EXPECT_FALSE(illegal(0x00000073)); // ecall
+    EXPECT_TRUE(illegal(0x00100073)); // ebreak
+    EXPECT_TRUE(illegal(kSystem | (1 << 12)));  // csrrw
+    // Major opcodes outside the subset (FENCE, AMO, compressed pads).
+    EXPECT_TRUE(illegal(0b0001111)); // fence
+    EXPECT_TRUE(illegal(0b0101111)); // amo
+    EXPECT_TRUE(illegal(0x00000000));
+    EXPECT_TRUE(illegal(0xffffffff));
+}
+
+} // namespace
+} // namespace isa
+} // namespace assassyn

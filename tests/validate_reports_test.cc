@@ -9,6 +9,9 @@
  *    B/E nesting per track;
  *  - assassyn.sweep.v1 (sim/sweep.h): per-run records and the merged
  *    section;
+ *  - assassyn.grade.v1 (src/grader): per-run verdicts with core,
+ *    status, retirement accounting, and — on failure — a divergence
+ *    object naming the first divergent retirement;
  *  - assassyn.bench.fig16.v2 (bench/fig16_sim_speed.cc): the tracked
  *    throughput report at the repo root.
  *
@@ -25,6 +28,8 @@
 
 #include "core/compiler/pass.h"
 #include "core/dsl/builder.h"
+#include "grader/corpus.h"
+#include "grader/grader.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 #include "support/jsonv.h"
@@ -216,6 +221,106 @@ TEST(ValidateReports, SweepV1HasPerRunRecordsAndMergedSection)
         EXPECT_TRUE(field(run, "metrics").isObject());
     }
     EXPECT_TRUE(field(doc, "merged").isObject());
+    std::remove(path.c_str());
+}
+
+/** Structural checks every verdict object must satisfy, passing or
+ *  failing: the diff-relevant fields exist, the enums carry known
+ *  values, and a divergence (when present) names its first divergent
+ *  retirement, cycle, and deltas. */
+void
+validateVerdict(const jsonv::Value &v)
+{
+    ASSERT_TRUE(v.isObject());
+    EXPECT_TRUE(field(v, "program").isString());
+    const jsonv::Value &core = field(v, "core");
+    ASSERT_TRUE(core.isString());
+    EXPECT_TRUE(core.string == "inorder" || core.string == "ooo");
+    const jsonv::Value &status = field(v, "status");
+    ASSERT_TRUE(status.isString());
+    EXPECT_TRUE(status.string == "pass" || status.string == "diverged" ||
+                status.string == "fault" || status.string == "hazard" ||
+                status.string == "timeout")
+        << status.string;
+    EXPECT_TRUE(field(v, "retirements").isNumber());
+    EXPECT_TRUE(field(v, "golden_retired").isNumber());
+    EXPECT_TRUE(field(v, "cycles").isNumber());
+    EXPECT_TRUE(field(v, "ipc").isNumber());
+    EXPECT_TRUE(field(v, "error").isString());
+    const jsonv::Value *div = v.find("divergence");
+    if (status.string == "diverged")
+        ASSERT_NE(div, nullptr);
+    if (div) {
+        EXPECT_TRUE(field(*div, "retirement").isNumber());
+        EXPECT_TRUE(field(*div, "cycle").isNumber());
+        EXPECT_TRUE(field(*div, "pc").isNumber());
+        EXPECT_TRUE(field(*div, "kind").isString());
+        const jsonv::Value &deltas = field(*div, "deltas");
+        ASSERT_TRUE(deltas.isArray());
+        for (const jsonv::Value &delta : deltas.array) {
+            EXPECT_TRUE(field(delta, "kind").isString());
+            EXPECT_TRUE(field(delta, "index").isNumber());
+            EXPECT_TRUE(field(delta, "expected").isNumber());
+            EXPECT_TRUE(field(delta, "actual").isNumber());
+        }
+    }
+}
+
+TEST(ValidateReports, GradeV1CarriesVerdictsAndDivergences)
+{
+    // One passing grade and one fault-injected divergence, so the
+    // validator sees both shapes of the verdict object.
+    grader::CorpusProgram prog;
+    prog.name = "validate-grade";
+    prog.mem_words = 64;
+    prog.max_cycles = 2000;
+    prog.source = "    li   t0, 5\n"
+                  "    li   t1, 0\n"
+                  "sum:\n"
+                  "    add  t1, t1, t0\n"
+                  "    addi t0, t0, -1\n"
+                  "    bnez t0, sum\n"
+                  "    sw   t1, 0x80(x0)\n"
+                  "    ecall\n";
+    grader::GradeReport report = grader::gradeCorpus(
+        {prog}, {grader::Core::kInOrder}, {grader::Engine::kEvent}, {},
+        1);
+    sim::FaultSpec spec;
+    spec.seed = 6;
+    spec.count = 1;
+    spec.first_cycle = 10;
+    spec.last_cycle = 14;
+    spec.fifos = false;
+    grader::GradeOptions opts;
+    opts.fault = spec;
+    grader::GradeRun faulted;
+    faulted.engine = grader::Engine::kEvent;
+    faulted.verdict = grader::gradeProgram(prog, grader::Core::kInOrder,
+                                           grader::Engine::kEvent, opts);
+    report.runs.push_back(faulted);
+
+    std::string path = tempPath("validate_grade.json");
+    report.write(path, "inline");
+
+    jsonv::Value doc = parseFile(path);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(field(doc, "schema").string, "assassyn.grade.v1");
+    EXPECT_EQ(field(doc, "corpus").string, "inline");
+    EXPECT_TRUE(field(doc, "pass").isBool());
+    const jsonv::Value &runs = field(doc, "runs");
+    ASSERT_TRUE(runs.isArray());
+    EXPECT_EQ(field(doc, "grades").u64(), runs.array.size());
+    ASSERT_EQ(runs.array.size(), 2u);
+    for (const jsonv::Value &run : runs.array) {
+        const jsonv::Value &engine = field(run, "engine");
+        ASSERT_TRUE(engine.isString());
+        EXPECT_TRUE(engine.string == "event" ||
+                    engine.string == "netlist");
+        EXPECT_TRUE(field(run, "seconds").isNumber());
+        validateVerdict(field(run, "verdict"));
+    }
+    EXPECT_EQ(field(field(runs.array[0], "verdict"), "status").string,
+              "pass");
     std::remove(path.c_str());
 }
 
