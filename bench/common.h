@@ -259,6 +259,29 @@ eatFlag(int &argc, char **argv, const char *flag)
     return false;
 }
 
+/**
+ * Consume a value-taking `--flag VALUE` pair from argv if present,
+ * storing VALUE into @p out and returning whether the flag was there.
+ * A trailing flag with no value is a fatal() — silently treating the
+ * next flag as the value would misparse the rest of the line.
+ */
+inline bool
+eatFlagValue(int &argc, char **argv, const char *flag, std::string &out)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], flag) == 0) {
+            if (i + 1 >= argc)
+                fatal("flag ", flag, " expects a value");
+            out = argv[i + 1];
+            for (int j = i; j + 2 < argc; ++j)
+                argv[j] = argv[j + 2];
+            argc -= 2;
+            return true;
+        }
+    }
+    return false;
+}
+
 /** Geometric mean. */
 inline double
 gmean(const std::vector<double> &xs)

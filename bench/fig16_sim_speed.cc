@@ -17,6 +17,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <thread>
 
 #include "baseline/gem5like.h"
@@ -68,7 +69,7 @@ struct SweepScaling {
  * honest wall-clock on whatever host ran it (docs/performance.md).
  */
 SweepScaling
-runSweepScaling(bool smoke)
+runSweepScaling(bool smoke, uint64_t ckpt_every)
 {
     auto image = isa::buildMemoryImage(isa::workload("vvadd"));
     auto cpu = designs::buildCpu(designs::BranchPolicy::kTaken, image);
@@ -84,6 +85,15 @@ runSweepScaling(bool smoke)
         cfg.sim.capture_logs = false;
         cfg.sim.shuffle = true;
         cfg.sim.shuffle_seed = i + 1;
+        // --ckpt-every: periodic per-instance checkpoints. Because a
+        // restore is byte-identical, the bit-identity assertion below
+        // holds with checkpointing on — the flag doubles as a live
+        // check that slicing perturbs nothing.
+        if (ckpt_every) {
+            cfg.ckpt_every = ckpt_every;
+            cfg.ckpt_path = artifactsDir() + "/fig16_" + cfg.name +
+                            ".ckpt.json";
+        }
         configs.push_back(cfg);
     }
 
@@ -187,8 +197,37 @@ writeBenchJson(const std::vector<ThroughputRow> &rows,
     std::printf("throughput report: %s\n", path.c_str());
 }
 
+/**
+ * --resume <manifest>: run one cpu.vvadd instance resumed from a
+ * checkpoint (e.g. one left behind by a --ckpt-every run) and print
+ * its row — the CLI face of the retry-from-checkpoint path
+ * (docs/robustness.md).
+ */
 void
-printTable(bool smoke, bool trace)
+runResumed(const std::string &manifest)
+{
+    auto image = isa::buildMemoryImage(isa::workload("vvadd"));
+    auto cpu = designs::buildCpu(designs::BranchPolicy::kTaken, image);
+    auto prog = sim::Program::compile(*cpu.sys);
+    sim::RunConfig cfg;
+    cfg.name = "resumed";
+    cfg.sim.capture_logs = false;
+    cfg.sim.shuffle = true;
+    cfg.resume_from = manifest;
+    sim::SweepReport rep =
+        sim::runSweep({cfg}, sim::eventInstance(prog), 1);
+    const sim::InstanceResult &run = rep.runs[0];
+    std::printf("-- resumed cpu.vvadd from %s --\n", manifest.c_str());
+    std::printf("%-8s %10s %10s %10s\n", "status", "ran", "end_cycle",
+                "seconds");
+    std::printf("%-8s %10llu %10llu %10.3f\n",
+                sim::runStatusName(run.result.status),
+                (unsigned long long)run.result.cycles,
+                (unsigned long long)run.end_cycle, run.seconds);
+}
+
+void
+printTable(bool smoke, bool trace, uint64_t ckpt_every)
 {
     std::printf("=== Fig. 16 (Q5): simulated k-cycles/s (and alignment) "
                 "===\n");
@@ -295,7 +334,7 @@ printTable(bool smoke, bool trace)
                 gmean(hls_speedups));
 
     // Sweep-runner thread scaling (compile once, run many).
-    SweepScaling sweep = runSweepScaling(smoke);
+    SweepScaling sweep = runSweepScaling(smoke, ckpt_every);
     std::printf("-- sweep runner: %zu instances of %s (%llu cycles each), "
                 "%u hardware threads --\n",
                 sweep.instances, sweep.design.c_str(),
@@ -357,11 +396,23 @@ main(int argc, char **argv)
     // micro-benchmarks. Keeps alignment + JSON emission on the CI path
     // without the multi-minute full sweep. --trace: record timelines for
     // the first CPU workload and a host phase profile (artifacts/).
+    // --ckpt-every N: periodic checkpoints during the sweep-scaling
+    // section; --resume <manifest>: run one instance resumed from a
+    // checkpoint before the table (docs/robustness.md).
     bool smoke = eatFlag(argc, argv, "--smoke");
     bool trace = eatFlag(argc, argv, "--trace");
+    std::string ckpt_every_str, resume_manifest;
+    eatFlagValue(argc, argv, "--ckpt-every", ckpt_every_str);
+    eatFlagValue(argc, argv, "--resume", resume_manifest);
+    uint64_t ckpt_every =
+        ckpt_every_str.empty()
+            ? 0
+            : std::strtoull(ckpt_every_str.c_str(), nullptr, 0);
     if (trace)
         HostProfiler::instance().enable();
-    printTable(smoke, trace);
+    if (!resume_manifest.empty())
+        runResumed(resume_manifest);
+    printTable(smoke, trace, ckpt_every);
     if (smoke)
         return 0;
     ::benchmark::Initialize(&argc, argv);

@@ -57,7 +57,13 @@ usage(const char *argv0)
                  "  --json <path>      write the assassyn.grade.v1 "
                  "report\n"
                  "  --trace <path>     Perfetto timeline; requires a "
-                 "single-run selection\n",
+                 "single-run selection\n"
+                 "  --ckpt-every <n>   checkpoint every n cycles; "
+                 "requires a single-run selection\n"
+                 "  --ckpt <path>      checkpoint manifest path "
+                 "(default: <prog>.<core>.<engine>.ckpt.json)\n"
+                 "  --resume <path>    resume a grade from a checkpoint "
+                 "manifest; requires a single-run selection\n",
                  argv0);
     return 2;
 }
@@ -70,9 +76,11 @@ main(int argc, char **argv)
     std::string corpus_dir = std::string(ASSASSYN_SOURCE_DIR) +
                              "/tests/corpus";
     std::string filter, json_path, trace_path;
+    std::string ckpt_path, resume_path;
     bool list_only = false;
     std::string core_sel = "both", engine_sel = "both";
     uint64_t fuzz_count = 0, fuzz_seed = 1, max_cycles = 0;
+    uint64_t ckpt_every = 0;
     size_t workers = std::thread::hardware_concurrency();
 
     for (int i = 1; i < argc; ++i) {
@@ -107,6 +115,12 @@ main(int argc, char **argv)
             json_path = next("--json");
         } else if (arg == "--trace") {
             trace_path = next("--trace");
+        } else if (arg == "--ckpt-every") {
+            ckpt_every = std::strtoull(next("--ckpt-every"), nullptr, 0);
+        } else if (arg == "--ckpt") {
+            ckpt_path = next("--ckpt");
+        } else if (arg == "--resume") {
+            resume_path = next("--resume");
         } else {
             std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                          arg.c_str());
@@ -172,6 +186,26 @@ main(int argc, char **argv)
                       "with --filter/--core/--engine to a single "
                       "(program, core, engine)");
             opts.timeline_path = trace_path;
+        }
+        if (ckpt_every || !resume_path.empty()) {
+            if (programs.size() * cores.size() * engines.size() != 1)
+                fatal("--ckpt-every/--resume apply to one run: narrow "
+                      "the selection with --filter/--core/--engine to "
+                      "a single (program, core, engine)");
+            opts.ckpt_every = ckpt_every;
+            opts.resume_from = resume_path;
+            if (ckpt_every) {
+                opts.ckpt_path =
+                    ckpt_path.empty()
+                        ? programs[0].name + "." +
+                              grader::coreName(cores[0]) + "." +
+                              grader::engineName(engines[0]) +
+                              ".ckpt.json"
+                        : ckpt_path;
+                std::printf("checkpointing every %llu cycles to %s\n",
+                            (unsigned long long)ckpt_every,
+                            opts.ckpt_path.c_str());
+            }
         }
 
         grader::GradeReport report = grader::gradeCorpus(

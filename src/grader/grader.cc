@@ -8,6 +8,7 @@
 #include "isa/iss.h"
 #include "rtl/netlist.h"
 #include "rtl/netlist_sim.h"
+#include "sim/ckpt.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 #include "support/json.h"
@@ -224,6 +225,87 @@ template <typename SimT> struct Lockstep {
         scanMemory(cycle);
         checkRetirements(cycle);
     }
+
+    /**
+     * Append the lockstep cursor as a "grader" section. The ISS and
+     * shadow memory are *not* serialized: both are deterministic
+     * functions of (image, retirement) and of the DUT memory at the
+     * boundary, so restoreFrom() reconstructs them instead.
+     */
+    void
+    saveTo(sim::Snapshot &snap) const
+    {
+        sim::ByteWriter w;
+        w.u64(seen_retired);
+        w.u64(retirement);
+        w.u64(store_cursor);
+        w.u8(div ? 1 : 0);
+        if (div) {
+            w.u64(div->retirement);
+            w.u64(div->cycle);
+            w.u64(div->pc);
+            w.str(div->kind);
+            w.u32(uint32_t(div->deltas.size()));
+            for (const StateDelta &d : div->deltas) {
+                w.str(d.kind);
+                w.u64(d.index);
+                w.u64(d.expected);
+                w.u64(d.actual);
+            }
+        }
+        snap.add("grader", w.take());
+    }
+
+    /**
+     * Rewind the diffing cursor to @p snap. Must run *after* the
+     * engine's own restore(): the shadow memory is rebuilt by reading
+     * the restored DUT arrays. The golden ISS is replayed one
+     * retirement at a time — stepOne() is deterministic, so the replay
+     * lands on the exact mid-run ISS state (pc, registers, memory).
+     */
+    void
+    restoreFrom(const sim::Snapshot &snap)
+    {
+        sim::ByteReader r = snap.reader("grader");
+        seen_retired = r.u64();
+        retirement = r.u64();
+        store_cursor = r.u64();
+        if (retirement > gold->retired)
+            fatal("checkpoint: grader section claims ", retirement,
+                  " retirements but the golden run only has ",
+                  gold->retired);
+        if (store_cursor > gold->stores.size())
+            fatal("checkpoint: grader store cursor ", store_cursor,
+                  " exceeds the golden store count ",
+                  gold->stores.size());
+        for (uint64_t i = 0; i < retirement && !iss.stats().halted; ++i)
+            iss.stepOne();
+        for (size_t w = 0; w < shadow.size(); ++w)
+            shadow[w] = uint32_t(sim->readArray(h.mem, w));
+        if (r.flag()) {
+            Divergence d;
+            d.retirement = r.u64();
+            d.cycle = r.u64();
+            d.pc = r.u64();
+            d.kind = r.str(256);
+            uint32_t n = r.u32();
+            if (n > 4096)
+                fatal("checkpoint: grader divergence claims ", n,
+                      " deltas (cap 4096)");
+            for (uint32_t i = 0; i < n; ++i) {
+                StateDelta delta;
+                delta.kind = r.str(256);
+                delta.index = r.u64();
+                delta.expected = r.u64();
+                delta.actual = r.u64();
+                d.deltas.push_back(delta);
+            }
+            div = std::move(d);
+        } else {
+            div.reset();
+        }
+        r.expectEnd();
+    }
 };
 
 /** Post-run whole-state diff for runs that never visibly diverged. */
@@ -287,7 +369,30 @@ runGrade(const CorpusProgram &prog, Core core, SimT &sim,
         inj->attach(sim);
     }
 
-    sim::RunResult result = sim.run(prog.max_cycles);
+    if (!opts.resume_from.empty()) {
+        sim::Snapshot snap = sim::loadCheckpoint(opts.resume_from);
+        sim.restore(snap);
+        ls.restoreFrom(snap);
+    }
+    const bool periodic = opts.ckpt_every > 0 && !opts.ckpt_path.empty();
+    sim::RunResult result;
+    for (;;) {
+        uint64_t at = sim.cycle();
+        uint64_t remaining =
+            prog.max_cycles > at ? prog.max_cycles - at : 0;
+        uint64_t slice = remaining;
+        if (periodic && opts.ckpt_every < remaining)
+            slice = opts.ckpt_every;
+        result = sim.run(slice);
+        if (result.status != sim::RunStatus::kMaxCycles ||
+            sim.cycle() >= prog.max_cycles)
+            break;
+        if (periodic) {
+            sim::Snapshot snap = sim.snapshot();
+            ls.saveTo(snap);
+            sim::saveCheckpoint(snap, opts.ckpt_path);
+        }
+    }
     v.retirements = ls.retirement;
     v.cycles = sim.cycle();
     v.ipc = v.cycles ? double(v.retirements) / double(v.cycles) : 0.0;

@@ -120,6 +120,20 @@ struct GradeOptions {
 
     /** Cap on deltas recorded per divergence. */
     size_t max_deltas = 8;
+
+    /**
+     * Periodic checkpointing (docs/robustness.md): when nonzero AND
+     * ckpt_path is nonempty, the grade runs in ckpt_every-cycle slices
+     * and persists a checkpoint after each slice — the engine snapshot
+     * plus a "grader" section carrying the lockstep diffing cursor, so
+     * a resumed grade reproduces the uninterrupted verdict byte for
+     * byte.
+     */
+    uint64_t ckpt_every = 0;
+    std::string ckpt_path; ///< manifest path for periodic checkpoints
+
+    /** When nonempty, resume the grade from this checkpoint manifest. */
+    std::string resume_from;
 };
 
 /** Grade one program on one core under one engine. */

@@ -1,5 +1,6 @@
 #include "rtl/netlist_sim.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "support/bits.h"
@@ -713,6 +714,246 @@ NetlistSim::metrics() const
         reg.set("trace.dropped_events", rec->eventsDropped());
     }
     return reg;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore. Section layouts mirror simulator.cc byte for
+// byte (that file is the canonical definition): the same System IR
+// ordering, the same field sequence, the same entry normalization —
+// which is what makes a netlist snapshot restorable by the event
+// engine and vice versa (tests/ckpt_test.cc pins the byte identity).
+// ---------------------------------------------------------------------------
+
+sim::Snapshot
+NetlistSim::snapshot() const
+{
+    const Impl &im = *impl_;
+    const System &sys = im.nl.sys();
+    if (im.hazard_flag)
+        fatal("snapshot: the run of '", sys.name(),
+              "' already ended with a ",
+              sim::runStatusName(im.hazard_status), " verdict at cycle ",
+              im.cycle, "; verdict runs are not resumable");
+    sim::Snapshot snap;
+    snap.design = sys.name();
+    snap.engine = "netlist";
+    snap.cycle = im.cycle;
+    {
+        sim::ByteWriter w;
+        w.u64(im.cycle);
+        w.u8(im.finished ? 1 : 0);
+        // The event engine's finish_pending; at a cycle boundary it
+        // always equals finished on both engines.
+        w.u8(im.finished ? 1 : 0);
+        w.u64(im.quiet_cycles);
+        w.u8(im.poked ? 1 : 0);
+        w.u64(im.total_execs);
+        w.u64(im.total_events);
+        snap.add("meta", w.take());
+    }
+    {
+        sim::ByteWriter w;
+        w.u32(uint32_t(im.arrays.size()));
+        for (const auto &arr : sys.arrays()) {
+            const std::vector<uint64_t> &data = im.arrays[arr->id()];
+            w.u32(uint32_t(data.size()));
+            for (uint64_t word : data)
+                w.u64(word);
+            w.u64(im.array_writes[arr->id()]);
+        }
+        snap.add("arrays", w.take());
+    }
+    {
+        sim::ByteWriter w;
+        w.u32(uint32_t(im.fifos.size()));
+        for (const auto &mod : sys.modules()) {
+            for (const auto &port : mod->ports()) {
+                const FifoRt &f = im.fifos[im.nl.fifoIndex(port.get())];
+                w.u32(uint32_t(f.buf.size()));
+                w.u32(f.count);
+                for (uint32_t i = 0; i < f.count; ++i)
+                    w.u64(f.buf[(f.head + i) % f.buf.size()]);
+                w.u64(f.pushes);
+                w.u64(f.pops);
+                w.u64(f.drops);
+                w.u64(f.stall_cycles);
+                w.u64(f.occupancy.high_water);
+                w.u64(f.occupancy.samples);
+                w.vec64(f.occupancy.buckets);
+            }
+        }
+        snap.add("fifos", w.take());
+    }
+    {
+        sim::ByteWriter w;
+        w.u32(uint32_t(im.mod_stats.size()));
+        for (const auto &mod : sys.modules()) {
+            const ModStat &st = im.mod_stats[im.stat_of_mod[mod->id()]];
+            w.u64(im.pendingOf(st));
+            w.u64(st.execs);
+            w.u64(st.wait_spins);
+            w.u64(st.idle_cycles);
+            w.u64(st.events_in);
+            w.u64(st.saturations);
+            w.u64(st.bp_stalls);
+        }
+        snap.add("mods", w.take());
+    }
+    {
+        sim::ByteWriter w;
+        w.u32(uint32_t(im.logs.size()));
+        for (const std::string &line : im.logs)
+            w.str(line);
+        snap.add("logs", w.take());
+    }
+    if (im.recorder) {
+        sim::ByteWriter w;
+        im.recorder->serialize(w);
+        snap.add("trace", w.take());
+    }
+    return snap;
+}
+
+void
+NetlistSim::restore(const sim::Snapshot &snap)
+{
+    Impl &im = *impl_;
+    const System &sys = im.nl.sys();
+    if (snap.design != sys.name())
+        fatal("checkpoint: snapshot of design '", snap.design,
+              "' cannot restore into a run of '", sys.name(), "'");
+    {
+        sim::ByteReader r = snap.reader("meta");
+        im.cycle = r.u64();
+        im.finished = r.flag();
+        r.flag(); // finish_pending: equals finished at every boundary
+        im.quiet_cycles = r.u64();
+        im.poked = r.flag();
+        im.total_execs = r.u64();
+        im.total_events = r.u64();
+        r.expectEnd();
+    }
+    if (im.cycle != snap.cycle)
+        fatal("checkpoint: header cycle ", snap.cycle,
+              " disagrees with section 'meta' cycle ", im.cycle);
+    {
+        sim::ByteReader r = snap.reader("arrays");
+        uint32_t count = r.u32();
+        if (count != im.arrays.size())
+            fatal("checkpoint: section 'arrays' carries ", count,
+                  " array(s), design '", sys.name(), "' has ",
+                  im.arrays.size());
+        for (const auto &arr : sys.arrays()) {
+            std::vector<uint64_t> &data = im.arrays[arr->id()];
+            uint32_t size = r.u32();
+            if (size != data.size())
+                fatal("checkpoint: array '", arr->name(), "' has ", size,
+                      " element(s) in the snapshot, ", data.size(),
+                      " in the design");
+            for (uint64_t &word : data)
+                word = r.u64();
+            im.array_writes[arr->id()] = r.u64();
+            im.array_version[arr->id()] = 0;
+        }
+        r.expectEnd();
+    }
+    {
+        sim::ByteReader r = snap.reader("fifos");
+        uint32_t count = r.u32();
+        if (count != im.fifos.size())
+            fatal("checkpoint: section 'fifos' carries ", count,
+                  " FIFO(s), design '", sys.name(), "' has ",
+                  im.fifos.size());
+        for (const auto &mod : sys.modules()) {
+            for (const auto &port : mod->ports()) {
+                FifoRt &f = im.fifos[im.nl.fifoIndex(port.get())];
+                uint32_t depth = r.u32();
+                if (depth != f.buf.size())
+                    fatal("checkpoint: FIFO '", port->fullName(),
+                          "' has depth ", depth, " in the snapshot, ",
+                          f.buf.size(), " in the design");
+                uint32_t occ = r.u32();
+                if (occ > depth)
+                    fatal("checkpoint: FIFO '", port->fullName(),
+                          "' claims occupancy ", occ, " above depth ",
+                          depth);
+                std::fill(f.buf.begin(), f.buf.end(), 0);
+                f.head = 0;
+                f.count = occ;
+                for (uint32_t i = 0; i < occ; ++i)
+                    f.buf[i] = r.u64();
+                f.pushes = r.u64();
+                f.pops = r.u64();
+                f.drops = r.u64();
+                f.stall_cycles = r.u64();
+                f.occupancy.high_water = r.u64();
+                f.occupancy.samples = r.u64();
+                std::vector<uint64_t> buckets =
+                    r.vec64(f.occupancy.buckets.size());
+                if (buckets.size() != f.occupancy.buckets.size())
+                    fatal("checkpoint: FIFO '", port->fullName(),
+                          "' occupancy histogram has ", buckets.size(),
+                          " bucket(s), expected ",
+                          f.occupancy.buckets.size());
+                f.occupancy.buckets = std::move(buckets);
+            }
+        }
+        r.expectEnd();
+    }
+    {
+        sim::ByteReader r = snap.reader("mods");
+        uint32_t count = r.u32();
+        if (count != im.mod_stats.size())
+            fatal("checkpoint: section 'mods' carries ", count,
+                  " module(s), design '", sys.name(), "' has ",
+                  im.mod_stats.size());
+        for (const auto &mod : sys.modules()) {
+            ModStat &st = im.mod_stats[im.stat_of_mod[mod->id()]];
+            uint64_t pending = r.u64();
+            if (st.counter_idx >= 0)
+                im.counters[st.counter_idx] = pending;
+            else if (pending != 0)
+                fatal("checkpoint: stage '", mod->name(),
+                      "' has no event counter but the snapshot claims ",
+                      pending, " pending event(s)");
+            st.execs = r.u64();
+            st.wait_spins = r.u64();
+            st.idle_cycles = r.u64();
+            st.events_in = r.u64();
+            st.saturations = r.u64();
+            st.bp_stalls = r.u64();
+            st.bp_stalled = false;
+        }
+        r.expectEnd();
+    }
+    {
+        sim::ByteReader r = snap.reader("logs");
+        uint32_t count = r.u32();
+        im.logs.clear();
+        for (uint32_t i = 0; i < count; ++i)
+            im.logs.push_back(r.str(size_t(1) << 20));
+        r.expectEnd();
+    }
+    // Nets are cycle-transient: step() re-drives every state-derived
+    // net before evaluation. Zero them, re-apply elaborated constants,
+    // and invalidate every activity-gating cone so the first resumed
+    // cycle evaluates from the restored sequential state.
+    std::fill(im.nets.begin(), im.nets.end(), 0);
+    for (const auto &[net, value] : im.nl.constNets())
+        im.nets[net] = value;
+    for (ConeRt &rt : im.cone_rt) {
+        rt.valid = false;
+        std::fill(rt.sig.begin(), rt.sig.end(), 0);
+        std::fill(rt.aver.begin(), rt.aver.end(), 0);
+    }
+    im.hazard_flag = false;
+    im.hazard_status = sim::RunStatus::kMaxCycles;
+    im.hazard = sim::HazardReport{};
+    if (im.recorder && snap.find("trace")) {
+        sim::ByteReader r = snap.reader("trace");
+        im.recorder->deserialize(r);
+        r.expectEnd();
+    }
 }
 
 void

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "rtl/netlist.h"
+#include "sim/ckpt.h"
 #include "sim/hazard.h"
 #include "sim/metrics.h"
 #include "sim/trace.h"
@@ -120,6 +121,28 @@ class NetlistSim {
      * the paper's cycle-alignment guarantee extends to every key here.
      */
     sim::MetricsRegistry metrics() const;
+
+    /**
+     * Serialize every piece of mutable run state into an
+     * engine-portable sim::Snapshot (sim/ckpt.h). Sections are keyed
+     * off the shared System IR (never netlist-private dense ids), so
+     * for the same design at the same cycle they are byte-identical to
+     * a sim::Simulator snapshot. Nets are *not* serialized: step()
+     * re-derives every state-driven net from sequential state at the
+     * top of each cycle, so the sequential sections alone reconstruct
+     * the machine. Must be taken between run() calls; a run that ended
+     * with a watchdog verdict fatal()s here.
+     */
+    sim::Snapshot snapshot() const;
+
+    /**
+     * Rewind this instance to @p snap (from either engine). Layout
+     * mismatches are structured FatalErrors. Nets are zeroed,
+     * constants re-applied, and every activity-gating cone
+     * invalidated, so the first resumed cycle re-evaluates everything
+     * from the restored sequential state.
+     */
+    void restore(const sim::Snapshot &snap);
 
     /** Hook fired before each cycle's combinational evaluation. */
     void addPreCycleHook(CycleHook hook);

@@ -785,6 +785,258 @@ Simulator::metrics() const
     return reg;
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint/restore (sim/ckpt.h). Section layouts here are the
+// canonical definition both engines implement; netlist_sim.cc emits
+// byte-identical sections for the same design at the same cycle, which
+// is what makes snapshots engine-portable (tests/ckpt_test.cc pins the
+// cross-backend byte identity). Ordering is always the shared System
+// IR: arrays in RegArray::id order, FIFOs in module/port declaration
+// order, modules in Module::id order — never a backend's private dense
+// numbering.
+// ---------------------------------------------------------------------------
+
+Snapshot
+Simulator::snapshot() const
+{
+    const Impl &im = *impl_;
+    if (im.hazard_flag)
+        fatal("snapshot: the run of '", im.sys.name(),
+              "' already ended with a ", runStatusName(im.hazard_status),
+              " verdict at cycle ", im.cycle,
+              "; verdict runs are not resumable");
+    Snapshot snap;
+    snap.design = im.sys.name();
+    snap.engine = "event";
+    snap.cycle = im.cycle;
+    {
+        ByteWriter w;
+        w.u64(im.cycle);
+        w.u8(im.finished ? 1 : 0);
+        w.u8(im.finish_pending ? 1 : 0);
+        w.u64(im.quiet_cycles);
+        w.u8(im.poked ? 1 : 0);
+        w.u64(im.total_execs);
+        w.u64(im.total_subs);
+        snap.add("meta", w.take());
+    }
+    {
+        ByteWriter w;
+        w.u32(uint32_t(im.arrays.size()));
+        for (const auto &arr : im.sys.arrays()) {
+            const ArrState &a = im.arrays[arr->id()];
+            w.u32(uint32_t(a.data.size()));
+            for (uint64_t word : a.data)
+                w.u64(word);
+            w.u64(a.writes);
+        }
+        snap.add("arrays", w.take());
+    }
+    {
+        ByteWriter w;
+        w.u32(uint32_t(im.fifos.size()));
+        for (const auto &mod : im.sys.modules()) {
+            for (const auto &port : mod->ports()) {
+                const FifoState &f = im.fifos[im.fifoIndex(port.get())];
+                w.u32(uint32_t(f.buf.size()));
+                w.u32(f.count);
+                // Entries head-first, so restore lays them out from
+                // index 0 with head = 0 — physical head position is
+                // not architectural.
+                for (uint32_t i = 0; i < f.count; ++i)
+                    w.u64(f.buf[(f.head + i) % f.buf.size()]);
+                w.u64(f.pushes);
+                w.u64(f.pops);
+                w.u64(f.drops);
+                w.u64(f.stall_cycles);
+                w.u64(f.occupancy.high_water);
+                w.u64(f.occupancy.samples);
+                w.vec64(f.occupancy.buckets);
+            }
+        }
+        snap.add("fifos", w.take());
+    }
+    {
+        ByteWriter w;
+        w.u32(uint32_t(im.mods.size()));
+        for (const auto &mod : im.sys.modules()) {
+            const ModState &ms = im.mods[mod->id()];
+            w.u64(ms.pending);
+            w.u64(ms.execs);
+            w.u64(ms.wait_spins);
+            w.u64(ms.idle_cycles);
+            w.u64(ms.events_in);
+            w.u64(ms.saturations);
+            w.u64(ms.bp_stalls);
+        }
+        snap.add("mods", w.take());
+    }
+    {
+        ByteWriter w;
+        w.u32(uint32_t(im.logs.size()));
+        for (const std::string &line : im.logs)
+            w.str(line);
+        snap.add("logs", w.take());
+    }
+    if (im.recorder) {
+        ByteWriter w;
+        im.recorder->serialize(w);
+        snap.add("trace", w.take());
+    }
+    {
+        ByteWriter w;
+        for (uint64_t word : im.rng.state())
+            w.u64(word);
+        snap.add("event.rng", w.take());
+    }
+    return snap;
+}
+
+void
+Simulator::restore(const Snapshot &snap)
+{
+    Impl &im = *impl_;
+    if (snap.design != im.sys.name())
+        fatal("checkpoint: snapshot of design '", snap.design,
+              "' cannot restore into a run of '", im.sys.name(), "'");
+    {
+        ByteReader r = snap.reader("meta");
+        im.cycle = r.u64();
+        im.finished = r.flag();
+        im.finish_pending = r.flag();
+        im.quiet_cycles = r.u64();
+        im.poked = r.flag();
+        im.total_execs = r.u64();
+        im.total_subs = r.u64();
+        r.expectEnd();
+    }
+    if (im.cycle != snap.cycle)
+        fatal("checkpoint: header cycle ", snap.cycle,
+              " disagrees with section 'meta' cycle ", im.cycle);
+    {
+        ByteReader r = snap.reader("arrays");
+        uint32_t count = r.u32();
+        if (count != im.arrays.size())
+            fatal("checkpoint: section 'arrays' carries ", count,
+                  " array(s), design '", im.sys.name(), "' has ",
+                  im.arrays.size());
+        for (const auto &arr : im.sys.arrays()) {
+            ArrState &a = im.arrays[arr->id()];
+            uint32_t size = r.u32();
+            if (size != a.data.size())
+                fatal("checkpoint: array '", arr->name(), "' has ", size,
+                      " element(s) in the snapshot, ", a.data.size(),
+                      " in the design");
+            for (uint64_t &word : a.data)
+                word = r.u64();
+            a.writes = r.u64();
+            a.write_pending = false;
+        }
+        r.expectEnd();
+    }
+    {
+        ByteReader r = snap.reader("fifos");
+        uint32_t count = r.u32();
+        if (count != im.fifos.size())
+            fatal("checkpoint: section 'fifos' carries ", count,
+                  " FIFO(s), design '", im.sys.name(), "' has ",
+                  im.fifos.size());
+        for (const auto &mod : im.sys.modules()) {
+            for (const auto &port : mod->ports()) {
+                FifoState &f = im.fifos[im.fifoIndex(port.get())];
+                uint32_t depth = r.u32();
+                if (depth != f.buf.size())
+                    fatal("checkpoint: FIFO '", port->fullName(),
+                          "' has depth ", depth, " in the snapshot, ",
+                          f.buf.size(), " in the design");
+                uint32_t occ = r.u32();
+                if (occ > depth)
+                    fatal("checkpoint: FIFO '", port->fullName(),
+                          "' claims occupancy ", occ, " above depth ",
+                          depth);
+                std::fill(f.buf.begin(), f.buf.end(), 0);
+                f.head = 0;
+                f.count = occ;
+                for (uint32_t i = 0; i < occ; ++i)
+                    f.buf[i] = r.u64();
+                f.pushes = r.u64();
+                f.pops = r.u64();
+                f.drops = r.u64();
+                f.stall_cycles = r.u64();
+                f.occupancy.high_water = r.u64();
+                f.occupancy.samples = r.u64();
+                std::vector<uint64_t> buckets =
+                    r.vec64(f.occupancy.buckets.size());
+                if (buckets.size() != f.occupancy.buckets.size())
+                    fatal("checkpoint: FIFO '", port->fullName(),
+                          "' occupancy histogram has ", buckets.size(),
+                          " bucket(s), expected ",
+                          f.occupancy.buckets.size());
+                f.occupancy.buckets = std::move(buckets);
+                f.push_pending = false;
+                f.deq_pending = false;
+                f.push_src = nullptr;
+            }
+        }
+        r.expectEnd();
+    }
+    {
+        ByteReader r = snap.reader("mods");
+        uint32_t count = r.u32();
+        if (count != im.mods.size())
+            fatal("checkpoint: section 'mods' carries ", count,
+                  " module(s), design '", im.sys.name(), "' has ",
+                  im.mods.size());
+        for (const auto &mod : im.sys.modules()) {
+            ModState &ms = im.mods[mod->id()];
+            ms.pending = r.u64();
+            ms.execs = r.u64();
+            ms.wait_spins = r.u64();
+            ms.idle_cycles = r.u64();
+            ms.events_in = r.u64();
+            ms.saturations = r.u64();
+            ms.bp_stalls = r.u64();
+            ms.inc = 0;
+            ms.dec = false;
+            ms.strobe = false;
+            ms.waited = false;
+            ms.bp_stalled = false;
+        }
+        r.expectEnd();
+    }
+    {
+        ByteReader r = snap.reader("logs");
+        uint32_t count = r.u32();
+        im.logs.clear();
+        for (uint32_t i = 0; i < count; ++i)
+            im.logs.push_back(r.str(size_t(1) << 20));
+        r.expectEnd();
+    }
+    // Slots are cycle-transient (rewritten by the shadow pass before
+    // any read); a fresh init is exact.
+    im.slots = im.prog->slotInit();
+    im.hazard_flag = false;
+    im.hazard_status = RunStatus::kMaxCycles;
+    im.hazard = HazardReport{};
+    // The shuffle RNG rides only event-engine snapshots; restoring a
+    // netlist snapshot keeps the constructor seed (documented caveat:
+    // a shuffled event run resumed from a netlist snapshot replays the
+    // stream from its seed).
+    if (snap.find("event.rng")) {
+        ByteReader r = snap.reader("event.rng");
+        std::array<uint64_t, 4> state;
+        for (uint64_t &word : state)
+            word = r.u64();
+        r.expectEnd();
+        im.rng.setState(state);
+    }
+    if (im.recorder && snap.find("trace")) {
+        ByteReader r = snap.reader("trace");
+        im.recorder->deserialize(r);
+        r.expectEnd();
+    }
+}
+
 void
 Simulator::addPreCycleHook(CycleHook hook)
 {

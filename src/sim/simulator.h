@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/ir/system.h"
+#include "sim/ckpt.h"
 #include "sim/hazard.h"
 #include "sim/metrics.h"
 #include "sim/program.h"
@@ -196,6 +197,29 @@ class Simulator {
      * snapshot of an rtl::NetlistSim run over the same design.
      */
     MetricsRegistry metrics() const;
+
+    /**
+     * Serialize every piece of mutable run state into an
+     * engine-portable Snapshot (sim/ckpt.h, docs/robustness.md). Must
+     * be taken between run() calls — i.e. at a cycle boundary. A run
+     * that already ended with a watchdog verdict is not resumable and
+     * fatal()s here; take checkpoints *before* the verdict instead
+     * (runSweep's periodic checkpointing does exactly that).
+     */
+    Snapshot snapshot() const;
+
+    /**
+     * Rewind this instance to @p snap. The instance must have been
+     * built from the same design (and, for byte-identical timelines,
+     * the same timeline options); layout mismatches are structured
+     * FatalErrors. Accepts snapshots from either engine: all
+     * architectural sections are engine-independent, and the
+     * event-only shuffle RNG section is re-seeded fresh when absent.
+     * After restore, run(n) continues exactly as the checkpointed run
+     * would have — metrics, logs, traces, and timelines at cycle N are
+     * byte-identical to an uninterrupted run (tests/ckpt_test.cc).
+     */
+    void restore(const Snapshot &snap);
 
     /**
      * Register a hook fired before each cycle's execution phase, seeing

@@ -124,7 +124,7 @@ SweepReport::toJson(const std::string &design) const
     JsonWriter w;
     w.beginObject();
     w.key("schema");
-    w.value("assassyn.sweep.v1");
+    w.value("assassyn.sweep.v2");
     w.key("design");
     w.value(design);
     w.key("workers");
@@ -149,6 +149,17 @@ SweepReport::toJson(const std::string &design) const
             w.key("error");
             w.value(run.result.error);
         }
+        w.key("attempts");
+        w.value(uint64_t(run.attempts));
+        w.key("resumes");
+        w.value(uint64_t(run.resumes));
+        if (!run.attempt_errors.empty()) {
+            w.key("attempt_errors");
+            w.beginArray();
+            for (const std::string &err : run.attempt_errors)
+                w.value(err);
+            w.endArray();
+        }
         w.key("metrics");
         run.metrics.writeJson(w);
         w.endObject();
@@ -170,6 +181,94 @@ SweepReport::write(const std::string &path,
     // interleaving output.
     OutputFile out(path);
     out.write(toJson(design));
+}
+
+namespace {
+
+/**
+ * Run one instance under the retry policy. Never throws: an attempt
+ * that fails is recorded, and when attempts remain the instance is
+ * re-run — from its last good periodic checkpoint when one exists, or
+ * from scratch when it doesn't (or when the failure itself names the
+ * checkpoint, i.e. the checkpoint is what's broken).
+ */
+InstanceResult
+runInstanceWithRetry(const RunConfig &cfg, const InstanceFn &instance,
+                     const SweepOptions &opts)
+{
+    uint32_t max_attempts = opts.max_attempts ? opts.max_attempts : 1;
+    uint32_t resumes = 0;
+    std::vector<std::string> errors;
+    std::string resume = cfg.resume_from;
+    for (uint32_t attempt = 1;; ++attempt) {
+        RunConfig c = cfg;
+        c.resume_from = resume;
+        try {
+            InstanceResult out = instance(c);
+            out.attempts = attempt;
+            out.resumes = resumes;
+            out.attempt_errors = errors;
+            return out;
+        } catch (const std::exception &e) {
+            errors.push_back(e.what());
+        } catch (...) {
+            errors.push_back("unknown exception");
+        }
+        if (attempt >= max_attempts) {
+            InstanceResult out;
+            out.name = cfg.name;
+            out.result.status = RunStatus::kFault;
+            out.result.error = errors.back();
+            out.attempts = attempt;
+            out.resumes = resumes;
+            out.attempt_errors = errors;
+            return out;
+        }
+        // Pick where the retry starts. A failure whose message names
+        // the checkpoint machinery means the last checkpoint itself is
+        // unusable (every sim/ckpt.cc load diagnostic is prefixed
+        // "checkpoint:") — fall back to a from-scratch retry rather
+        // than hitting the same bad file forever.
+        if (errors.back().find("checkpoint") != std::string::npos) {
+            resume.clear();
+        } else if (!cfg.ckpt_path.empty() &&
+                   checkpointExists(cfg.ckpt_path)) {
+            resume = cfg.ckpt_path;
+            ++resumes;
+        }
+        if (opts.retry_backoff_ms) {
+            uint64_t shift = attempt - 1 < 6 ? attempt - 1 : 6;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                opts.retry_backoff_ms << shift));
+        }
+    }
+}
+
+} // namespace
+
+SweepReport
+runSweep(const std::vector<RunConfig> &configs,
+         const InstanceFn &instance, const SweepOptions &opts)
+{
+    SweepReport report;
+    report.workers = opts.workers ? opts.workers : 1;
+    report.runs.resize(configs.size());
+    auto batch_start = std::chrono::steady_clock::now();
+    parallelFor(
+        configs.size(),
+        [&](size_t i) {
+            // runInstanceWithRetry never throws, so one instance's
+            // failure can't poison parallelFor's first-error capture
+            // and abort its siblings: worker failures stay isolated.
+            auto start = std::chrono::steady_clock::now();
+            HostProfiler::Scope span("run:" + configs[i].name);
+            report.runs[i] =
+                runInstanceWithRetry(configs[i], instance, opts);
+            report.runs[i].seconds = secondsSince(start);
+        },
+        report.workers);
+    report.seconds = secondsSince(batch_start);
+    return report;
 }
 
 SweepReport
@@ -208,7 +307,7 @@ eventInstance(std::shared_ptr<const Program> program)
             inj.emplace(program->sys(), *cfg.fault);
             inj.value().attach(sim);
         }
-        out.result = sim.run(cfg.max_cycles);
+        out.result = runWithCheckpoints(sim, cfg);
         out.end_cycle = sim.cycle();
         out.metrics = sim.metrics();
         out.logs = sim.logOutput();

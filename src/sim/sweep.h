@@ -56,6 +56,33 @@ struct RunConfig {
     uint64_t max_cycles = 50'000'000; ///< per-run cycle budget
     SimOptions sim;                   ///< seed, shuffle, logs, traces, ...
     std::optional<FaultSpec> fault;   ///< optional fault-injection plan
+
+    /**
+     * Periodic checkpointing (docs/robustness.md): when nonzero AND
+     * ckpt_path is nonempty, the instance runs in ckpt_every-cycle
+     * slices and writes a checkpoint (sim/ckpt.h, manifest + binary)
+     * after each slice. Because a checkpoint restores byte-identically,
+     * slicing does not perturb results; parallel_determinism_test-style
+     * invariance holds with any ckpt_every value.
+     */
+    uint64_t ckpt_every = 0;
+    std::string ckpt_path; ///< manifest path for periodic checkpoints
+
+    /**
+     * When nonempty, restore from this checkpoint manifest before
+     * running; max_cycles stays an *absolute* cycle budget (the resumed
+     * run executes max_cycles - checkpoint_cycle more cycles).
+     */
+    std::string resume_from;
+
+    /**
+     * Test/observability seam fired after each periodic checkpoint is
+     * durably on disk, with (config name, checkpoint cycle). A throwing
+     * hook aborts the attempt *after* the checkpoint was written — the
+     * fault-tolerant runSweep overload uses exactly this to simulate a
+     * worker dying and then resume from the last good checkpoint.
+     */
+    std::function<void(const std::string &, uint64_t)> on_checkpoint;
 };
 
 /** What one instance produced. */
@@ -66,6 +93,11 @@ struct InstanceResult {
     double seconds = 0.0;  ///< wall-clock of this instance alone
     MetricsRegistry metrics;
     std::vector<std::string> logs; ///< captured log() lines, if enabled
+
+    uint32_t attempts = 1; ///< executions it took (1 = first try worked)
+    uint32_t resumes = 0;  ///< attempts that resumed from a checkpoint
+    /** One entry per *failed* attempt, in order; empty when clean. */
+    std::vector<std::string> attempt_errors;
 };
 
 /** Turns one RunConfig into a finished InstanceResult. */
@@ -87,7 +119,7 @@ struct SweepReport {
      */
     MetricsRegistry merged() const;
 
-    /** The machine-readable report (schema assassyn.sweep.v1). */
+    /** The machine-readable report (schema assassyn.sweep.v2). */
     std::string toJson(const std::string &design) const;
 
     /** Write toJson() to @p path. */
@@ -102,6 +134,41 @@ struct SweepReport {
 SweepReport runSweep(const std::vector<RunConfig> &configs,
                      const InstanceFn &instance, size_t workers);
 
+/** Fault-tolerance policy for the resilient runSweep overload. */
+struct SweepOptions {
+    size_t workers = 1;
+
+    /**
+     * Upper bound on executions of one instance (first try included).
+     * 1 reproduces the legacy behavior of a single attempt — except
+     * that the failure is recorded per-instance instead of thrown.
+     */
+    uint32_t max_attempts = 1;
+
+    /**
+     * Base backoff before retry r (milliseconds), doubled per failed
+     * attempt (capped at 64x). 0 retries immediately — the right value
+     * for deterministic in-process faults and for tests.
+     */
+    uint64_t retry_backoff_ms = 0;
+};
+
+/**
+ * Fault-tolerant sweep (docs/robustness.md, "Checkpoint & crash
+ * recovery"): like the 3-argument overload, but a worker failure — an
+ * exception escaping the InstanceFn — is isolated to its instance
+ * instead of aborting the batch. The failed instance is retried up to
+ * opts.max_attempts times with exponential backoff, resuming from its
+ * last good periodic checkpoint when RunConfig::ckpt_path has one
+ * (a failure that names the checkpoint itself falls back to a
+ * from-scratch retry). An instance that exhausts its attempts yields a
+ * structured RunStatus::kFault record carrying every attempt's error;
+ * the sweep itself always completes with a schema-valid report.
+ */
+SweepReport runSweep(const std::vector<RunConfig> &configs,
+                     const InstanceFn &instance,
+                     const SweepOptions &opts);
+
 /**
  * The event-backend InstanceFn: each call builds a Simulator from the
  * shared immutable @p program (no recompilation), attaches the fault
@@ -109,6 +176,50 @@ SweepReport runSweep(const std::vector<RunConfig> &configs,
  * snapshots metrics + logs.
  */
 InstanceFn eventInstance(std::shared_ptr<const Program> program);
+
+/**
+ * Drive one engine instance to its cycle budget, honoring the config's
+ * resume/checkpoint fields. Works on any engine with the common
+ * run/cycle/snapshot/restore surface (sim::Simulator, rtl::NetlistSim).
+ * Restores first when resume_from is set; then runs in ckpt_every-cycle
+ * slices when periodic checkpointing is on (whole budget at once
+ * otherwise), persisting a checkpoint after every full slice that ended
+ * with budget remaining. RunResult::cycles aggregates the cycles run by
+ * *this* call (not cycles inherited from the checkpoint).
+ */
+template <typename SimT>
+RunResult
+runWithCheckpoints(SimT &sim, const RunConfig &cfg)
+{
+    if (!cfg.resume_from.empty())
+        sim.restore(loadCheckpoint(cfg.resume_from));
+    const bool periodic = cfg.ckpt_every > 0 && !cfg.ckpt_path.empty();
+    RunResult res;
+    uint64_t total = 0;
+    for (;;) {
+        uint64_t at = sim.cycle();
+        uint64_t remaining =
+            cfg.max_cycles > at ? cfg.max_cycles - at : 0;
+        uint64_t slice = remaining;
+        if (periodic && cfg.ckpt_every < remaining)
+            slice = cfg.ckpt_every;
+        res = sim.run(slice);
+        total += res.cycles;
+        // Anything but a clean out-of-budget slice ends the run:
+        // finish, fault, and watchdog verdicts are terminal, and a
+        // kMaxCycles at the full budget is the caller's budget limit.
+        if (res.status != RunStatus::kMaxCycles ||
+            sim.cycle() >= cfg.max_cycles)
+            break;
+        if (periodic) {
+            saveCheckpoint(sim.snapshot(), cfg.ckpt_path);
+            if (cfg.on_checkpoint)
+                cfg.on_checkpoint(cfg.name, sim.cycle());
+        }
+    }
+    res.cycles = total;
+    return res;
+}
 
 /**
  * Adapter for any engine with the common backend surface (run /
@@ -135,7 +246,7 @@ instanceOf(const System &sys, MakeSim make)
             inj.emplace(*sp, *cfg.fault);
             inj->attach(*sim);
         }
-        out.result = sim->run(cfg.max_cycles);
+        out.result = runWithCheckpoints(*sim, cfg);
         out.end_cycle = sim->cycle();
         out.metrics = sim->metrics();
         out.logs = sim->logOutput();

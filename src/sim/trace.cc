@@ -268,6 +268,133 @@ TraceRecorder::finish(uint64_t end_cycle)
     done_ = true;
 }
 
+namespace {
+
+/**
+ * Event::cat points at string literals so the hot path never copies;
+ * a deserialized category must be re-interned against the known set —
+ * an unknown string is corruption, and keeping a pointer into the
+ * decoded payload would dangle.
+ */
+const char *
+internTraceCat(const std::string &cat)
+{
+    static const char *known[] = {"stage", "fifo", "arbiter", "fault",
+                                  "hazard", ""};
+    for (const char *k : known)
+        if (cat == k)
+            return k;
+    fatal("checkpoint: section 'trace' names unknown event category '",
+          cat, "'");
+}
+
+} // namespace
+
+void
+TraceRecorder::serialize(ByteWriter &w) const
+{
+    assertThat(staged_.empty(),
+               "trace serialize outside a cycle boundary");
+    assertThat(!done_, "trace serialize after finish()");
+    w.u64(cycle_);
+    w.u64(max_events_);
+    w.u32(uint32_t(stages_.size()));
+    for (const StageTrack &track : stages_) {
+        w.u8(uint8_t(track.cur));
+        w.u64(track.start);
+        w.u8(track.open ? 1 : 0);
+    }
+    w.vec64(push_seq_);
+    w.vec64(pop_seq_);
+    w.u64(dropped_);
+    w.u32(uint32_t(ring_.size()));
+    // Oldest first, so restore never needs the head offset.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+        const Event &ev = ring_[(ring_head_ + i) % ring_.size()];
+        w.u64(ev.ts);
+        w.u64(ev.dur);
+        w.u64(ev.id);
+        w.u64(ev.tid);
+        w.u8(uint8_t(ev.ph));
+        w.str(ev.name);
+        w.str(ev.cat);
+        w.u32(uint32_t(ev.args.size()));
+        for (const auto &[k, v] : ev.args) {
+            w.str(k);
+            w.str(v);
+        }
+    }
+}
+
+void
+TraceRecorder::deserialize(ByteReader &r)
+{
+    cycle_ = r.u64();
+    uint64_t capacity = r.u64();
+    if (capacity != max_events_)
+        fatal("checkpoint: timeline ring capacity mismatch (snapshot ",
+              capacity, ", this run ", max_events_,
+              ") — set timeline_events to match the checkpointed run");
+    uint32_t n_stages = r.u32();
+    if (n_stages != stages_.size())
+        fatal("checkpoint: section 'trace' carries ", n_stages,
+              " stage track(s), this design has ", stages_.size());
+    for (StageTrack &track : stages_) {
+        uint8_t cur = r.u8();
+        if (cur > uint8_t(StageActivity::kIdle))
+            fatal("checkpoint: section 'trace' has invalid stage "
+                  "activity code ", unsigned(cur));
+        track.cur = StageActivity(cur);
+        track.start = r.u64();
+        uint8_t open = r.u8();
+        if (open > 1)
+            fatal("checkpoint: section 'trace' has invalid open flag ",
+                  unsigned(open));
+        track.open = open != 0;
+    }
+    std::vector<uint64_t> pushes = r.vec64(push_seq_.size());
+    std::vector<uint64_t> pops = r.vec64(pop_seq_.size());
+    if (pushes.size() != push_seq_.size() ||
+        pops.size() != pop_seq_.size())
+        fatal("checkpoint: section 'trace' carries ", pushes.size(),
+              "/", pops.size(), " FIFO sequence(s), this design has ",
+              push_seq_.size());
+    push_seq_ = std::move(pushes);
+    pop_seq_ = std::move(pops);
+    dropped_ = r.u64();
+    uint32_t n_events = r.u32();
+    if (n_events > max_events_)
+        fatal("checkpoint: section 'trace' retains ", n_events,
+              " event(s), above the ring capacity of ", max_events_);
+    ring_.clear();
+    ring_.reserve(n_events);
+    ring_head_ = 0;
+    for (uint32_t i = 0; i < n_events; ++i) {
+        Event ev;
+        ev.ts = r.u64();
+        ev.dur = r.u64();
+        ev.id = r.u64();
+        ev.tid = r.u64();
+        ev.ph = char(r.u8());
+        if (ev.ph != 'X' && ev.ph != 's' && ev.ph != 'f' && ev.ph != 'i')
+            fatal("checkpoint: section 'trace' has invalid event phase "
+                  "0x", std::hex, unsigned(uint8_t(ev.ph)), std::dec);
+        ev.name = r.str();
+        ev.cat = internTraceCat(r.str());
+        uint32_t n_args = r.u32();
+        if (n_args > 64)
+            fatal("checkpoint: section 'trace' event has ", n_args,
+                  " args, above the cap of 64");
+        for (uint32_t a = 0; a < n_args; ++a) {
+            std::string k = r.str();
+            std::string v = r.str();
+            ev.args.emplace_back(std::move(k), std::move(v));
+        }
+        ring_.push_back(std::move(ev));
+    }
+    staged_.clear();
+}
+
 uint64_t
 TraceRecorder::eventsRecorded() const
 {

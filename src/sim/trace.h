@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "core/ir/system.h"
+#include "sim/ckpt.h"
 #include "sim/hazard.h"
 #include "support/logging.h"
 
@@ -128,6 +129,25 @@ class TraceRecorder {
      * survives every failure mode.
      */
     void finish(uint64_t end_cycle);
+
+    // --- Checkpointing (sim/ckpt.h, section "trace") --------------------
+
+    /**
+     * Serialize the ring, the per-stage open intervals, the FIFO flow
+     * sequence numbers, and the drop accounting into @p w — everything
+     * needed so a restored run's finish() renders a byte-identical
+     * timeline file. Must be called at a cycle boundary (no staged
+     * events) on a recorder that has not finished.
+     */
+    void serialize(ByteWriter &w) const;
+
+    /**
+     * Restore state captured by serialize() into this (fresh)
+     * recorder. The recorder must wrap the same System with the same
+     * ring capacity; any shape mismatch — stage count, ring capacity,
+     * corrupted activity codes or categories — is a FatalError.
+     */
+    void deserialize(ByteReader &r);
 
     // --- Introspection (dropped-span accounting, tests) -----------------
 

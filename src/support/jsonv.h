@@ -5,7 +5,8 @@
  * Used by the trace-query API (sim::TraceReader) and the report
  * validators (tests/validate_reports_test.cc) to load the JSON this
  * toolchain itself emits: trace files (assassyn.trace.v1), sweep
- * reports (assassyn.sweep.v1), and bench trajectories
+ * reports (assassyn.sweep.v2), checkpoint manifests
+ * (assassyn.ckpt.v1), and bench trajectories
  * (assassyn.bench.fig16.v2). Deliberately small: a recursive-descent
  * parser into a plain DOM value, numbers as double (every quantity we
  * emit — cycles, timestamps, counters — fits in the 2^53 integer range

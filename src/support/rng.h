@@ -7,6 +7,7 @@
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -70,6 +71,21 @@ class Rng {
     {
         for (size_t i = items.size(); i > 1; --i)
             std::swap(items[i - 1], items[below(i)]);
+    }
+
+    /** The raw xoshiro state, for checkpointing (sim/ckpt.h). */
+    std::array<uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restore a stream position captured with state(). */
+    void
+    setState(const std::array<uint64_t, 4> &s)
+    {
+        for (size_t i = 0; i < 4; ++i)
+            state_[i] = s[i];
     }
 
   private:

@@ -33,6 +33,7 @@
 #include "rtl/netlist_sim.h"
 #include "sim/fault.h"
 #include "sim/simulator.h"
+#include "support/logging.h"
 #include "support/rng.h"
 
 namespace assassyn {
@@ -295,6 +296,76 @@ TEST(WatchdogTest, HazardStillFlushesTrace)
     EXPECT_NE(text.str().find("sink: blocked on wait_until"),
               std::string::npos);
     std::remove(path.c_str());
+}
+
+/**
+ * Satellite 2 of the checkpoint PR (docs/robustness.md): a restore must
+ * reconstruct the watchdog's zero-progress window exactly. Snapshot
+ * mid-window — after the design has quiesced but before the verdict —
+ * and the resumed run must reach the *same* verdict at the *same*
+ * absolute cycle, with the same wait-for graph: no missed deadlock, no
+ * spurious early one.
+ */
+TEST(WatchdogTest, ResumeReconstructsProgressWindow)
+{
+    CyclicDeadlock fix;
+    const uint64_t window = 64;
+
+    sim::SimOptions opts;
+    opts.watchdog_window = window;
+    sim::Simulator straight(fix.sb.sys(), opts);
+    sim::RunResult sres = straight.run(100'000);
+    ASSERT_EQ(sres.status, sim::RunStatus::kDeadlock);
+    uint64_t detected = straight.cycle();
+    ASSERT_GT(detected, window / 2);
+
+    // Snapshot mid-window: the design quiesced within a few cycles, so
+    // cycle detected/2 sits strictly inside the zero-progress run-up.
+    uint64_t k = detected / 2;
+    sim::Simulator first(fix.sb.sys(), opts);
+    ASSERT_EQ(first.run(k).status, sim::RunStatus::kMaxCycles);
+    sim::Snapshot snap = first.snapshot();
+
+    sim::Simulator resumed(fix.sb.sys(), opts);
+    resumed.restore(snap);
+    sim::RunResult rres = resumed.run(100'000);
+    EXPECT_EQ(rres.status, sim::RunStatus::kDeadlock);
+    // Same absolute detection cycle: the restored window picks up the
+    // quiet cycles already accumulated before the snapshot.
+    EXPECT_EQ(resumed.cycle(), detected);
+    EXPECT_EQ(k + rres.cycles, sres.cycles);
+    EXPECT_EQ(rres.hazard.detected_cycle, sres.hazard.detected_cycle);
+    EXPECT_EQ(rres.hazard.toString(), sres.hazard.toString());
+
+    // Same contract on the netlist backend, restored from the *event*
+    // engine's mid-window snapshot.
+    rtl::Netlist nl(fix.sb.sys());
+    rtl::NetlistSimOptions nopts;
+    nopts.watchdog_window = window;
+    rtl::NetlistSim nresumed(nl, nopts);
+    nresumed.restore(snap);
+    sim::RunResult nres = nresumed.run(100'000);
+    EXPECT_EQ(nres.status, sim::RunStatus::kDeadlock);
+    EXPECT_EQ(nresumed.cycle(), detected);
+    EXPECT_EQ(nres.hazard.toString(), sres.hazard.toString());
+}
+
+/** A run that ended in a watchdog verdict is not resumable. */
+TEST(WatchdogTest, SnapshotAfterVerdictIsAStructuredFatal)
+{
+    CyclicDeadlock fix;
+    sim::SimOptions opts;
+    opts.watchdog_window = 64;
+    sim::Simulator s(fix.sb.sys(), opts);
+    ASSERT_EQ(s.run(100'000).status, sim::RunStatus::kDeadlock);
+    EXPECT_THROW(s.snapshot(), FatalError);
+
+    rtl::Netlist nl(fix.sb.sys());
+    rtl::NetlistSimOptions nopts;
+    nopts.watchdog_window = 64;
+    rtl::NetlistSim ns(nl, nopts);
+    ASSERT_EQ(ns.run(100'000).status, sim::RunStatus::kDeadlock);
+    EXPECT_THROW(ns.snapshot(), FatalError);
 }
 
 // ---- Backpressure policies --------------------------------------------------

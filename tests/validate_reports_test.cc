@@ -7,8 +7,11 @@
  *    top-level keys, well-formed Chrome trace events, per-(pid, tid)
  *    timestamp monotonicity over non-metadata events, and balanced
  *    B/E nesting per track;
- *  - assassyn.sweep.v1 (sim/sweep.h): per-run records and the merged
- *    section;
+ *  - assassyn.sweep.v2 (sim/sweep.h): per-run records (including the
+ *    fault-tolerance attempt/resume accounting) and the merged section;
+ *  - assassyn.ckpt.v1 (sim/ckpt.h): the checkpoint manifest — schema,
+ *    binary reference with size + CRC, and a per-section table
+ *    consistent with the decoded snapshot;
  *  - assassyn.grade.v1 (src/grader): per-run verdicts with core,
  *    status, retirement accounting, and — on failure — a divergence
  *    object naming the first divergent retirement;
@@ -30,6 +33,7 @@
 #include "core/dsl/builder.h"
 #include "grader/corpus.h"
 #include "grader/grader.h"
+#include "sim/ckpt.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 #include "support/jsonv.h"
@@ -187,7 +191,7 @@ TEST(ValidateReports, HostProfileV1IsWellFormedChromeTrace)
     std::remove(path.c_str());
 }
 
-TEST(ValidateReports, SweepV1HasPerRunRecordsAndMergedSection)
+TEST(ValidateReports, SweepV2HasPerRunRecordsAndMergedSection)
 {
     Stream design;
     auto prog = sim::Program::compile(design.sb.sys());
@@ -205,7 +209,7 @@ TEST(ValidateReports, SweepV1HasPerRunRecordsAndMergedSection)
 
     jsonv::Value doc = parseFile(path);
     ASSERT_TRUE(doc.isObject());
-    EXPECT_EQ(field(doc, "schema").string, "assassyn.sweep.v1");
+    EXPECT_EQ(field(doc, "schema").string, "assassyn.sweep.v2");
     EXPECT_EQ(field(doc, "design").string, "stream");
     EXPECT_EQ(field(doc, "workers").u64(), 2u);
     EXPECT_TRUE(field(doc, "seconds").isNumber());
@@ -218,6 +222,11 @@ TEST(ValidateReports, SweepV1HasPerRunRecordsAndMergedSection)
         EXPECT_TRUE(field(run, "cycles").isNumber());
         EXPECT_TRUE(field(run, "end_cycle").isNumber());
         EXPECT_TRUE(field(run, "seconds").isNumber());
+        // v2: fault-tolerance accounting on every run record. A clean
+        // legacy-overload sweep reports one attempt, zero resumes.
+        EXPECT_EQ(field(run, "attempts").u64(), 1u);
+        EXPECT_EQ(field(run, "resumes").u64(), 0u);
+        EXPECT_EQ(run.find("attempt_errors"), nullptr);
         EXPECT_TRUE(field(run, "metrics").isObject());
     }
     EXPECT_TRUE(field(doc, "merged").isObject());
@@ -322,6 +331,65 @@ TEST(ValidateReports, GradeV1CarriesVerdictsAndDivergences)
     EXPECT_EQ(field(field(runs.array[0], "verdict"), "status").string,
               "pass");
     std::remove(path.c_str());
+}
+
+TEST(ValidateReports, CkptV1ManifestIsConsistentWithItsBinary)
+{
+    Stream design;
+    std::string manifest = tempPath("validate_ckpt.json");
+    {
+        sim::SimOptions opts;
+        opts.capture_logs = false;
+        sim::Simulator s(design.sb.sys(), opts);
+        sim::RunResult res = s.run(10);
+        ASSERT_EQ(res.status, sim::RunStatus::kMaxCycles);
+        sim::saveCheckpoint(s.snapshot(), manifest);
+    }
+
+    jsonv::Value doc = parseFile(manifest);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(field(doc, "schema").string, "assassyn.ckpt.v1");
+    EXPECT_EQ(field(doc, "design").string, "stream");
+    EXPECT_EQ(field(doc, "engine").string, "event");
+    EXPECT_EQ(field(doc, "cycle").u64(), 10u);
+    const jsonv::Value &binary = field(doc, "binary");
+    ASSERT_TRUE(binary.isString());
+    EXPECT_TRUE(field(doc, "binary_bytes").isNumber());
+    EXPECT_TRUE(field(doc, "binary_crc32").isNumber());
+
+    // The manifest's binary reference must match the blob on disk, and
+    // the per-section table must match the decoded snapshot exactly.
+    std::ifstream bin(manifest + ".bin", std::ios::binary);
+    ASSERT_TRUE(bin.good());
+    std::ostringstream os;
+    os << bin.rdbuf();
+    std::string blob = os.str();
+    EXPECT_EQ(field(doc, "binary_bytes").u64(), blob.size());
+    EXPECT_EQ(field(doc, "binary_crc32").u64(),
+              sim::crc32(reinterpret_cast<const uint8_t *>(blob.data()),
+                         blob.size()));
+
+    sim::Snapshot snap = sim::loadCheckpoint(manifest);
+    EXPECT_EQ(snap.cycle, 10u);
+    const jsonv::Value &sections = field(doc, "sections");
+    ASSERT_TRUE(sections.isArray());
+    ASSERT_EQ(sections.array.size(), snap.sections.size());
+    for (size_t i = 0; i < sections.array.size(); ++i) {
+        const jsonv::Value &sec = sections.array[i];
+        EXPECT_EQ(field(sec, "name").string, snap.sections[i].name);
+        EXPECT_EQ(field(sec, "bytes").u64(),
+                  snap.sections[i].bytes.size());
+        EXPECT_EQ(field(sec, "crc32").u64(),
+                  sim::crc32(snap.sections[i].bytes.data(),
+                             snap.sections[i].bytes.size()));
+    }
+    // The mutable-state sections the contract requires
+    // (docs/architecture.md).
+    for (const char *name : {"meta", "arrays", "fifos", "mods"})
+        EXPECT_NE(snap.find(name), nullptr) << name;
+
+    std::remove(manifest.c_str());
+    std::remove((manifest + ".bin").c_str());
 }
 
 TEST(ValidateReports, BenchFig16V2TrackedReportIsWellFormed)
