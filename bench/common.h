@@ -8,6 +8,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -28,10 +29,23 @@
 namespace assassyn {
 namespace bench {
 
-/** Wall-time + cycle result of one simulated run. */
+/**
+ * Wall-time + cycle result of one simulated run. Timing is split into
+ * the one-time build phase (IR-to-tape compile or netlist elaboration,
+ * plus state construction) and the run proper: "simulated k-cycles per
+ * second" conventionally excludes elaboration on both backends, and the
+ * split keeps the ratio honest for designs whose runs are short. With
+ * `reps > 1` both phases keep their best (minimum) observation and the
+ * metrics snapshot is required bit-identical across repetitions.
+ */
 struct TimedRun {
     uint64_t cycles = 0;
-    double seconds = 0;
+    double seconds = 0;       ///< run wall-clock (best of reps)
+    double build_seconds = 0; ///< compile/elaborate + construct (best of reps)
+    /** Wake-list idle-stage visits avoided (event backend; 0 on rtl). */
+    uint64_t events_skipped = 0;
+    /** Ready-set insertions by committed events (event backend; 0 on rtl). */
+    uint64_t stages_woken = 0;
     sim::MetricsRegistry metrics; ///< full counter snapshot of the run
 
     double kcps() const { return cycles / seconds / 1e3; }
@@ -40,53 +54,87 @@ struct TimedRun {
 /**
  * Run the event-driven (Assassyn-generated) simulator to finish().
  * A nonempty @p timeline_path records the run's Perfetto timeline
- * (docs/observability.md, "Timeline tracing").
+ * (docs/observability.md, "Timeline tracing") — on the first
+ * repetition only, so repeated runs don't clobber the trace.
  */
 inline TimedRun
 runEventSim(const System &sys, uint64_t max_cycles = 50'000'000,
-            const std::string &timeline_path = "")
+            const std::string &timeline_path = "", int reps = 1)
 {
-    sim::SimOptions opts;
-    opts.capture_logs = false;
-    opts.timeline_path = timeline_path;
-    auto t0 = std::chrono::steady_clock::now();
-    sim::Simulator s(sys, opts);
-    sim::RunResult res = s.run(max_cycles);
-    auto t1 = std::chrono::steady_clock::now();
-    if (!s.finished())
-        fatal("benchmark design did not finish (",
-              sim::runStatusName(res.status),
-              res.error.empty() ? "" : ": ", res.error, ")",
-              res.hazard.empty() ? "" : "\n" + res.hazard.toString());
     TimedRun r;
-    r.cycles = s.cycle();
-    r.seconds = std::chrono::duration<double>(t1 - t0).count();
-    r.metrics = s.metrics();
+    for (int rep = 0; rep < reps; ++rep) {
+        sim::SimOptions opts;
+        opts.capture_logs = false;
+        if (rep == 0)
+            opts.timeline_path = timeline_path;
+        auto t0 = std::chrono::steady_clock::now();
+        sim::Simulator s(sys, opts);
+        auto t1 = std::chrono::steady_clock::now();
+        sim::RunResult res = s.run(max_cycles);
+        auto t2 = std::chrono::steady_clock::now();
+        if (!s.finished())
+            fatal("benchmark design did not finish (",
+                  sim::runStatusName(res.status),
+                  res.error.empty() ? "" : ": ", res.error, ")",
+                  res.hazard.empty() ? "" : "\n" + res.hazard.toString());
+        double build = std::chrono::duration<double>(t1 - t0).count();
+        double run = std::chrono::duration<double>(t2 - t1).count();
+        if (rep == 0) {
+            r.cycles = s.cycle();
+            r.seconds = run;
+            r.build_seconds = build;
+            r.metrics = s.metrics();
+        } else {
+            if (s.metrics() != r.metrics)
+                fatal("event simulator diverged between repetitions:\n",
+                      s.metrics().diff(r.metrics));
+            r.seconds = std::min(r.seconds, run);
+            r.build_seconds = std::min(r.build_seconds, build);
+        }
+        sim::SimStats st = s.stats();
+        r.events_skipped = st.events_skipped;
+        r.stages_woken = st.stages_woken;
+    }
     return r;
 }
 
 /** Run the netlist-level simulator (the Verilator stand-in). */
 inline TimedRun
 runNetlistSim(const System &sys, uint64_t max_cycles = 50'000'000,
-              const std::string &timeline_path = "")
+              const std::string &timeline_path = "", int reps = 1)
 {
-    auto t0 = std::chrono::steady_clock::now();
-    rtl::Netlist nl(sys);
-    rtl::NetlistSimOptions nopts;
-    nopts.capture_logs = false;
-    nopts.timeline_path = timeline_path;
-    rtl::NetlistSim s(nl, nopts);
-    sim::RunResult res = s.run(max_cycles);
-    auto t1 = std::chrono::steady_clock::now();
-    if (!s.finished())
-        fatal("benchmark design did not finish (netlist: ",
-              sim::runStatusName(res.status),
-              res.error.empty() ? "" : ": ", res.error, ")",
-              res.hazard.empty() ? "" : "\n" + res.hazard.toString());
     TimedRun r;
-    r.cycles = s.cycle();
-    r.seconds = std::chrono::duration<double>(t1 - t0).count();
-    r.metrics = s.metrics();
+    for (int rep = 0; rep < reps; ++rep) {
+        rtl::NetlistSimOptions nopts;
+        nopts.capture_logs = false;
+        if (rep == 0)
+            nopts.timeline_path = timeline_path;
+        auto t0 = std::chrono::steady_clock::now();
+        rtl::Netlist nl(sys);
+        rtl::NetlistSim s(nl, nopts);
+        auto t1 = std::chrono::steady_clock::now();
+        sim::RunResult res = s.run(max_cycles);
+        auto t2 = std::chrono::steady_clock::now();
+        if (!s.finished())
+            fatal("benchmark design did not finish (netlist: ",
+                  sim::runStatusName(res.status),
+                  res.error.empty() ? "" : ": ", res.error, ")",
+                  res.hazard.empty() ? "" : "\n" + res.hazard.toString());
+        double build = std::chrono::duration<double>(t1 - t0).count();
+        double run = std::chrono::duration<double>(t2 - t1).count();
+        if (rep == 0) {
+            r.cycles = s.cycle();
+            r.seconds = run;
+            r.build_seconds = build;
+            r.metrics = s.metrics();
+        } else {
+            if (s.metrics() != r.metrics)
+                fatal("netlist simulator diverged between repetitions:\n",
+                      s.metrics().diff(r.metrics));
+            r.seconds = std::min(r.seconds, run);
+            r.build_seconds = std::min(r.build_seconds, build);
+        }
+    }
     return r;
 }
 

@@ -6,18 +6,29 @@
  * reproduction instead compiles the lowered IR into a compact register-VM
  * program per stage and drives it with the two-phase engine of Fig. 9:
  *
- *   phase 1 (stage execution): traverse stages in the topological order of
- *     Sec. 4.1; a stage with a pending event evaluates its wait_until and,
- *     when it holds, runs its body. Register writes, FIFO operations and
- *     event subscriptions are buffered, not applied.
+ *   phase 1 (stage execution): traverse the *ready set* — drivers plus
+ *     stages with a pending event — in the topological order of Sec. 4.1;
+ *     a ready stage evaluates its wait_until and, when it holds, runs its
+ *     body. Register writes, FIFO operations and event subscriptions are
+ *     buffered, not applied. Idle stages are never visited: the commit
+ *     phase wakes a stage into the ready set exactly when a Subscribe to
+ *     it commits, and retires it when its event counter drains, with
+ *     idle_cycles/occupancy metrics reconstructed exactly from the
+ *     wake/retire boundaries (tests/scheduler_test.cc).
  *   phase 2 (commit): buffered side effects commit — FIFO dequeues, then
- *     pushes, register writes (write-once enforced, Fig. 9 b.2/b.3), and
- *     event-counter updates.
+ *     pushes (power-of-two rings, mask-indexed), register writes
+ *     (write-once enforced, Fig. 9 b.2/b.3), and event-counter updates.
+ *     Only state touched this cycle is visited.
  *
- * Combinational values exposed for cross-stage reference are evaluated
- *every cycle in a cheap per-stage "shadow" pass, exactly mirroring the
- * always-on combinational wires of the generated RTL; this is what makes
- * the simulator and the netlist backend cycle-exact against each other.
+ * Combinational values exposed for cross-stage reference are maintained
+ * by a per-stage "shadow" tape, exactly mirroring the always-on
+ * combinational wires of the generated RTL; this is what makes the
+ * simulator and the netlist backend cycle-exact against each other. A
+ * shadow tape re-evaluates (phase 0, topological order) only when one of
+ * its sensitivity inputs — the FIFOs and arrays its cone reads,
+ * transitively across cross-stage references (sim/program.h) — changed
+ * since its last evaluation; unchanged inputs make re-evaluation a
+ * provable no-op.
  */
 #pragma once
 
@@ -120,6 +131,15 @@ struct SimStats {
     uint64_t cycles = 0;
     uint64_t total_stage_executions = 0;
     uint64_t total_events_subscribed = 0;
+    /**
+     * Stage-visits the wake-list scheduler skipped: one per cycle per
+     * stage with no pending event (the full-scan engine paid for each
+     * of these). Event-engine only; zero on the netlist backend, so it
+     * lives here rather than in the cross-backend MetricsRegistry.
+     */
+    uint64_t events_skipped = 0;
+    /** Ready-set insertions: idle stages woken by a committed event. */
+    uint64_t stages_woken = 0;
 };
 
 /**

@@ -15,7 +15,7 @@
  *  - assassyn.grade.v1 (src/grader): per-run verdicts with core,
  *    status, retirement accounting, and — on failure — a divergence
  *    object naming the first divergent retirement;
- *  - assassyn.bench.fig16.v2 (bench/fig16_sim_speed.cc): the tracked
+ *  - assassyn.bench.fig16.v3 (bench/fig16_sim_speed.cc): the tracked
  *    throughput report at the repo root.
  *
  * The validators work on the raw JSON through support/jsonv.h — not
@@ -392,14 +392,18 @@ TEST(ValidateReports, CkptV1ManifestIsConsistentWithItsBinary)
     std::remove((manifest + ".bin").c_str());
 }
 
-TEST(ValidateReports, BenchFig16V2TrackedReportIsWellFormed)
+TEST(ValidateReports, BenchFig16V3TrackedReportIsWellFormed)
 {
     std::string path = std::string(ASSASSYN_SOURCE_DIR) +
                        "/BENCH_fig16.json";
     jsonv::Value doc = parseFile(path);
     ASSERT_TRUE(doc.isObject()) << path;
-    EXPECT_EQ(field(doc, "schema").string, "assassyn.bench.fig16.v2");
+    EXPECT_EQ(field(doc, "schema").string, "assassyn.bench.fig16.v3");
     EXPECT_TRUE(field(doc, "smoke").isNumber());
+    // v3: timing methodology is explicit — run-only wall-clock, best of
+    // `reps` repetitions, build time reported per backend per run.
+    EXPECT_TRUE(field(doc, "timing").isString());
+    EXPECT_GT(field(doc, "reps").u64(), 0u);
 
     const jsonv::Value &runs = field(doc, "runs");
     ASSERT_TRUE(runs.isArray());
@@ -410,6 +414,17 @@ TEST(ValidateReports, BenchFig16V2TrackedReportIsWellFormed)
         EXPECT_GT(field(run, "asyn_cps").number, 0.0);
         EXPECT_GT(field(run, "rtl_cps").number, 0.0);
         EXPECT_GT(field(run, "asyn_over_rtl").number, 0.0);
+        EXPECT_GT(field(run, "asyn_build_seconds").number, 0.0);
+        EXPECT_GT(field(run, "rtl_build_seconds").number, 0.0);
+        // Wake-list scheduler counters. The CPU designs always have
+        // mostly-idle stages (a stalled frontend, an underused memory
+        // port), so zero skipped visits there means the dense fallback
+        // scan silently came back. The streaming HLS pipelines can
+        // legitimately keep every stage busy every cycle.
+        ASSERT_TRUE(field(run, "events_skipped").isNumber());
+        if (field(run, "design").string.rfind("cpu.", 0) == 0)
+            EXPECT_GT(field(run, "events_skipped").u64(), 0u);
+        EXPECT_TRUE(field(run, "stages_woken").isNumber());
     }
 
     const jsonv::Value &sweep = field(doc, "sweep");
@@ -421,11 +436,19 @@ TEST(ValidateReports, BenchFig16V2TrackedReportIsWellFormed)
     const jsonv::Value &rows = field(sweep, "rows");
     ASSERT_TRUE(rows.isArray());
     ASSERT_FALSE(rows.array.empty());
+    uint64_t hw = field(sweep, "hardware_threads").u64();
     for (const jsonv::Value &row : rows.array) {
         EXPECT_GT(field(row, "workers").u64(), 0u);
         EXPECT_TRUE(field(row, "seconds").isNumber());
         EXPECT_TRUE(field(row, "batch_kcps").isNumber());
         EXPECT_TRUE(field(row, "speedup_vs_1").isNumber());
+        // Honest scaling rows: oversubscription must be flagged exactly
+        // when the row's worker count exceeds the recorded host's
+        // hardware threads.
+        const jsonv::Value &over = field(row, "oversubscribed");
+        ASSERT_TRUE(over.isNumber());
+        if (hw > 0)
+            EXPECT_EQ(over.number != 0.0, field(row, "workers").u64() > hw);
     }
 }
 
