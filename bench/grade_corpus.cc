@@ -237,6 +237,12 @@ main(int argc, char **argv)
             } else if (!v.error.empty()) {
                 std::printf("    %s\n", v.error.c_str());
             }
+            // A failed grade prints its one-command time-travel repro
+            // (docs/debugging.md): paste it to land a deterministic
+            // replay session at the frozen failure cycle.
+            if (!run.repro.empty())
+                std::fprintf(stderr, "    repro: %s\n",
+                             run.repro.c_str());
         }
         if (!json_path.empty())
             report.write(json_path, corpus_name);

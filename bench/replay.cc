@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The `replay` time-travel debugger CLI (docs/debugging.md): a thin
+ * argv shim over debug::replayMain, which tests drive directly with
+ * string streams. Paste any repro command emitted by a failed grade
+ * (grade_corpus) or sweep run here:
+ *
+ *     replay --program haz_loaduse --corpus tests/corpus \
+ *         --core ooo --engine netlist --until 91234 \
+ *         --break ooo.rob_head --watch fifo:ex.to_mem
+ *
+ * With no --corpus, --program resolves against the source tree's
+ * tests/corpus. Exit status: 0 clean session, 2 usage errors, 1 setup
+ * failures.
+ */
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "debug/replay.h"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    // Default the corpus to the source tree unless the caller names one.
+    bool has_corpus = false, has_program = false;
+    for (const std::string &arg : args) {
+        has_corpus |= arg == "--corpus";
+        has_program |= arg == "--program";
+    }
+    if (has_program && !has_corpus) {
+        args.push_back("--corpus");
+        args.push_back(std::string(ASSASSYN_SOURCE_DIR) +
+                       "/tests/corpus");
+    }
+    return assassyn::debug::replayMain(args, std::cin, std::cout,
+                                       std::cerr);
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The `replay` time-travel debugging CLI, as a library entry point
+ * (docs/debugging.md).
+ *
+ * `replayMain` is the whole CLI behind a testable seam: bench/replay.cc
+ * is a thin argv shim, and tests drive the exact same code path with
+ * string streams — the repro commands the grader and sweep runner emit
+ * (sim/repro.h) are covered by `ctest -L debug`, not just by hand.
+ *
+ * A session rebuilds its workload the way the grader does — same
+ * corpus loader, same fuzz generator, same design builders, same
+ * engine options — so a pasted repro command deterministically lands
+ * in the same trajectory that produced the failure, stopped at the
+ * frozen cycle with the divergence commit one `step` away.
+ */
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/fault.h"
+
+namespace assassyn {
+namespace debug {
+
+/** A parsed `replay` invocation. */
+struct ReplayPlan {
+    // Workload: exactly one of program / fuzz / design.
+    std::string program;    ///< corpus program name (--program)
+    std::string corpus_dir; ///< corpus directory (--corpus)
+    bool is_fuzz = false;
+    uint64_t fuzz_seed = 1; ///< --fuzz-seed (implies is_fuzz)
+    std::string design;     ///< --design: cpu | inorder | ooo
+
+    std::string core;   ///< inorder | ooo; defaults from the workload
+    std::string engine = "event"; ///< event | netlist
+
+    bool shuffle = false;
+    uint64_t shuffle_seed = 1;
+    std::optional<sim::FaultSpec> fault;
+    std::string ckpt; ///< start from this checkpoint manifest
+
+    uint64_t until = 0;      ///< run here before the first prompt
+    uint64_t max_cycles = 0; ///< budget hint for the `cont` command
+
+    std::vector<std::string> breaks;
+    std::vector<std::string> watches;
+
+    uint64_t keyframe_every = 1024;
+    uint64_t keyframe_ring = 16;
+
+    std::string script;    ///< command file instead of the input stream
+    std::string json_path; ///< write the assassyn.debug.v1 summary here
+};
+
+/**
+ * Parse replay argv (without argv[0]). Unknown flags, malformed
+ * values, and conflicting workload selections are FatalErrors whose
+ * message starts with "usage:".
+ */
+ReplayPlan parseReplayArgs(const std::vector<std::string> &args);
+
+/**
+ * Run a full replay session: build the workload and engine, apply
+ * --ckpt / --until / --break / --watch, then serve the command loop
+ * from @p in (or the --script file) until quit/EOF. Returns 0 on a
+ * clean session, 2 on usage errors, 1 on setup failures; per-command
+ * errors are printed and do not end the session.
+ */
+int replayMain(const std::vector<std::string> &args, std::istream &in,
+               std::ostream &out, std::ostream &err);
+
+} // namespace debug
+} // namespace assassyn

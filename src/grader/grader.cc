@@ -1,6 +1,7 @@
 #include "grader/grader.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 
 #include "designs/cpu.h"
@@ -9,6 +10,7 @@
 #include "rtl/netlist.h"
 #include "rtl/netlist_sim.h"
 #include "sim/ckpt.h"
+#include "sim/repro.h"
 #include "sim/simulator.h"
 #include "sim/sweep.h"
 #include "support/json.h"
@@ -534,6 +536,34 @@ Verdict::toJson() const
     return w.str();
 }
 
+std::string
+reproCommand(const CorpusProgram &program, Core core, Engine engine,
+             const GradeOptions &opts, const Verdict &verdict)
+{
+    sim::ReproSpec spec;
+    if (program.path.empty() &&
+        program.name.rfind("fuzz-", 0) == 0) {
+        spec.is_fuzz = true;
+        spec.fuzz_seed =
+            std::strtoull(program.name.c_str() + 5, nullptr, 10);
+    } else {
+        spec.program = program.name;
+        size_t slash = program.path.rfind('/');
+        if (slash != std::string::npos)
+            spec.corpus_dir = program.path.substr(0, slash);
+    }
+    spec.core = coreName(core);
+    spec.engine = engineName(engine);
+    spec.shuffle = opts.shuffle;
+    spec.shuffle_seed = opts.shuffle_seed;
+    spec.fault = opts.fault;
+    spec.ckpt = opts.resume_from;
+    spec.max_cycles = program.max_cycles;
+    spec.until = verdict.divergence ? verdict.divergence->cycle
+                                    : verdict.cycles;
+    return spec.toCommand();
+}
+
 bool
 GradeReport::allPass() const
 {
@@ -564,6 +594,10 @@ GradeReport::toJson(const std::string &corpus) const
         w.value(engineName(run.engine));
         w.key("seconds");
         w.value(run.seconds);
+        if (!run.repro.empty()) {
+            w.key("repro");
+            w.value(run.repro);
+        }
         w.key("verdict");
         writeVerdict(w, run.verdict);
         w.endObject();
@@ -613,6 +647,9 @@ gradeCorpus(const std::vector<CorpusProgram> &programs,
             run.seconds = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - t0)
                               .count();
+            if (!run.verdict.pass())
+                run.repro = reproCommand(*job.program, job.core,
+                                         job.engine, opts, run.verdict);
             report.runs[i] = std::move(run);
         },
         workers);

@@ -140,11 +140,33 @@ struct GradeOptions {
 Verdict gradeProgram(const CorpusProgram &program, Core core,
                      Engine engine, const GradeOptions &opts = {});
 
+/**
+ * The one-command `replay` repro of a (typically failed) grade: the
+ * workload (corpus file, or --fuzz-seed for generated programs), core,
+ * engine, shuffle seed, fault plan, checkpoint, and a --until pinned to
+ * the frozen divergence cycle (falling back to the final cycle for
+ * fault/hazard/timeout verdicts). Deterministic replay guarantees the
+ * command lands stopped at the offending cycle (tests/debug_test.cc).
+ */
+std::string reproCommand(const CorpusProgram &program, Core core,
+                         Engine engine, const GradeOptions &opts,
+                         const Verdict &verdict);
+
 /** One verdict plus the run context the verdict itself excludes. */
 struct GradeRun {
     Engine engine = Engine::kEvent;
     double seconds = 0.0; ///< wall-clock of this grade alone
     Verdict verdict;
+
+    /**
+     * For a failed verdict: the one-command `replay` invocation
+     * (sim/repro.h, docs/debugging.md) that rebuilds this exact run and
+     * stops at the divergence/failure cycle. Empty on a pass. Lives
+     * here — not in the Verdict — because the recipe names the engine,
+     * which Verdict::toJson() excludes by design; the field is additive
+     * in the assassyn.grade.v1 runs[] objects.
+     */
+    std::string repro;
 };
 
 /** The aggregated outcome of grading a corpus. */

@@ -80,6 +80,14 @@ struct NetlistSim::Impl {
     bool finished = false;
     uint64_t total_execs = 0;
     uint64_t total_events = 0;
+    /**
+     * Idle stages woken by a committed event: 0 -> >0 pending-counter
+     * transitions observed at the counter commit. The same boundary
+     * transition sim::Simulator counts in readyInsert (a stage is in
+     * the ready set exactly when driver || pending > 0), so the value
+     * aligns across backends and rides the shared "meta" section.
+     */
+    uint64_t stages_woken = 0;
 
     // Zero-progress window state; `poked` records external state writes
     // (testbench / fault-injection hooks), which reset the window.
@@ -446,6 +454,12 @@ struct NetlistSim::Impl {
                 st.saturations += next - opts.max_pending_events;
                 next = opts.max_pending_events;
             }
+            // Wake: the stage had no pending event at the last boundary
+            // and has one now. When counters[i] == 0 the exec net was
+            // necessarily low this cycle, so the decrement is 0 and the
+            // transition is exactly inc > 0 on an empty counter.
+            if (counters[i] == 0 && next > 0)
+                ++stages_woken;
             counters[i] = next;
         }
         for (const ModStat &st : mod_stats) {
@@ -676,6 +690,34 @@ NetlistSim::netValue(uint32_t net) const
     return impl_->nets.at(net);
 }
 
+sim::StageCounters
+NetlistSim::stageCounters(const Module *mod) const
+{
+    const ModStat &st =
+        impl_->mod_stats[impl_->stat_of_mod.at(mod->id())];
+    sim::StageCounters c;
+    c.execs = st.execs;
+    c.wait_spins = st.wait_spins;
+    c.idle_cycles = st.idle_cycles;
+    c.events_in = st.events_in;
+    c.backpressure_stalls = st.bp_stalls;
+    c.pending = impl_->pendingOf(st);
+    return c;
+}
+
+sim::FifoTraffic
+NetlistSim::fifoTraffic(const Port *port) const
+{
+    const FifoRt &f = impl_->fifos.at(impl_->nl.fifoIndex(port));
+    return sim::FifoTraffic{f.pushes, f.pops, f.drops, f.stall_cycles};
+}
+
+uint64_t
+NetlistSim::arrayWrites(const RegArray *array) const
+{
+    return impl_->array_writes.at(array->id());
+}
+
 sim::MetricsRegistry
 NetlistSim::metrics() const
 {
@@ -686,6 +728,7 @@ NetlistSim::metrics() const
     reg.set("cycles", impl_->cycle);
     reg.set("total.executions", impl_->total_execs);
     reg.set("total.events", impl_->total_events);
+    uint64_t skipped = 0;
     for (const ModStat &st : impl_->mod_stats) {
         reg.set(stageKey(*st.mod, "execs"), st.execs);
         reg.set(stageKey(*st.mod, "wait_spins"), st.wait_spins);
@@ -693,7 +736,14 @@ NetlistSim::metrics() const
         reg.set(stageKey(*st.mod, "events_in"), st.events_in);
         reg.set(stageKey(*st.mod, "event_saturations"), st.saturations);
         reg.set(stageKey(*st.mod, "backpressure_stalls"), st.bp_stalls);
+        skipped += st.idle_cycles;
     }
+    // Scheduler health, in lockstep with sim::Simulator::metrics():
+    // both counters are architectural quantities (sim/metrics.h), so
+    // the netlist values equal the event engine's.
+    reg.set("sched.executions", impl_->total_execs);
+    reg.set("sched.events_skipped", skipped);
+    reg.set("sched.stages_woken", impl_->stages_woken);
     for (size_t i = 0; i < impl_->fifos.size(); ++i) {
         const Port &port = *impl_->nl.fifos()[i].port;
         const FifoRt &rt = impl_->fifos[i];
@@ -749,6 +799,7 @@ NetlistSim::snapshot() const
         w.u8(im.poked ? 1 : 0);
         w.u64(im.total_execs);
         w.u64(im.total_events);
+        w.u64(im.stages_woken);
         snap.add("meta", w.take());
     }
     {
@@ -831,6 +882,7 @@ NetlistSim::restore(const sim::Snapshot &snap)
         im.poked = r.flag();
         im.total_execs = r.u64();
         im.total_events = r.u64();
+        im.stages_woken = r.u64();
         r.expectEnd();
     }
     if (im.cycle != snap.cycle)

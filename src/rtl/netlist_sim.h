@@ -116,6 +116,20 @@ class NetlistSim {
     uint64_t netValue(uint32_t net) const;
 
     /**
+     * Point-in-time scheduler counters for one stage (sim/metrics.h),
+     * identical in signature and value to
+     * sim::Simulator::stageCounters — the debugger's per-cycle polling
+     * surface (src/debug/).
+     */
+    sim::StageCounters stageCounters(const Module *mod) const;
+
+    /** Point-in-time traffic counters for one FIFO (same contract). */
+    sim::FifoTraffic fifoTraffic(const Port *port) const;
+
+    /** Committed write count of one register array (same contract). */
+    uint64_t arrayWrites(const RegArray *array) const;
+
+    /**
      * Snapshot of the same counters and histograms the event-driven
      * simulator collects (sim/metrics.h), measured from the netlist:
      * the paper's cycle-alignment guarantee extends to every key here.

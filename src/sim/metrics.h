@@ -27,6 +27,18 @@
  *   fifo.<mod>.<port>.pops                  committed pops
  *   fifo.<mod>.<port>.high_water            max end-of-cycle occupancy
  *   array.<name>.writes                     committed register-array writes
+ *   sched.executions                        alias of total.executions, kept
+ *                                           beside the other SimStats keys
+ *   sched.events_skipped                    stage-visits the wake-list
+ *                                           scheduler never paid for (sum of
+ *                                           per-stage idle_cycles)
+ *   sched.stages_woken                      idle stages woken by a committed
+ *                                           event (0 -> >0 pending-counter
+ *                                           transitions at a cycle boundary —
+ *                                           an architectural quantity, so the
+ *                                           netlist backend counts the same
+ *                                           transitions from its counter
+ *                                           commit and the values align)
  * plus one occupancy histogram per FIFO under fifo.<mod>.<port>.occupancy
  * (bucket i = number of cycles the FIFO ended with exactly i entries).
  */
@@ -65,6 +77,30 @@ struct Histogram {
 
     bool operator==(const Histogram &other) const;
     bool operator!=(const Histogram &other) const { return !(*this == other); }
+};
+
+/**
+ * Cheap point-in-time view of one stage's scheduler counters: the
+ * per-cycle inspection surface the time-travel debugger (src/debug/)
+ * polls between single-cycle run() slices. Both engines fill it from
+ * live state without building a full MetricsRegistry, and with the same
+ * committed-boundary semantics as the stage.* registry keys.
+ */
+struct StageCounters {
+    uint64_t execs = 0;
+    uint64_t wait_spins = 0;
+    uint64_t idle_cycles = 0;
+    uint64_t events_in = 0;
+    uint64_t backpressure_stalls = 0;
+    uint64_t pending = 0; ///< events waiting at the last cycle boundary
+};
+
+/** Point-in-time per-FIFO traffic counters (same contract). */
+struct FifoTraffic {
+    uint64_t pushes = 0;
+    uint64_t pops = 0;
+    uint64_t drops = 0;
+    uint64_t stall_cycles = 0;
 };
 
 /**

@@ -1,0 +1,80 @@
+#include "sim/repro.h"
+
+#include <sstream>
+
+namespace assassyn {
+namespace sim {
+
+namespace {
+
+/**
+ * Shell-quote one argument. The grammar replay parses is plain argv,
+ * but the command is meant to be pasted into a shell, so anything
+ * beyond [A-Za-z0-9_./:=-] gets single-quoted.
+ */
+std::string
+quoted(const std::string &arg)
+{
+    bool plain = !arg.empty();
+    for (char c : arg)
+        plain &= (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                 c == '/' || c == ':' || c == '=' || c == '-';
+    if (plain)
+        return arg;
+    std::string out = "'";
+    for (char c : arg) {
+        if (c == '\'')
+            out += "'\\''";
+        else
+            out += c;
+    }
+    out += "'";
+    return out;
+}
+
+} // namespace
+
+std::string
+ReproSpec::toCommand() const
+{
+    std::ostringstream os;
+    os << "replay";
+    if (is_fuzz) {
+        os << " --fuzz-seed " << fuzz_seed;
+    } else if (!program.empty()) {
+        os << " --program " << quoted(program);
+        if (!corpus_dir.empty())
+            os << " --corpus " << quoted(corpus_dir);
+    } else if (!design.empty()) {
+        os << " --design " << quoted(design);
+    }
+    if (!core.empty())
+        os << " --core " << core;
+    if (!engine.empty())
+        os << " --engine " << engine;
+    if (shuffle)
+        os << " --shuffle-seed " << shuffle_seed;
+    if (fault) {
+        os << " --fault-seed " << fault->seed
+           << " --fault-count " << fault->count
+           << " --fault-first " << fault->first_cycle
+           << " --fault-last " << fault->last_cycle;
+        if (!fault->arrays)
+            os << " --fault-no-arrays";
+        if (!fault->fifos)
+            os << " --fault-no-fifos";
+        if (fault->include_memories)
+            os << " --fault-memories";
+    }
+    if (!ckpt.empty())
+        os << " --ckpt " << quoted(ckpt);
+    if (max_cycles)
+        os << " --max-cycles " << max_cycles;
+    if (until)
+        os << " --until " << until;
+    return os.str();
+}
+
+} // namespace sim
+} // namespace assassyn

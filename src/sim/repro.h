@@ -1,0 +1,62 @@
+/**
+ * @file
+ * One-command failure reproduction (docs/debugging.md).
+ *
+ * Every layer that can observe a failure — the differential grader's
+ * frozen first-divergence verdict, a watchdog/fault RunResult, a sweep
+ * attempt_error — knows the complete recipe that produced it: design,
+ * engine, seeds, fault plan, checkpoint, and the cycle where it went
+ * wrong. A ReproSpec captures that recipe, and toCommand() renders it
+ * as the exact `replay` CLI invocation (bench/replay.cc) that rebuilds
+ * the run deterministically and stops at the offending cycle. The
+ * string rides report JSON as an additive `repro` field, so a failure
+ * in CI is one copy-paste away from an interactive time-travel session.
+ *
+ * This lives in assassyn_sim (not src/debug/) because the producers —
+ * sweep.cc and the grader — must not depend on the debugger; only the
+ * consumer (src/debug/replay.cc) parses the command back.
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sim/fault.h"
+
+namespace assassyn {
+namespace sim {
+
+/** Everything needed to rebuild one failing run deterministically. */
+struct ReproSpec {
+    /**
+     * Workload selector, exactly one of:
+     *  - program: a corpus program name (with corpus_dir when known);
+     *  - fuzz_seed (is_fuzz true): a generated corpus program;
+     *  - design: a named design for non-grader producers (best effort —
+     *    replay resolves the names it knows and lists them otherwise).
+     */
+    std::string program;
+    std::string corpus_dir;
+    bool is_fuzz = false;
+    uint64_t fuzz_seed = 0;
+    std::string design;
+
+    std::string core;   ///< "inorder" / "ooo"; empty = replay default
+    std::string engine; ///< "event" / "netlist"; empty = replay default
+
+    bool shuffle = false;
+    uint64_t shuffle_seed = 1;
+
+    std::optional<FaultSpec> fault; ///< the injected-fault plan, if any
+
+    std::string ckpt;       ///< checkpoint manifest to restore first
+    uint64_t until = 0;     ///< stop cycle (0 = none): the failure site
+    uint64_t max_cycles = 0;///< cycle budget override (0 = default)
+
+    /** Render the one-command `replay` invocation. */
+    std::string toCommand() const;
+};
+
+} // namespace sim
+} // namespace assassyn

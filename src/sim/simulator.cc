@@ -1344,6 +1344,33 @@ Simulator::executions(const Module *mod) const
     return impl_->mods.at(mod->id()).execs;
 }
 
+StageCounters
+Simulator::stageCounters(const Module *mod) const
+{
+    const ModState &ms = impl_->mods.at(mod->id());
+    StageCounters c;
+    c.execs = ms.execs;
+    c.wait_spins = ms.wait_spins;
+    c.idle_cycles = impl_->foldedIdle(ms);
+    c.events_in = ms.events_in;
+    c.backpressure_stalls = ms.bp_stalls;
+    c.pending = ms.pending;
+    return c;
+}
+
+FifoTraffic
+Simulator::fifoTraffic(const Port *port) const
+{
+    const FifoState &f = impl_->fifos.at(impl_->fifoIndex(port));
+    return FifoTraffic{f.pushes, f.pops, f.drops, f.stall_cycles};
+}
+
+uint64_t
+Simulator::arrayWrites(const RegArray *array) const
+{
+    return impl_->arrays.at(array->id()).writes;
+}
+
 SimStats
 Simulator::stats() const
 {
@@ -1364,6 +1391,7 @@ Simulator::metrics() const
     reg.set("cycles", impl_->cycle);
     reg.set("total.executions", impl_->total_execs);
     reg.set("total.events", impl_->total_subs);
+    uint64_t skipped = 0;
     for (const ModState &ms : impl_->mods) {
         reg.set(stageKey(*ms.mod, "execs"), ms.execs);
         reg.set(stageKey(*ms.mod, "wait_spins"), ms.wait_spins);
@@ -1371,7 +1399,14 @@ Simulator::metrics() const
         reg.set(stageKey(*ms.mod, "events_in"), ms.events_in);
         reg.set(stageKey(*ms.mod, "event_saturations"), ms.saturations);
         reg.set(stageKey(*ms.mod, "backpressure_stalls"), ms.bp_stalls);
+        skipped += impl_->foldedIdle(ms);
     }
+    // Scheduler health (SimStats), under cross-backend keys: both
+    // quantities are architectural — see the key-scheme note in
+    // sim/metrics.h — so rtl::NetlistSim emits the identical values.
+    reg.set("sched.executions", impl_->total_execs);
+    reg.set("sched.events_skipped", skipped);
+    reg.set("sched.stages_woken", impl_->sched_woken);
     for (const FifoState &f : impl_->fifos) {
         Histogram occ = impl_->foldedOccupancy(f);
         reg.set(fifoKey(*f.port, "pushes"), f.pushes);
@@ -1429,6 +1464,7 @@ Simulator::snapshot() const
         w.u8(im.poked ? 1 : 0);
         w.u64(im.total_execs);
         w.u64(im.total_subs);
+        w.u64(im.sched_woken);
         snap.add("meta", w.take());
     }
     {
@@ -1521,6 +1557,7 @@ Simulator::restore(const Snapshot &snap)
         im.poked = r.flag();
         im.total_execs = r.u64();
         im.total_subs = r.u64();
+        im.sched_woken = r.u64();
         r.expectEnd();
     }
     if (im.cycle != snap.cycle)

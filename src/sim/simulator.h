@@ -207,6 +207,21 @@ class Simulator {
     /** Number of times a stage's body executed. */
     uint64_t executions(const Module *mod) const;
 
+    /**
+     * Point-in-time scheduler counters for one stage (sim/metrics.h),
+     * read from live state without folding a full MetricsRegistry. The
+     * per-cycle polling surface of the time-travel debugger
+     * (src/debug/); rtl::NetlistSim exposes the identical signature
+     * with identical values.
+     */
+    StageCounters stageCounters(const Module *mod) const;
+
+    /** Point-in-time traffic counters for one FIFO (same contract). */
+    FifoTraffic fifoTraffic(const Port *port) const;
+
+    /** Committed write count of one register array (same contract). */
+    uint64_t arrayWrites(const RegArray *array) const;
+
     /** Run statistics so far. */
     SimStats stats() const;
 

@@ -160,6 +160,12 @@ SweepReport::toJson(const std::string &design) const
                 w.value(err);
             w.endArray();
         }
+        if (run.repro) {
+            ReproSpec spec = *run.repro;
+            spec.design = design;
+            w.key("repro");
+            w.value(spec.toCommand());
+        }
         w.key("metrics");
         run.metrics.writeJson(w);
         w.endObject();
@@ -192,6 +198,30 @@ namespace {
  * from scratch when it doesn't (or when the failure itself names the
  * checkpoint, i.e. the checkpoint is what's broken).
  */
+/**
+ * Attach the repro recipe when a run ended badly: a watchdog or fault
+ * verdict, or at least one recorded attempt_error. The until cycle is
+ * where the instance actually stopped; report rendering fills in the
+ * design name (see SweepReport::toJson).
+ */
+void
+attachRepro(InstanceResult &out, const RunConfig &cfg)
+{
+    bool bad = !out.attempt_errors.empty() ||
+               (out.result.status != RunStatus::kFinished &&
+                out.result.status != RunStatus::kMaxCycles);
+    if (!bad)
+        return;
+    ReproSpec spec;
+    spec.shuffle = cfg.sim.shuffle;
+    spec.shuffle_seed = cfg.sim.shuffle_seed;
+    spec.fault = cfg.fault;
+    spec.ckpt = cfg.resume_from;
+    spec.max_cycles = cfg.max_cycles;
+    spec.until = out.end_cycle;
+    out.repro = spec;
+}
+
 InstanceResult
 runInstanceWithRetry(const RunConfig &cfg, const InstanceFn &instance,
                      const SweepOptions &opts)
@@ -265,6 +295,7 @@ runSweep(const std::vector<RunConfig> &configs,
             report.runs[i] =
                 runInstanceWithRetry(configs[i], instance, opts);
             report.runs[i].seconds = secondsSince(start);
+            attachRepro(report.runs[i], configs[i]);
         },
         report.workers);
     report.seconds = secondsSince(batch_start);
@@ -289,6 +320,7 @@ runSweep(const std::vector<RunConfig> &configs,
             HostProfiler::Scope span("run:" + configs[i].name);
             report.runs[i] = instance(configs[i]);
             report.runs[i].seconds = secondsSince(start);
+            attachRepro(report.runs[i], configs[i]);
         },
         report.workers);
     report.seconds = secondsSince(batch_start);

@@ -34,6 +34,7 @@
 #include "sim/fault.h"
 #include "sim/metrics.h"
 #include "sim/program.h"
+#include "sim/repro.h"
 #include "sim/simulator.h"
 
 namespace assassyn {
@@ -98,6 +99,15 @@ struct InstanceResult {
     uint32_t resumes = 0;  ///< attempts that resumed from a checkpoint
     /** One entry per *failed* attempt, in order; empty when clean. */
     std::vector<std::string> attempt_errors;
+
+    /**
+     * Repro recipe (sim/repro.h) attached when the run ended badly — a
+     * watchdog/fault verdict or a recorded attempt_error. The design
+     * name is only known at report time, so SweepReport::toJson fills
+     * it in and renders the one-command `replay` invocation as the
+     * run's additive "repro" field (docs/debugging.md).
+     */
+    std::optional<ReproSpec> repro;
 };
 
 /** Turns one RunConfig into a finished InstanceResult. */

@@ -709,6 +709,27 @@ TraceReader::spansIn(const std::string &track, uint64_t t0,
     return out;
 }
 
+std::vector<TraceSpan>
+TraceReader::spansAt(uint64_t cycle) const
+{
+    std::vector<TraceSpan> out;
+    for (const TraceSpan &span : spans_)
+        if (span.ts <= cycle &&
+            (cycle < span.end() || (span.dur == 0 && cycle == span.ts)))
+            out.push_back(span);
+    return out;
+}
+
+std::vector<TraceInstant>
+TraceReader::instantsAt(uint64_t cycle) const
+{
+    std::vector<TraceInstant> out;
+    for (const TraceInstant &inst : instants_)
+        if (inst.ts == cycle)
+            out.push_back(inst);
+    return out;
+}
+
 std::vector<TraceInstant>
 TraceReader::instants(const std::string &track,
                       const std::string &name) const

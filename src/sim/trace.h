@@ -256,6 +256,19 @@ class TraceReader {
     std::vector<TraceSpan> spansIn(const std::string &track, uint64_t t0,
                                    uint64_t t1) const;
 
+    /**
+     * Every span, on any track, live at @p cycle: ts <= cycle < end().
+     * A coalesced idle/occupancy span that *straddles* the cycle (it
+     * began earlier and ends later) is included — this is the
+     * debugger's `bt` query (src/debug/), which must answer "what was
+     * stage X doing at cycle C" even when C landed mid-span. A
+     * zero-duration span matches exactly at its own timestamp.
+     */
+    std::vector<TraceSpan> spansAt(uint64_t cycle) const;
+
+    /** Every instant event, on any track, stamped exactly @p cycle. */
+    std::vector<TraceInstant> instantsAt(uint64_t cycle) const;
+
     const std::vector<TraceInstant> &instants() const { return instants_; }
 
     /** Instants on @p track, optionally filtered by exact @p name. */

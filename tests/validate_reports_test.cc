@@ -14,7 +14,10 @@
  *    consistent with the decoded snapshot;
  *  - assassyn.grade.v1 (src/grader): per-run verdicts with core,
  *    status, retirement accounting, and — on failure — a divergence
- *    object naming the first divergent retirement;
+ *    object naming the first divergent retirement plus the additive
+ *    one-command replay repro;
+ *  - assassyn.debug.v1 (src/debug): the time-travel session summary —
+ *    keyframe accounting, re-executed cycles, and break/watch hits;
  *  - assassyn.bench.fig16.v3 (bench/fig16_sim_speed.cc): the tracked
  *    throughput report at the repo root.
  *
@@ -31,6 +34,7 @@
 
 #include "core/compiler/pass.h"
 #include "core/dsl/builder.h"
+#include "debug/session.h"
 #include "grader/corpus.h"
 #include "grader/grader.h"
 #include "sim/ckpt.h"
@@ -307,6 +311,16 @@ TEST(ValidateReports, GradeV1CarriesVerdictsAndDivergences)
     faulted.verdict = grader::gradeProgram(prog, grader::Core::kInOrder,
                                            grader::Engine::kEvent, opts);
     report.runs.push_back(faulted);
+    // A guaranteed-failing run (cycle budget too small): gradeCorpus
+    // must attach the one-command time-travel repro to it.
+    grader::CorpusProgram starved = prog;
+    starved.max_cycles = 20;
+    grader::GradeReport timed_out = grader::gradeCorpus(
+        {starved}, {grader::Core::kInOrder}, {grader::Engine::kEvent},
+        {}, 1);
+    ASSERT_EQ(timed_out.runs.size(), 1u);
+    ASSERT_FALSE(timed_out.runs[0].verdict.pass());
+    report.runs.push_back(timed_out.runs[0]);
 
     std::string path = tempPath("validate_grade.json");
     report.write(path, "inline");
@@ -319,7 +333,7 @@ TEST(ValidateReports, GradeV1CarriesVerdictsAndDivergences)
     const jsonv::Value &runs = field(doc, "runs");
     ASSERT_TRUE(runs.isArray());
     EXPECT_EQ(field(doc, "grades").u64(), runs.array.size());
-    ASSERT_EQ(runs.array.size(), 2u);
+    ASSERT_EQ(runs.array.size(), 3u);
     for (const jsonv::Value &run : runs.array) {
         const jsonv::Value &engine = field(run, "engine");
         ASSERT_TRUE(engine.isString());
@@ -327,9 +341,113 @@ TEST(ValidateReports, GradeV1CarriesVerdictsAndDivergences)
                     engine.string == "netlist");
         EXPECT_TRUE(field(run, "seconds").isNumber());
         validateVerdict(field(run, "verdict"));
+        // Additive v1 key: failing runs graded through gradeCorpus
+        // carry a pasteable replay command; passing runs never do.
+        const jsonv::Value *repro = run.find("repro");
+        std::string status =
+            field(field(run, "verdict"), "status").string;
+        if (status == "pass") {
+            EXPECT_EQ(repro, nullptr);
+        } else if (repro) {
+            ASSERT_TRUE(repro->isString());
+            EXPECT_EQ(repro->string.rfind("replay ", 0), 0u)
+                << repro->string;
+        }
     }
     EXPECT_EQ(field(field(runs.array[0], "verdict"), "status").string,
               "pass");
+    // The starved run came through gradeCorpus, so its repro MUST be
+    // there (the mid one was graded directly and legitimately has
+    // none).
+    ASSERT_NE(runs.array[2].find("repro"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ValidateReports, SweepV2AttachesReproToFailedRuns)
+{
+    // One clean run and one that exhausts its retry budget: only the
+    // failed record may carry the additive "repro" command, rendered
+    // with the report's design name.
+    std::vector<sim::RunConfig> configs(2);
+    configs[0].name = "ok";
+    configs[0].sim.capture_logs = false;
+    configs[1].name = "broken";
+    configs[1].sim.capture_logs = false;
+    Stream design;
+    auto prog = sim::Program::compile(design.sb.sys());
+    sim::InstanceFn good = sim::eventInstance(prog);
+    sim::InstanceFn instance = [&](const sim::RunConfig &cfg) {
+        if (cfg.name == "broken")
+            throw std::runtime_error("injected instance failure");
+        return good(cfg);
+    };
+    sim::SweepOptions opts;
+    opts.workers = 1;
+    opts.max_attempts = 2;
+    sim::SweepReport report = sim::runSweep(configs, instance, opts);
+    ASSERT_FALSE(report.allOk());
+
+    std::string path = tempPath("validate_sweep_repro.json");
+    report.write(path, "stream");
+    jsonv::Value doc = parseFile(path);
+    const jsonv::Value &runs = field(doc, "runs");
+    ASSERT_EQ(runs.array.size(), 2u);
+    EXPECT_EQ(runs.array[0].find("repro"), nullptr);
+    const jsonv::Value *repro = runs.array[1].find("repro");
+    ASSERT_NE(repro, nullptr);
+    ASSERT_TRUE(repro->isString());
+    EXPECT_EQ(repro->string.rfind("replay --design stream", 0), 0u)
+        << repro->string;
+    EXPECT_NE(runs.array[1].find("attempt_errors"), nullptr);
+    std::remove(path.c_str());
+}
+
+TEST(ValidateReports, DebugV1SessionSummaryIsWellFormed)
+{
+    Stream design;
+    std::string path = tempPath("validate_debug.json");
+    {
+        sim::SimOptions so;
+        so.capture_logs = false;
+        sim::Simulator sim(design.sb.sys(), so);
+        debug::DebugOptions dopts;
+        dopts.keyframe_every = 4;
+        dopts.keyframe_ring = 2;
+        debug::DebugSession s(sim, design.sb.sys(), dopts);
+        s.addWatch("exec:sink");
+        s.runTo(12);
+        s.reverseTo(6);
+        s.writeSummary(path);
+    }
+    jsonv::Value doc = parseFile(path);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(field(doc, "schema").string, "assassyn.debug.v1");
+    EXPECT_EQ(field(doc, "design").string, "stream");
+    EXPECT_EQ(field(doc, "engine").string, "event");
+    EXPECT_EQ(field(doc, "cycle").u64(), 6u);
+    EXPECT_TRUE(field(doc, "finished").isBool());
+    EXPECT_EQ(field(doc, "keyframe_every").u64(), 4u);
+    EXPECT_EQ(field(doc, "keyframe_ring").u64(), 2u);
+    EXPECT_TRUE(field(doc, "keyframes_taken").isNumber());
+    EXPECT_TRUE(field(doc, "keyframes_evicted").isNumber());
+    EXPECT_EQ(field(doc, "keyframes_restored").u64(), 1u);
+    EXPECT_TRUE(field(doc, "cycles_run").isNumber());
+    EXPECT_TRUE(field(doc, "cycles_reexecuted").isNumber());
+    EXPECT_TRUE(field(doc, "breakpoints_hit").isNumber());
+    const jsonv::Value &bps = field(doc, "breakpoints");
+    ASSERT_TRUE(bps.isArray());
+    ASSERT_EQ(bps.array.size(), 1u);
+    EXPECT_EQ(field(bps.array[0], "spec").string, "exec:sink");
+    EXPECT_EQ(field(bps.array[0], "kind").string, "watch");
+    EXPECT_TRUE(field(bps.array[0], "enabled").isBool());
+    EXPECT_TRUE(field(bps.array[0], "hits").isNumber());
+    const jsonv::Value &hits = field(doc, "hits");
+    ASSERT_TRUE(hits.isArray());
+    for (const jsonv::Value &h : hits.array) {
+        EXPECT_TRUE(field(h, "cycle").isNumber());
+        EXPECT_TRUE(field(h, "spec").isString());
+        EXPECT_TRUE(field(h, "detail").isString());
+    }
     std::remove(path.c_str());
 }
 
